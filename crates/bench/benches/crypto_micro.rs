@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the cryptographic substrate — the
+//! statistically rigorous companion to the Table 3 harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use authdb_crypto::bls::BlsPrivateKey;
+use authdb_crypto::bn254::{pairing, Fr, G1, G2};
+use authdb_crypto::rsa::RsaPrivateKey;
+use authdb_crypto::sha1::sha1;
+use authdb_crypto::sha256::sha256;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for len in [256usize, 512, 1024] {
+        let buf = vec![0xA5u8; len];
+        g.bench_function(format!("sha1_{len}B"), |b| b.iter(|| sha1(&buf)));
+        g.bench_function(format!("sha256_{len}B"), |b| b.iter(|| sha256(&buf)));
+    }
+    g.finish();
+}
+
+fn bench_bn254(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("bn254");
+    g.sample_size(10);
+    let k = Fr::random(&mut rng);
+    let p = G1::generator();
+    let q = G2::generator();
+    g.bench_function("g1_scalar_mul", |b| b.iter(|| p.mul_fr(&k)));
+    let a = p.mul_scalar(&[5]);
+    let b2 = p.mul_scalar(&[7]);
+    g.bench_function("g1_add", |b| b.iter(|| a.add(&b2)));
+    g.bench_function("pairing", |b| b.iter(|| pairing(&p, &q)));
+    g.bench_function("hash_to_g1", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            G1::hash_to_curve(&i.to_be_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_bls(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let sk = BlsPrivateKey::generate(&mut rng);
+    let pk = sk.public_key().clone();
+    let mut g = c.benchmark_group("bas");
+    g.sample_size(10);
+    g.bench_function("sign", |b| b.iter(|| sk.sign(b"record content")));
+    let sig = sk.sign(b"record content");
+    g.bench_function("verify", |b| b.iter(|| pk.verify(b"record content", &sig)));
+    let msgs: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    let sigs: Vec<_> = msgs.iter().map(|m| sk.sign(m)).collect();
+    g.bench_function("aggregate_100", |b| {
+        b.iter(|| authdb_crypto::bls::aggregate(&sigs))
+    });
+    let agg = authdb_crypto::bls::aggregate(&sigs);
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    g.bench_function("verify_aggregate_100", |b| {
+        b.iter(|| pk.verify_aggregate(&refs, &agg))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sk = RsaPrivateKey::generate(1024, &mut rng);
+    let pk = sk.public_key().clone();
+    let mut g = c.benchmark_group("condensed_rsa");
+    g.sample_size(20);
+    g.bench_function("sign_1024", |b| b.iter(|| sk.sign(b"record content")));
+    let sig = sk.sign(b"record content");
+    g.bench_function("verify_1024", |b| {
+        b.iter(|| pk.verify(b"record content", &sig))
+    });
+    let sigs: Vec<_> = (0..100u32)
+        .map(|i| sk.sign(&i.to_be_bytes()))
+        .collect();
+    g.bench_function("condense_100", |b| {
+        b.iter_batched(
+            || sigs.clone(),
+            |s| authdb_crypto::rsa::condense(&pk, &s),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_bn254, bench_bls, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,513 @@
+//! End-to-end EMB− baseline system: aggregator, server, and client
+//! verification (Sections 2.2 and 5.3).
+//!
+//! The EMB− aggregator maintains the Merkle-embedded B+-tree and signs
+//! `(root digest, ts)` after **every** update — the single certified root
+//! that forces each update to propagate digests leaf-to-root and to lock
+//! the whole index exclusively. The server answers range queries with the
+//! qualifying tuples, the two boundary tuples, a pruned digest tree
+//! ([`authdb_index::EmbVo`]), and the current signed root.
+
+use authdb_crypto::signer::{Keypair, PublicParams, Signature};
+use authdb_index::btree::LeafEntry;
+use authdb_index::emb::{DigestKind, EmbTree, EmbVo};
+use authdb_storage::{BufferPool, Disk, HeapFile};
+
+use crate::record::{Record, Schema, Tick};
+
+/// A signed EMB− root.
+#[derive(Clone, Debug)]
+pub struct SignedRoot {
+    /// The root digest.
+    pub digest: Vec<u8>,
+    /// Signing time.
+    pub ts: Tick,
+    /// Owner signature over `(digest, ts)`.
+    pub signature: Signature,
+}
+
+impl SignedRoot {
+    /// Canonical signing message.
+    pub fn message(digest: &[u8], ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(16 + digest.len());
+        msg.extend_from_slice(b"embroot:");
+        msg.extend_from_slice(&ts.to_be_bytes());
+        msg.extend_from_slice(digest);
+        msg
+    }
+
+    /// Verify against the owner's public parameters.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(&Self::message(&self.digest, self.ts), &self.signature)
+    }
+}
+
+/// An update shipped from the EMB− aggregator to the server: the record
+/// plus the freshly signed root (the server replays the digest propagation
+/// on its own tree copy).
+#[derive(Clone, Debug)]
+pub struct EmbUpdate {
+    /// The changed record.
+    pub record: Record,
+    /// `true` for deletion.
+    pub delete: bool,
+    /// The new signed root.
+    pub root: SignedRoot,
+}
+
+/// An authenticated EMB− range answer.
+#[derive(Clone, Debug)]
+pub struct EmbAnswer {
+    /// Left boundary tuple, matches, right boundary tuple — leaf order.
+    pub records: Vec<Record>,
+    /// How many of `records` are boundary tuples on the left (0 or 1).
+    pub left_boundary: usize,
+    /// How many are boundary tuples on the right (0 or 1).
+    pub right_boundary: usize,
+    /// The pruned digest tree.
+    pub vo: EmbVo,
+    /// The signed root.
+    pub root: SignedRoot,
+}
+
+impl EmbAnswer {
+    /// VO wire size: pruned digests + structure + root signature.
+    pub fn vo_size(&self, pp: &PublicParams) -> usize {
+        self.vo.size_bytes() + pp.wire_len() + 8
+    }
+
+    /// Matching records only (boundaries stripped).
+    pub fn matches(&self) -> &[Record] {
+        &self.records[self.left_boundary..self.records.len() - self.right_boundary]
+    }
+}
+
+fn tuple_digest(kind: DigestKind, schema: &Schema, rec: &Record) -> Vec<u8> {
+    kind.hash(&rec.to_bytes(schema))
+}
+
+/// Shared state of the EMB− aggregator and server (both sides maintain the
+/// identical structure; we factor it).
+struct EmbStore {
+    schema: Schema,
+    kind: DigestKind,
+    heap: HeapFile,
+    tree: EmbTree,
+}
+
+impl EmbStore {
+    fn new(schema: Schema, kind: DigestKind, buffer_pages: usize) -> Self {
+        let pool = BufferPool::new(Disk::new(), buffer_pages);
+        EmbStore {
+            schema,
+            kind,
+            heap: HeapFile::new(pool.clone(), schema.record_len),
+            tree: EmbTree::new(pool, kind),
+        }
+    }
+
+    fn bulk_load(&mut self, records: &[Record], fill: f64) {
+        for rec in records {
+            let rid = self.heap.append(&rec.to_bytes(&self.schema));
+            debug_assert_eq!(rid, rec.rid);
+        }
+        let mut entries: Vec<LeafEntry> = records
+            .iter()
+            .map(|rec| LeafEntry {
+                key: rec.key(&self.schema),
+                rid: rec.rid,
+                payload: tuple_digest(self.kind, &self.schema, rec),
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.key, e.rid));
+        self.tree.bulk_load(&entries, fill);
+    }
+
+    fn apply(&mut self, rec: &Record, delete: bool, old_key: Option<i64>) {
+        let key = rec.key(&self.schema);
+        if delete {
+            self.tree.delete(key, rec.rid);
+            self.heap.delete(rec.rid);
+            return;
+        }
+        if rec.rid >= self.heap.len() {
+            let rid = self.heap.append(&rec.to_bytes(&self.schema));
+            debug_assert_eq!(rid, rec.rid);
+            self.tree
+                .insert(key, rec.rid, tuple_digest(self.kind, &self.schema, rec));
+            return;
+        }
+        self.heap.update(rec.rid, &rec.to_bytes(&self.schema));
+        let digest = tuple_digest(self.kind, &self.schema, rec);
+        match old_key {
+            Some(old) if old != key => {
+                self.tree.delete(old, rec.rid);
+                self.tree.insert(key, rec.rid, digest);
+            }
+            _ => {
+                self.tree.update(key, rec.rid, digest);
+            }
+        }
+    }
+}
+
+/// The EMB− data owner.
+pub struct EmbAggregator {
+    keypair: Keypair,
+    store: EmbStore,
+    clock: Tick,
+    fill: f64,
+}
+
+impl EmbAggregator {
+    /// Create an empty aggregator.
+    pub fn new(
+        schema: Schema,
+        kind: DigestKind,
+        keypair: Keypair,
+        buffer_pages: usize,
+        fill: f64,
+    ) -> Self {
+        EmbAggregator {
+            keypair,
+            store: EmbStore::new(schema, kind, buffer_pages),
+            clock: 0,
+            fill,
+        }
+    }
+
+    /// Verification parameters.
+    pub fn public_params(&self) -> PublicParams {
+        self.keypair.public_params()
+    }
+
+    /// Advance the logical clock.
+    pub fn advance_clock(&mut self, dt: Tick) {
+        self.clock += dt;
+    }
+
+    /// Load and certify the initial database; returns the records for the
+    /// server replica and the first signed root.
+    pub fn bootstrap(&mut self, rows: Vec<Vec<i64>>) -> (Vec<Record>, SignedRoot) {
+        let records: Vec<Record> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, attrs)| Record {
+                rid: i as u64,
+                attrs,
+                ts: self.clock,
+            })
+            .collect();
+        self.store.bulk_load(&records, self.fill);
+        (records, self.sign_root())
+    }
+
+    fn sign_root(&self) -> SignedRoot {
+        let digest = self.store.tree.root_digest();
+        let signature = self
+            .keypair
+            .sign(&SignedRoot::message(&digest, self.clock));
+        SignedRoot {
+            digest,
+            ts: self.clock,
+            signature,
+        }
+    }
+
+    /// Update a record's attributes: digest path re-hashed to the root,
+    /// root re-signed.
+    pub fn update_record(&mut self, rid: u64, attrs: Vec<i64>) -> Option<EmbUpdate> {
+        let old = self.read(rid)?;
+        let record = Record {
+            rid,
+            attrs,
+            ts: self.clock,
+        };
+        self.store
+            .apply(&record, false, Some(old.key(&self.store.schema)));
+        Some(EmbUpdate {
+            record,
+            delete: false,
+            root: self.sign_root(),
+        })
+    }
+
+    /// Insert a new record.
+    pub fn insert(&mut self, attrs: Vec<i64>) -> EmbUpdate {
+        let record = Record {
+            rid: self.store.heap.len(),
+            attrs,
+            ts: self.clock,
+        };
+        self.store.apply(&record, false, None);
+        EmbUpdate {
+            record,
+            delete: false,
+            root: self.sign_root(),
+        }
+    }
+
+    /// Delete a record.
+    pub fn delete_record(&mut self, rid: u64) -> Option<EmbUpdate> {
+        let record = self.read(rid)?;
+        self.store.apply(&record, true, None);
+        Some(EmbUpdate {
+            record,
+            delete: true,
+            root: self.sign_root(),
+        })
+    }
+
+    fn read(&self, rid: u64) -> Option<Record> {
+        self.store
+            .heap
+            .read(rid)
+            .map(|b| Record::from_bytes(&self.store.schema, &b))
+    }
+
+    /// Number of tree levels (= exclusive-lock I/O path length per update).
+    pub fn tree_height(&self) -> usize {
+        self.store.tree.height()
+    }
+}
+
+/// The EMB− query server.
+pub struct EmbServer {
+    store: EmbStore,
+    root: SignedRoot,
+}
+
+impl EmbServer {
+    /// Build a replica from the aggregator's bootstrap output.
+    pub fn from_bootstrap(
+        schema: Schema,
+        kind: DigestKind,
+        records: &[Record],
+        root: SignedRoot,
+        buffer_pages: usize,
+        fill: f64,
+    ) -> Self {
+        let mut store = EmbStore::new(schema, kind, buffer_pages);
+        store.bulk_load(records, fill);
+        debug_assert_eq!(store.tree.root_digest(), root.digest, "replica root");
+        EmbServer { store, root }
+    }
+
+    /// Apply an update (the root-digest propagation happens on the server's
+    /// copy; the new signed root replaces the old).
+    pub fn apply(&mut self, update: &EmbUpdate) {
+        let old_key = self
+            .store
+            .heap
+            .read(update.record.rid)
+            .map(|b| Record::from_bytes(&self.store.schema, &b).key(&self.store.schema));
+        self.store.apply(&update.record, update.delete, old_key);
+        debug_assert_eq!(
+            self.store.tree.root_digest(),
+            update.root.digest,
+            "server replay must reproduce the signed root"
+        );
+        self.root = update.root.clone();
+    }
+
+    /// Tree height (update path length).
+    pub fn tree_height(&self) -> usize {
+        self.store.tree.height()
+    }
+
+    /// Answer an authenticated range query.
+    pub fn range_query(&self, lo: i64, hi: i64) -> EmbAnswer {
+        let res = self.store.tree.range_with_vo(lo, hi);
+        let mut records = Vec::with_capacity(res.matches.len() + 2);
+        let mut left_boundary = 0;
+        if let Some(e) = &res.left_boundary {
+            records.push(self.read(e.rid));
+            left_boundary = 1;
+        }
+        for e in &res.matches {
+            records.push(self.read(e.rid));
+        }
+        let mut right_boundary = 0;
+        if let Some(e) = &res.right_boundary {
+            records.push(self.read(e.rid));
+            right_boundary = 1;
+        }
+        EmbAnswer {
+            records,
+            left_boundary,
+            right_boundary,
+            vo: res.vo,
+            root: self.root.clone(),
+        }
+    }
+
+    fn read(&self, rid: u64) -> Record {
+        Record::from_bytes(
+            &self.store.schema,
+            &self.store.heap.read(rid).expect("indexed record"),
+        )
+    }
+}
+
+/// Client-side EMB− verification.
+pub struct EmbVerifier {
+    pp: PublicParams,
+    schema: Schema,
+    kind: DigestKind,
+}
+
+/// EMB− verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbVerifyError {
+    /// The root signature is invalid.
+    BadRootSignature,
+    /// The recomputed root does not match the signed root.
+    RootMismatch,
+    /// The VO shape disagrees with the returned tuple count.
+    MalformedVo,
+    /// Returned matches are not sorted or fall outside the range.
+    BadRecords,
+    /// Boundary tuples do not bracket the range.
+    BadBoundary,
+}
+
+impl EmbVerifier {
+    /// Create a verifier.
+    pub fn new(pp: PublicParams, schema: Schema, kind: DigestKind) -> Self {
+        EmbVerifier { pp, schema, kind }
+    }
+
+    /// Verify an answer for `lo..=hi`.
+    pub fn verify(&self, lo: i64, hi: i64, ans: &EmbAnswer) -> Result<usize, EmbVerifyError> {
+        if !ans.root.verify(&self.pp) {
+            return Err(EmbVerifyError::BadRootSignature);
+        }
+        // Order and range checks.
+        let keys: Vec<i64> = ans.records.iter().map(|r| r.key(&self.schema)).collect();
+        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(EmbVerifyError::BadRecords);
+        }
+        let matches = ans.matches();
+        for r in matches {
+            let k = r.key(&self.schema);
+            if k < lo || k > hi {
+                return Err(EmbVerifyError::BadRecords);
+            }
+        }
+        if ans.left_boundary == 1 && keys[0] >= lo {
+            return Err(EmbVerifyError::BadBoundary);
+        }
+        if ans.right_boundary == 1 && keys[keys.len() - 1] <= hi {
+            return Err(EmbVerifyError::BadBoundary);
+        }
+        // Recompute the root from tuple digests + VO.
+        let digests: Vec<Vec<u8>> = ans
+            .records
+            .iter()
+            .map(|r| self.kind.hash(&r.to_bytes(&self.schema)))
+            .collect();
+        let root = EmbTree::root_from_vo(self.kind, &ans.vo, &digests)
+            .ok_or(EmbVerifyError::MalformedVo)?;
+        if root != ans.root.digest {
+            return Err(EmbVerifyError::RootMismatch);
+        }
+        Ok(matches.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authdb_crypto::signer::SchemeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system(n: i64) -> (EmbAggregator, EmbServer, EmbVerifier) {
+        let mut rng = StdRng::seed_from_u64(51);
+        let schema = Schema::new(2, 64);
+        let kind = DigestKind::Sha256;
+        let kp = Keypair::generate(SchemeKind::Mock, &mut rng);
+        let mut da = EmbAggregator::new(schema, kind, kp, 512, 2.0 / 3.0);
+        let (records, root) = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect());
+        let server = EmbServer::from_bootstrap(schema, kind, &records, root, 512, 2.0 / 3.0);
+        let verifier = EmbVerifier::new(da.public_params(), schema, kind);
+        (da, server, verifier)
+    }
+
+    #[test]
+    fn honest_range_query_verifies() {
+        let (_, server, verifier) = system(500);
+        let ans = server.range_query(1000, 1500);
+        let n = verifier.verify(1000, 1500, &ans).expect("valid");
+        assert_eq!(n, 51);
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let (_, server, verifier) = system(200);
+        let mut ans = server.range_query(100, 400);
+        ans.records[3].attrs[1] = 12345;
+        assert_eq!(
+            verifier.verify(100, 400, &ans),
+            Err(EmbVerifyError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn dropped_record_rejected() {
+        let (_, server, verifier) = system(200);
+        let mut ans = server.range_query(100, 400);
+        ans.records.remove(5);
+        let r = verifier.verify(100, 400, &ans);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn updates_propagate_and_verify() {
+        let (mut da, mut server, verifier) = system(300);
+        da.advance_clock(1);
+        let up = da.update_record(150, vec![1500, 777]).unwrap();
+        server.apply(&up);
+        let ans = server.range_query(1400, 1600);
+        verifier.verify(1400, 1600, &ans).expect("valid after update");
+        let rec = ans.matches().iter().find(|r| r.rid == 150).unwrap();
+        assert_eq!(rec.attrs[1], 777);
+    }
+
+    #[test]
+    fn stale_root_replay_rejected() {
+        let (mut da, mut server, verifier) = system(100);
+        let stale = server.range_query(200, 400);
+        da.advance_clock(1);
+        let up = da.update_record(25, vec![250, 9]).unwrap();
+        server.apply(&up);
+        // Replaying the stale answer fails because its root is outdated...
+        // unless the client has no newer root. The digest check itself still
+        // passes (it was honest then); what breaks staleness is the root ts.
+        // Verify the fresh answer has a newer ts.
+        assert!(up.root.ts > stale.root.ts);
+        let fresh = server.range_query(200, 400);
+        assert!(verifier.verify(200, 400, &fresh).is_ok());
+    }
+
+    #[test]
+    fn insert_and_delete_keep_replica_in_sync() {
+        let (mut da, mut server, verifier) = system(100);
+        da.advance_clock(1);
+        let up = da.insert(vec![555, 42]);
+        server.apply(&up);
+        let ans = server.range_query(555, 555);
+        assert_eq!(verifier.verify(555, 555, &ans).unwrap(), 1);
+        let del = da.delete_record(up.record.rid).unwrap();
+        server.apply(&del);
+        let ans = server.range_query(555, 555);
+        assert_eq!(verifier.verify(555, 555, &ans).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_range_verifies() {
+        let (_, server, verifier) = system(100);
+        let ans = server.range_query(101, 109);
+        assert_eq!(verifier.verify(101, 109, &ans).unwrap(), 0);
+    }
+}

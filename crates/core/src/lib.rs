@@ -1,0 +1,20 @@
+//! # authdb-core
+//!
+//! The paper's primary contribution: scalable query-answer verification for
+//! outsourced dynamic databases over signature aggregation.
+//!
+//! * [`record`] — records `⟨rid, A1..AM, ts⟩` and signing messages.
+//! * [`freshness`] — certified bitmap update summaries (Section 3.1).
+//! * [`da`] — the trusted Data Aggregator: certification, chaining,
+//!   summaries, active renewal.
+//! * [`locks`] — two-phase-locking lock manager (Section 5.1).
+
+pub mod da;
+pub mod embsys;
+pub mod freshness;
+pub mod join;
+pub mod locks;
+pub mod qs;
+pub mod record;
+pub mod sigcache;
+pub mod verify;

@@ -1,0 +1,270 @@
+//! Two-phase-locking lock manager (Section 5.1: "all the transactions at the
+//! QS follow the two-phase locking protocol").
+//!
+//! Resources are abstract `u64` ids: record rids for the BAS scheme's
+//! fine-grained locking, or the single [`WHOLE_INDEX`] resource that EMB−
+//! updates must take exclusively (its root digest serializes every update).
+//! Shared/exclusive modes, blocking acquisition with a condition variable,
+//! and all-at-once release (strict 2PL). Callers avoid deadlock by acquiring
+//! resources in sorted order; a `try`-variant with timeout is provided for
+//! tests that want to observe contention.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The resource id conventionally used for the whole index (EMB− root).
+pub const WHOLE_INDEX: u64 = u64::MAX;
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (readers).
+    Shared,
+    /// Exclusive (writers).
+    Exclusive,
+}
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+#[derive(Default)]
+struct LockState {
+    /// Holders: txn -> (mode, reentrancy count).
+    holders: HashMap<TxnId, (LockMode, usize)>,
+}
+
+impl LockState {
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, (m, _))| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+        }
+    }
+}
+
+struct Inner {
+    table: Mutex<HashMap<u64, LockState>>,
+    cond: Condvar,
+}
+
+/// A shared-handle lock manager.
+#[derive(Clone)]
+pub struct LockManager {
+    inner: Arc<Inner>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Create an empty lock manager.
+    pub fn new() -> Self {
+        LockManager {
+            inner: Arc::new(Inner {
+                table: Mutex::new(HashMap::new()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Acquire `resource` in `mode` for `txn`, blocking until granted.
+    /// Re-acquisition by the same transaction is allowed; a shared holder
+    /// upgrading to exclusive blocks until it is the only holder.
+    pub fn acquire(&self, txn: TxnId, resource: u64, mode: LockMode) {
+        let mut table = self.inner.table.lock();
+        loop {
+            let state = table.entry(resource).or_default();
+            if Self::grantable(state, txn, mode) {
+                Self::grant(state, txn, mode);
+                return;
+            }
+            self.inner.cond.wait(&mut table);
+        }
+    }
+
+    /// Like [`LockManager::acquire`] with a timeout; returns false on
+    /// timeout.
+    pub fn try_acquire_for(
+        &self,
+        txn: TxnId,
+        resource: u64,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut table = self.inner.table.lock();
+        loop {
+            let state = table.entry(resource).or_default();
+            if Self::grantable(state, txn, mode) {
+                Self::grant(state, txn, mode);
+                return true;
+            }
+            if self
+                .inner
+                .cond
+                .wait_until(&mut table, deadline)
+                .timed_out()
+            {
+                return false;
+            }
+        }
+    }
+
+    fn grantable(state: &LockState, txn: TxnId, mode: LockMode) -> bool {
+        if let Some((held, _)) = state.holders.get(&txn) {
+            match (held, mode) {
+                (LockMode::Exclusive, _) => true,
+                (LockMode::Shared, LockMode::Shared) => true,
+                (LockMode::Shared, LockMode::Exclusive) => state.holders.len() == 1,
+            }
+        } else {
+            state.compatible(txn, mode)
+        }
+    }
+
+    fn grant(state: &mut LockState, txn: TxnId, mode: LockMode) {
+        let entry = state.holders.entry(txn).or_insert((mode, 0));
+        if mode == LockMode::Exclusive {
+            entry.0 = LockMode::Exclusive; // upgrade sticks
+        }
+        entry.1 += 1;
+    }
+
+    /// Release one hold of `resource` by `txn`.
+    pub fn release(&self, txn: TxnId, resource: u64) {
+        let mut table = self.inner.table.lock();
+        if let Some(state) = table.get_mut(&resource) {
+            if let Some(entry) = state.holders.get_mut(&txn) {
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    state.holders.remove(&txn);
+                }
+            }
+            if state.holders.is_empty() {
+                table.remove(&resource);
+            }
+        }
+        drop(table);
+        self.inner.cond.notify_all();
+    }
+
+    /// Release every lock held by `txn` (strict 2PL commit point).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut table = self.inner.table.lock();
+        table.retain(|_, state| {
+            state.holders.remove(&txn);
+            !state.holders.is_empty()
+        });
+        drop(table);
+        self.inner.cond.notify_all();
+    }
+
+    /// Number of currently locked resources (diagnostics).
+    pub fn locked_resources(&self) -> usize {
+        self.inner.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(1, 10, LockMode::Shared);
+        lm.acquire(2, 10, LockMode::Shared);
+        assert!(!lm.try_acquire_for(3, 10, LockMode::Exclusive, Duration::from_millis(20)));
+        lm.release_all(1);
+        lm.release_all(2);
+        assert!(lm.try_acquire_for(3, 10, LockMode::Exclusive, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let lm = LockManager::new();
+        lm.acquire(1, 5, LockMode::Exclusive);
+        assert!(!lm.try_acquire_for(2, 5, LockMode::Shared, Duration::from_millis(20)));
+        assert!(!lm.try_acquire_for(2, 5, LockMode::Exclusive, Duration::from_millis(20)));
+        lm.release_all(1);
+        assert!(lm.try_acquire_for(2, 5, LockMode::Shared, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn reentrant_acquisition() {
+        let lm = LockManager::new();
+        lm.acquire(1, 5, LockMode::Exclusive);
+        lm.acquire(1, 5, LockMode::Exclusive);
+        lm.release(1, 5);
+        // Still held once.
+        assert!(!lm.try_acquire_for(2, 5, LockMode::Shared, Duration::from_millis(20)));
+        lm.release(1, 5);
+        assert!(lm.try_acquire_for(2, 5, LockMode::Shared, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn different_resources_do_not_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(1, 100, LockMode::Exclusive);
+        assert!(lm.try_acquire_for(2, 200, LockMode::Exclusive, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let lm = LockManager::new();
+        lm.acquire(1, 7, LockMode::Exclusive);
+        let lm2 = lm.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let handle = thread::spawn(move || {
+            lm2.acquire(2, 7, LockMode::Shared);
+            done2.store(1, Ordering::SeqCst);
+            lm2.release_all(2);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "must still be blocked");
+        lm.release_all(1);
+        handle.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn root_lock_serializes_writers_but_not_readers() {
+        // The EMB- contention pattern: updates exclusive on WHOLE_INDEX,
+        // queries shared.
+        let lm = LockManager::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let lm = lm.clone();
+            let counter = counter.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    let txn = t * 1000 + i;
+                    if t == 0 {
+                        lm.acquire(txn, WHOLE_INDEX, LockMode::Exclusive);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        lm.acquire(txn, WHOLE_INDEX, LockMode::Shared);
+                    }
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(lm.locked_resources(), 0);
+    }
+}

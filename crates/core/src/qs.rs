@@ -1,0 +1,510 @@
+//! The Query Server (QS): the untrusted proof-constructing server.
+//!
+//! The QS maintains a replica of the database and authentication structure,
+//! applies [`UpdateMsg`]s pushed by the DA (fresh data is disseminated
+//! immediately, decoupled from summaries — Section 3.1), stores the
+//! certified summaries, and answers queries with verification objects:
+//!
+//! * **selection** (Section 3.3): matching records, one aggregate signature,
+//!   two boundary key values — VO size independent of selectivity;
+//! * **projection** (Section 3.4): projected values plus one aggregate of
+//!   the relevant attribute signatures;
+//! * empty answers carry a **gap proof**: one chained signature bracketing
+//!   the queried range.
+
+use authdb_crypto::sha256::Digest;
+use authdb_crypto::signer::{PublicParams, Signature};
+use authdb_index::{new_asign, ASignTree};
+use authdb_storage::{BufferPool, Disk, HeapFile, IoStats};
+
+use crate::da::{Bootstrap, SigningMode, UpdateKind, UpdateMsg};
+use crate::freshness::UpdateSummary;
+use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+
+/// Proof that no record falls inside a queried range: one record whose
+/// chained signature brackets the gap.
+#[derive(Clone, Debug)]
+pub struct GapProof {
+    /// The bracketing record's tuple hash.
+    pub tuple_hash: Digest,
+    /// Its own indexed-attribute value.
+    pub own_key: i64,
+    /// Its left neighbour's value.
+    pub left_key: i64,
+    /// Its right neighbour's value.
+    pub right_key: i64,
+    /// Its signature.
+    pub signature: Signature,
+}
+
+/// An authenticated selection answer (Section 3.3).
+#[derive(Clone, Debug)]
+pub struct SelectionAnswer {
+    /// Matching records in key order.
+    pub records: Vec<Record>,
+    /// Aggregate signature over the matching records' chained messages.
+    pub agg: Signature,
+    /// Indexed value of the record immediately left of the range
+    /// ([`KEY_NEG_INF`] when the range extends past the first record).
+    pub left_key: i64,
+    /// Indexed value of the record immediately right of the range.
+    pub right_key: i64,
+    /// Present iff `records` is empty: the bracketing proof.
+    pub gap: Option<GapProof>,
+    /// Certified summaries published since the oldest result record.
+    pub summaries: Vec<UpdateSummary>,
+}
+
+impl SelectionAnswer {
+    /// VO wire size in bytes: aggregate signature + two boundary keys
+    /// (+ gap proof), excluding the summaries (amortized per Section 5.3).
+    pub fn vo_size(&self, pp: &PublicParams) -> usize {
+        let mut size = pp.wire_len() + 16;
+        if let Some(g) = &self.gap {
+            size += g.tuple_hash.len() + 24;
+        }
+        size
+    }
+
+    /// Total size of the attached summaries.
+    pub fn summaries_size(&self, pp: &PublicParams) -> usize {
+        self.summaries.iter().map(|s| s.size_bytes(pp)).sum()
+    }
+}
+
+/// One projected row.
+#[derive(Clone, Debug)]
+pub struct ProjectedRow {
+    /// Record identifier.
+    pub rid: u64,
+    /// Certification timestamp.
+    pub ts: Tick,
+    /// `(attribute index, value)` pairs for the projected attributes.
+    pub values: Vec<(usize, i64)>,
+}
+
+/// An authenticated projection answer (Section 3.4): one aggregate
+/// signature regardless of how many attributes were dropped.
+#[derive(Clone, Debug)]
+pub struct ProjectionAnswer {
+    /// Projected rows.
+    pub rows: Vec<ProjectedRow>,
+    /// Aggregate over the projected attributes' signatures.
+    pub agg: Signature,
+}
+
+impl ProjectionAnswer {
+    /// VO wire size: exactly one aggregate signature.
+    pub fn vo_size(&self, pp: &PublicParams) -> usize {
+        pp.wire_len()
+    }
+}
+
+/// Proof-construction statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QsStats {
+    /// Signature aggregation operations performed.
+    pub agg_ops: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Update messages applied.
+    pub updates: u64,
+}
+
+/// The query server.
+pub struct QueryServer {
+    pp: PublicParams,
+    schema: Schema,
+    mode: SigningMode,
+    heap: HeapFile,
+    tree: ASignTree,
+    /// Decoded record signatures by rid.
+    sigs: Vec<Signature>,
+    /// Per-attribute signatures by rid (PerAttribute mode).
+    attr_sigs: Vec<Vec<Signature>>,
+    summaries: Vec<UpdateSummary>,
+    stats: QsStats,
+}
+
+impl QueryServer {
+    /// Build a server replica from a DA bootstrap snapshot.
+    pub fn from_bootstrap(
+        pp: PublicParams,
+        schema: Schema,
+        mode: SigningMode,
+        boot: &Bootstrap,
+        buffer_pages: usize,
+        fill: f64,
+    ) -> Self {
+        let pool = BufferPool::new(Disk::new(), buffer_pages);
+        let heap = HeapFile::new(pool.clone(), schema.record_len);
+        let mut tree = new_asign(pool, pp.wire_len());
+        for rec in &boot.records {
+            let rid = heap.append(&rec.to_bytes(&schema));
+            debug_assert_eq!(rid, rec.rid);
+        }
+        let payload_len = tree.config().payload_len;
+        let mut entries: Vec<authdb_index::LeafEntry> = boot
+            .records
+            .iter()
+            .map(|rec| authdb_index::LeafEntry {
+                key: rec.key(&schema),
+                rid: rec.rid,
+                payload: boot.sigs[rec.rid as usize].to_bytes_padded(payload_len),
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.key, e.rid));
+        tree.bulk_load(&entries, fill);
+        QueryServer {
+            pp,
+            schema,
+            mode,
+            heap,
+            tree,
+            sigs: boot.sigs.clone(),
+            attr_sigs: boot.attr_sigs.clone(),
+            summaries: Vec::new(),
+            stats: QsStats::default(),
+        }
+    }
+
+    /// Verification parameters.
+    pub fn public_params(&self) -> &PublicParams {
+        &self.pp
+    }
+
+    /// The index height (I/O-cost diagnostics).
+    pub fn tree_height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// I/O counters of the server's disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.heap_pool_stats()
+    }
+
+    fn heap_pool_stats(&self) -> IoStats {
+        self.tree.pool().disk().stats()
+    }
+
+    /// Proof-construction statistics.
+    pub fn stats(&self) -> QsStats {
+        self.stats
+    }
+
+    /// Stored summaries (diagnostics).
+    pub fn summary_count(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Apply an update message from the DA.
+    pub fn apply(&mut self, msg: &UpdateMsg) {
+        self.stats.updates += 1;
+        let rid = msg.record.rid;
+        let payload_len = self.tree.config().payload_len;
+        match msg.kind {
+            UpdateKind::Insert => {
+                let appended = self.heap.append(&msg.record.to_bytes(&self.schema));
+                debug_assert_eq!(appended, rid);
+                self.sigs.push(msg.signature.clone());
+                self.attr_sigs.push(msg.attr_sigs.clone());
+                self.tree.insert(
+                    msg.record.key(&self.schema),
+                    rid,
+                    msg.signature.to_bytes_padded(payload_len),
+                );
+            }
+            UpdateKind::Modify | UpdateKind::Recertify => {
+                self.heap.update(rid, &msg.record.to_bytes(&self.schema));
+                self.sigs[rid as usize] = msg.signature.clone();
+                if !msg.attr_sigs.is_empty() {
+                    self.attr_sigs[rid as usize] = msg.attr_sigs.clone();
+                }
+                let new_key = msg.record.key(&self.schema);
+                if let Some(old_key) = msg.old_key {
+                    self.tree.delete(old_key, rid);
+                    self.tree
+                        .insert(new_key, rid, msg.signature.to_bytes_padded(payload_len));
+                } else {
+                    self.tree
+                        .update_payload(new_key, rid, msg.signature.to_bytes_padded(payload_len));
+                }
+            }
+            UpdateKind::Delete => {
+                let key = msg.record.key(&self.schema);
+                self.tree.delete(key, rid);
+                self.heap.delete(rid);
+            }
+        }
+    }
+
+    /// Store a newly published certified summary.
+    pub fn add_summary(&mut self, s: UpdateSummary) {
+        self.summaries.push(s);
+    }
+
+    fn read_record(&self, rid: u64) -> Record {
+        let bytes = self.heap.read(rid).expect("indexed record exists");
+        Record::from_bytes(&self.schema, &bytes)
+    }
+
+    /// Summaries published at or after `since`.
+    fn summaries_since(&self, since: Tick) -> Vec<UpdateSummary> {
+        self.summaries
+            .iter()
+            .filter(|s| s.ts >= since)
+            .cloned()
+            .collect()
+    }
+
+    /// Answer a range selection `lo <= Aind <= hi` (Section 3.3).
+    ///
+    /// # Panics
+    /// Panics if the server is in [`SigningMode::PerAttribute`] (chained
+    /// completeness proofs require chained signatures).
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> SelectionAnswer {
+        assert_eq!(
+            self.mode,
+            SigningMode::Chained,
+            "range selection requires chained signatures"
+        );
+        self.stats.queries += 1;
+        let scan = self.tree.range(lo, hi);
+        let left_key = scan.left_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_NEG_INF);
+        let right_key = scan
+            .right_boundary
+            .as_ref()
+            .map(|e| e.key)
+            .unwrap_or(KEY_POS_INF);
+
+        if scan.matches.is_empty() {
+            // Empty answer: ship the bracketing record's chain.
+            let bracket = scan.left_boundary.as_ref().or(scan.right_boundary.as_ref());
+            let gap = bracket.map(|e| {
+                let rec = self.read_record(e.rid);
+                let (l, r) = self.neighbor_keys_of(e.key, e.rid);
+                GapProof {
+                    tuple_hash: rec.tuple_hash(),
+                    own_key: e.key,
+                    left_key: l,
+                    right_key: r,
+                    signature: self.sigs[e.rid as usize].clone(),
+                }
+            });
+            return SelectionAnswer {
+                records: Vec::new(),
+                agg: self.pp.identity(),
+                left_key,
+                right_key,
+                gap,
+                summaries: self.summaries.clone(),
+            };
+        }
+
+        let records: Vec<Record> = scan.matches.iter().map(|e| self.read_record(e.rid)).collect();
+        let mut agg = self.pp.identity();
+        for e in &scan.matches {
+            agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
+            self.stats.agg_ops += 1;
+        }
+        let oldest = records.iter().map(|r| r.ts).min().unwrap_or(0);
+        SelectionAnswer {
+            records,
+            agg,
+            left_key,
+            right_key,
+            gap: None,
+            summaries: self.summaries_since(oldest),
+        }
+    }
+
+    /// Neighbour keys of an index position (sentinels at the extremes).
+    fn neighbor_keys_of(&self, key: i64, rid: u64) -> (i64, i64) {
+        let scan = self.tree.range(key, key);
+        let pos = scan
+            .matches
+            .iter()
+            .position(|e| e.rid == rid)
+            .expect("entry present");
+        let left = if pos > 0 {
+            scan.matches[pos - 1].key
+        } else {
+            scan.left_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_NEG_INF)
+        };
+        let right = if pos + 1 < scan.matches.len() {
+            scan.matches[pos + 1].key
+        } else {
+            scan.right_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_POS_INF)
+        };
+        (left, right)
+    }
+
+    /// Answer a projection `π_{attrs}(σ_{lo..hi}(R))` (Section 3.4): rows
+    /// carry only the projected attributes; the VO is a single aggregate of
+    /// the corresponding attribute signatures.
+    ///
+    /// # Panics
+    /// Panics unless the server runs in [`SigningMode::PerAttribute`].
+    pub fn project(&mut self, lo: i64, hi: i64, attrs: &[usize]) -> ProjectionAnswer {
+        assert_eq!(
+            self.mode,
+            SigningMode::PerAttribute,
+            "projection requires per-attribute signatures"
+        );
+        self.stats.queries += 1;
+        let scan = self.tree.range(lo, hi);
+        let mut rows = Vec::with_capacity(scan.matches.len());
+        let mut agg = self.pp.identity();
+        for e in &scan.matches {
+            let rec = self.read_record(e.rid);
+            let values: Vec<(usize, i64)> = attrs.iter().map(|&i| (i, rec.attrs[i])).collect();
+            for &i in attrs {
+                agg = self.pp.aggregate(&agg, &self.attr_sigs[e.rid as usize][i]);
+                self.stats.agg_ops += 1;
+            }
+            rows.push(ProjectedRow {
+                rid: rec.rid,
+                ts: rec.ts,
+                values,
+            });
+        }
+        ProjectionAnswer { rows, agg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::da::{DaConfig, DataAggregator};
+    use authdb_crypto::signer::SchemeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(mode: SigningMode) -> DaConfig {
+        DaConfig {
+            schema: Schema::new(2, 64),
+            scheme: SchemeKind::Mock,
+            mode,
+            rho: 10,
+            rho_prime: 1000,
+            buffer_pages: 256,
+            fill: 2.0 / 3.0,
+        }
+    }
+
+    fn system(n: i64, mode: SigningMode) -> (DataAggregator, QueryServer) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut da = DataAggregator::new(cfg(mode), &mut rng);
+        let boot = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
+        let qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            mode,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        (da, qs)
+    }
+
+    #[test]
+    fn selection_answer_contains_expected_records() {
+        let (_, mut qs) = system(100, SigningMode::Chained);
+        let ans = qs.select_range(200, 300);
+        let keys: Vec<i64> = ans.records.iter().map(|r| r.attrs[0]).collect();
+        assert_eq!(keys, (20..=30).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(ans.left_key, 190);
+        assert_eq!(ans.right_key, 310);
+        assert!(ans.gap.is_none());
+    }
+
+    #[test]
+    fn vo_size_independent_of_selectivity() {
+        let (_, mut qs) = system(1000, SigningMode::Chained);
+        let pp = qs.public_params().clone();
+        let small = qs.select_range(0, 90);
+        let large = qs.select_range(0, 9000);
+        assert!(large.records.len() > 10 * small.records.len());
+        assert_eq!(small.vo_size(&pp), large.vo_size(&pp));
+    }
+
+    #[test]
+    fn empty_answer_has_gap_proof() {
+        let (_, mut qs) = system(100, SigningMode::Chained);
+        let ans = qs.select_range(201, 209); // keys are multiples of 10
+        assert!(ans.records.is_empty());
+        let gap = ans.gap.expect("gap proof");
+        assert_eq!(gap.own_key, 200);
+        assert_eq!(gap.right_key, 210);
+    }
+
+    #[test]
+    fn updates_flow_to_answers() {
+        let (mut da, mut qs) = system(50, SigningMode::Chained);
+        da.advance_clock(5);
+        for m in da.update_record(25, vec![250, 4242]) {
+            qs.apply(&m);
+        }
+        let ans = qs.select_range(250, 250);
+        assert_eq!(ans.records.len(), 1);
+        assert_eq!(ans.records[0].attrs[1], 4242);
+        assert_eq!(ans.records[0].ts, 5);
+    }
+
+    #[test]
+    fn inserts_and_deletes_flow() {
+        let (mut da, mut qs) = system(50, SigningMode::Chained);
+        da.advance_clock(1);
+        for m in da.insert(vec![255, 1]) {
+            qs.apply(&m);
+        }
+        let ans = qs.select_range(255, 255);
+        assert_eq!(ans.records.len(), 1);
+        for m in da.delete_record(ans.records[0].rid) {
+            qs.apply(&m);
+        }
+        let ans = qs.select_range(255, 255);
+        assert!(ans.records.is_empty());
+    }
+
+    #[test]
+    fn summaries_attached_since_oldest_record() {
+        let (mut da, mut qs) = system(20, SigningMode::Chained);
+        da.advance_clock(15);
+        let (s, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s);
+        da.advance_clock(3);
+        for m in da.update_record(5, vec![50, 9]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        let ans = qs.select_range(0, 1000);
+        // Oldest record ts = 0, so both summaries attach.
+        assert_eq!(ans.summaries.len(), 2);
+    }
+
+    #[test]
+    fn projection_carries_one_signature() {
+        let (_, mut qs) = system(30, SigningMode::PerAttribute);
+        let pp = qs.public_params().clone();
+        let ans = qs.project(0, 100, &[1]);
+        assert_eq!(ans.rows.len(), 11);
+        assert!(ans.rows.iter().all(|r| r.values.len() == 1));
+        assert_eq!(ans.vo_size(&pp), pp.wire_len());
+    }
+
+    #[test]
+    fn key_change_moves_record_in_index() {
+        let (mut da, mut qs) = system(50, SigningMode::Chained);
+        da.advance_clock(1);
+        for m in da.update_record(10, vec![455, 10]) {
+            qs.apply(&m);
+        }
+        assert!(qs.select_range(100, 100).records.is_empty());
+        let ans = qs.select_range(455, 455);
+        assert_eq!(ans.records.len(), 1);
+        assert_eq!(ans.records[0].rid, 10);
+    }
+}

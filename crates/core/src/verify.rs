@@ -1,0 +1,445 @@
+//! Client-side verification of query answers.
+//!
+//! The user checks the three correctness properties of Section 1:
+//!
+//! * **authenticity** — every returned value matches the DA's aggregate
+//!   signature;
+//! * **completeness** — the chained messages bind each record to its
+//!   neighbours, and the boundary keys bracket the queried range, so no
+//!   qualifying record can be omitted without breaking the aggregate;
+//! * **freshness** — each record passes the bitmap-summary check of
+//!   Section 3.1 (after the summaries' own signatures are verified).
+
+use authdb_crypto::signer::PublicParams;
+
+use crate::freshness::{check_freshness, Freshness};
+use crate::qs::{ProjectionAnswer, SelectionAnswer};
+use crate::record::{chain_message_from_parts, Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+
+/// Why verification failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The aggregate signature does not match the returned records.
+    BadAggregate,
+    /// A returned record's key falls outside the queried range.
+    RecordOutOfRange {
+        /// The offending rid.
+        rid: u64,
+    },
+    /// Returned records are not sorted on the indexed attribute.
+    Unsorted,
+    /// The boundary keys do not bracket the queried range.
+    BadBoundary,
+    /// An empty answer came without a bracketing gap proof.
+    MissingGapProof,
+    /// The gap proof does not actually bracket the queried range.
+    BadGapProof,
+    /// A summary's own signature failed.
+    BadSummarySignature {
+        /// Sequence number of the failing summary.
+        seq: u64,
+    },
+    /// A record is provably stale.
+    Stale {
+        /// The stale record.
+        rid: u64,
+        /// The summary that exposed it.
+        exposed_by: u64,
+    },
+    /// Not enough summaries to decide freshness.
+    FreshnessIndeterminate {
+        /// The undecidable record.
+        rid: u64,
+    },
+}
+
+/// A successful verification's freshness outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Upper bound on any record's staleness, in ticks (< ρ normally,
+    /// < 2ρ for records re-certified under the multiple-update rule).
+    pub max_staleness: Tick,
+    /// Number of records checked.
+    pub records: usize,
+}
+
+/// The client-side verifier.
+#[derive(Clone)]
+pub struct Verifier {
+    pp: PublicParams,
+    schema: Schema,
+    rho: Tick,
+}
+
+impl Verifier {
+    /// Create a verifier from the DA's public parameters.
+    pub fn new(pp: PublicParams, schema: Schema, rho: Tick) -> Self {
+        Verifier { pp, schema, rho }
+    }
+
+    /// The verification parameters.
+    pub fn public_params(&self) -> &PublicParams {
+        &self.pp
+    }
+
+    /// Verify a range-selection answer for the query `lo <= Aind <= hi` at
+    /// local time `now`. `check_fresh` disabled skips the summary phase
+    /// (used by experiments isolating authenticity costs).
+    pub fn verify_selection(
+        &self,
+        lo: i64,
+        hi: i64,
+        ans: &SelectionAnswer,
+        now: Tick,
+        check_fresh: bool,
+    ) -> Result<VerifyReport, VerifyError> {
+        // Boundary keys must bracket the range.
+        if !(ans.left_key < lo || ans.left_key == KEY_NEG_INF) {
+            return Err(VerifyError::BadBoundary);
+        }
+        if !(ans.right_key > hi || ans.right_key == KEY_POS_INF) {
+            return Err(VerifyError::BadBoundary);
+        }
+
+        if ans.records.is_empty() {
+            let Some(gap) = &ans.gap else {
+                return Err(VerifyError::MissingGapProof);
+            };
+            // The bracketing record sits on one side of the range; the gap
+            // it certifies must contain [lo, hi].
+            let (gap_lo, gap_hi) = if gap.own_key < lo {
+                (gap.own_key, gap.right_key)
+            } else if gap.own_key > hi {
+                (gap.left_key, gap.own_key)
+            } else {
+                return Err(VerifyError::BadGapProof);
+            };
+            if !(gap_lo < lo && gap_hi > hi) {
+                return Err(VerifyError::BadGapProof);
+            }
+            let msg =
+                chain_message_from_parts(&gap.tuple_hash, gap.own_key, gap.left_key, gap.right_key);
+            if !self.pp.verify(&msg, &gap.signature) {
+                return Err(VerifyError::BadAggregate);
+            }
+            return Ok(VerifyReport {
+                max_staleness: 0,
+                records: 0,
+            });
+        }
+
+        // Records must be in range and sorted.
+        let keys: Vec<i64> = ans.records.iter().map(|r| r.key(&self.schema)).collect();
+        for (r, &k) in ans.records.iter().zip(&keys) {
+            if k < lo || k > hi {
+                return Err(VerifyError::RecordOutOfRange { rid: r.rid });
+            }
+        }
+        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(VerifyError::Unsorted);
+        }
+
+        // Reconstruct every chained message; the neighbour of the first/last
+        // record is the boundary key.
+        let mut messages = Vec::with_capacity(ans.records.len());
+        for (i, r) in ans.records.iter().enumerate() {
+            let left = if i == 0 { ans.left_key } else { keys[i - 1] };
+            let right = if i + 1 == ans.records.len() {
+                ans.right_key
+            } else {
+                keys[i + 1]
+            };
+            messages.push(r.chain_message(&self.schema, left, right));
+        }
+        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+        if !self.pp.verify_aggregate(&refs, &ans.agg) {
+            return Err(VerifyError::BadAggregate);
+        }
+
+        // Freshness.
+        let mut max_staleness = 0;
+        if check_fresh {
+            for s in &ans.summaries {
+                if !s.verify(&self.pp) {
+                    return Err(VerifyError::BadSummarySignature { seq: s.seq });
+                }
+            }
+            for r in &ans.records {
+                match check_freshness(r.rid, r.ts, &ans.summaries, self.rho, now) {
+                    Freshness::FreshWithin(b) => max_staleness = max_staleness.max(b),
+                    Freshness::Stale { exposed_by } => {
+                        return Err(VerifyError::Stale {
+                            rid: r.rid,
+                            exposed_by,
+                        })
+                    }
+                    Freshness::Indeterminate => {
+                        return Err(VerifyError::FreshnessIndeterminate { rid: r.rid })
+                    }
+                }
+            }
+        }
+        Ok(VerifyReport {
+            max_staleness,
+            records: ans.records.len(),
+        })
+    }
+
+    /// Verify a projection answer (Section 3.4): every `(rid, attr, value,
+    /// ts)` quadruple must match the single aggregate, which also pins each
+    /// value to its record and attribute position.
+    pub fn verify_projection(&self, ans: &ProjectionAnswer) -> Result<VerifyReport, VerifyError> {
+        let mut messages = Vec::new();
+        for row in &ans.rows {
+            for &(idx, value) in &row.values {
+                // Rebuild the attribute message without the full record.
+                let probe = Record {
+                    rid: row.rid,
+                    attrs: {
+                        let mut a = vec![0i64; idx + 1];
+                        a[idx] = value;
+                        a
+                    },
+                    ts: row.ts,
+                };
+                messages.push(probe.attribute_message(idx));
+            }
+        }
+        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+        if !self.pp.verify_aggregate(&refs, &ans.agg) {
+            return Err(VerifyError::BadAggregate);
+        }
+        Ok(VerifyReport {
+            max_staleness: 0,
+            records: ans.rows.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::da::{DaConfig, DataAggregator, SigningMode};
+    use crate::qs::QueryServer;
+    use authdb_crypto::signer::SchemeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(mode: SigningMode) -> DaConfig {
+        DaConfig {
+            schema: Schema::new(2, 64),
+            scheme: SchemeKind::Mock,
+            mode,
+            rho: 10,
+            rho_prime: 1000,
+            buffer_pages: 256,
+            fill: 2.0 / 3.0,
+        }
+    }
+
+    fn system(
+        n: i64,
+        mode: SigningMode,
+    ) -> (DataAggregator, QueryServer, Verifier) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut da = DataAggregator::new(cfg(mode), &mut rng);
+        let boot = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
+        let qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            mode,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+        (da, qs, v)
+    }
+
+    #[test]
+    fn honest_selection_verifies() {
+        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let ans = qs.select_range(500, 700);
+        let rep = v.verify_selection(500, 700, &ans, 0, true).expect("valid");
+        assert_eq!(rep.records, 21);
+    }
+
+    #[test]
+    fn tampered_value_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let mut ans = qs.select_range(100, 300);
+        ans.records[2].attrs[1] = 666;
+        assert_eq!(
+            v.verify_selection(100, 300, &ans, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+    }
+
+    #[test]
+    fn dropped_record_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let mut ans = qs.select_range(100, 300);
+        ans.records.remove(3); // break the chain
+        assert_eq!(
+            v.verify_selection(100, 300, &ans, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+    }
+
+    #[test]
+    fn truncated_tail_with_forged_boundary_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let mut ans = qs.select_range(100, 300);
+        // Server drops the tail and moves the right boundary inward.
+        ans.records.truncate(5);
+        ans.right_key = 150;
+        let r = v.verify_selection(100, 300, &ans, 0, true);
+        assert!(matches!(
+            r,
+            Err(VerifyError::BadBoundary) | Err(VerifyError::BadAggregate)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_record_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let extra = qs.select_range(400, 400).records[0].clone();
+        let mut ans = qs.select_range(100, 300);
+        ans.records.push(extra.clone());
+        assert_eq!(
+            v.verify_selection(100, 300, &ans, 0, true),
+            Err(VerifyError::RecordOutOfRange { rid: extra.rid })
+        );
+    }
+
+    #[test]
+    fn empty_answer_gap_proof_verifies() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let ans = qs.select_range(101, 109);
+        let rep = v.verify_selection(101, 109, &ans, 0, true).expect("valid");
+        assert_eq!(rep.records, 0);
+    }
+
+    #[test]
+    fn forged_gap_proof_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let mut ans = qs.select_range(101, 109);
+        // Claim a wider gap than certified.
+        if let Some(g) = &mut ans.gap {
+            g.right_key = 10_000;
+        }
+        assert_eq!(
+            v.verify_selection(101, 109, &ans, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+    }
+
+    #[test]
+    fn gap_proof_not_bracketing_rejected() {
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let ans = qs.select_range(101, 109);
+        // Replay the same (valid) proof against a different range it does
+        // not bracket: rejected via the boundary check or the gap check.
+        assert!(matches!(
+            v.verify_selection(301, 309, &ans, 0, true),
+            Err(VerifyError::BadBoundary) | Err(VerifyError::BadGapProof)
+        ));
+    }
+
+    #[test]
+    fn stale_record_detected_via_summaries() {
+        let (mut da, mut qs, v) = system(50, SigningMode::Chained);
+        // Capture the answer before an update...
+        let stale_ans = qs.select_range(200, 260);
+        // ...then update record key=230 and publish the summary trail.
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1.clone());
+        da.advance_clock(2);
+        for m in da.update_record(23, vec![230, 777]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2.clone());
+        // A malicious server replays the stale answer but must attach the
+        // published summaries (the client fetches them independently).
+        let mut replay = stale_ans.clone();
+        replay.summaries = vec![s1, s2];
+        let r = v.verify_selection(200, 260, &replay, 25, true);
+        assert_eq!(
+            r,
+            Err(VerifyError::Stale {
+                rid: 23,
+                exposed_by: 1
+            })
+        );
+        // The honest fresh answer passes.
+        let fresh = qs.select_range(200, 260);
+        assert!(v.verify_selection(200, 260, &fresh, 25, true).is_ok());
+    }
+
+    #[test]
+    fn tampered_summary_rejected() {
+        let (mut da, mut qs, v) = system(20, SigningMode::Chained);
+        da.advance_clock(12);
+        let (mut s, _) = da.maybe_publish_summary().unwrap();
+        s.ts += 1; // tamper
+        qs.add_summary(s);
+        let ans = qs.select_range(0, 50);
+        assert!(matches!(
+            v.verify_selection(0, 50, &ans, 13, true),
+            Err(VerifyError::BadSummarySignature { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_verifies_and_rejects_swap() {
+        let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
+        let ans = qs.project(0, 200, &[0, 1]);
+        assert!(v.verify_projection(&ans).is_ok());
+        // Swapping two values between records must fail (messages bind rid
+        // and attribute position).
+        let mut bad = ans.clone();
+        let tmp = bad.rows[0].values[1];
+        bad.rows[0].values[1] = bad.rows[1].values[1];
+        bad.rows[1].values[1] = tmp;
+        assert_eq!(v.verify_projection(&bad), Err(VerifyError::BadAggregate));
+    }
+
+    #[test]
+    fn projection_rejects_forged_value() {
+        let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
+        let mut ans = qs.project(0, 200, &[1]);
+        ans.rows[3].values[0].1 += 1;
+        assert_eq!(v.verify_projection(&ans), Err(VerifyError::BadAggregate));
+    }
+
+    #[test]
+    fn end_to_end_with_bas_scheme() {
+        // Full cryptographic path once (slow): BAS signatures.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut c = cfg(SigningMode::Chained);
+        c.scheme = SchemeKind::Bas;
+        let mut da = DataAggregator::new(c, &mut rng);
+        let boot = da.bootstrap((0..30).map(|i| vec![i * 10, i]).collect(), 4);
+        let mut qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::Chained,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+        let ans = qs.select_range(50, 120);
+        let rep = v.verify_selection(50, 120, &ans, 0, true).expect("valid");
+        assert_eq!(rep.records, 8);
+        let mut bad = ans.clone();
+        bad.records[0].attrs[1] = 9;
+        assert_eq!(
+            v.verify_selection(50, 120, &bad, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+    }
+}

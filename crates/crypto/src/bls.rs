@@ -1,0 +1,185 @@
+//! BLS signatures over BN254 with aggregation — the paper's **Bilinear
+//! Aggregate Signature (BAS)** scheme [Boneh-Lynn-Shacham / Boneh-Gentry-
+//! Lynn-Shacham].
+//!
+//! * secret key `x ∈ Fr`, public key `X = x·g2 ∈ G2`
+//! * `sign(m) = x·H(m) ∈ G1` with `H` hashing to the curve
+//! * `verify(m, σ): e(σ, g2) == e(H(m), X)`
+//! * aggregation is G1 addition — *any set of message-signature pairs can be
+//!   combined in arbitrary order into a single signature* (Section 2.1), and
+//!   components can also be **subtracted** ("adding the inverse", which
+//!   Section 4.3's eager cache refresh relies on).
+//! * `verify_aggregate([m_i], σ): e(σ, g2) == e(Σ H(m_i), X)` — sound for a
+//!   single signer, which is exactly the paper's data-aggregator setting.
+
+use crate::bn254::{pairing, Fr, G1, G2};
+
+/// BLS private key.
+#[derive(Clone)]
+pub struct BlsPrivateKey {
+    sk: Fr,
+    pk: BlsPublicKey,
+}
+
+/// BLS public key (a G2 point).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlsPublicKey {
+    point: G2,
+}
+
+/// A BLS signature or aggregate thereof (a G1 point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlsSignature(pub G1);
+
+impl BlsPrivateKey {
+    /// Generate a fresh key pair.
+    pub fn generate(rng: &mut impl rand::Rng) -> Self {
+        let sk = loop {
+            let k = Fr::random(rng);
+            if !k.is_zero() {
+                break k;
+            }
+        };
+        let pk = BlsPublicKey {
+            point: G2::generator().mul_fr(&sk),
+        };
+        BlsPrivateKey { sk, pk }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> &BlsPublicKey {
+        &self.pk
+    }
+
+    /// Sign a message: `x·H(m)`.
+    pub fn sign(&self, msg: &[u8]) -> BlsSignature {
+        BlsSignature(G1::hash_to_curve(msg).mul_fr(&self.sk))
+    }
+}
+
+impl BlsPublicKey {
+    /// Verify an individual signature.
+    pub fn verify(&self, msg: &[u8], sig: &BlsSignature) -> bool {
+        pairing(&sig.0, &G2::generator()) == pairing(&G1::hash_to_curve(msg), &self.point)
+    }
+
+    /// Verify an aggregate signature over `msgs` (single-signer condensed
+    /// verification: one hash-sum and two pairings regardless of batch size).
+    pub fn verify_aggregate(&self, msgs: &[&[u8]], agg: &BlsSignature) -> bool {
+        let mut hash_sum = G1::infinity();
+        for m in msgs {
+            hash_sum = hash_sum.add(&G1::hash_to_curve(m));
+        }
+        if hash_sum.is_infinity() {
+            // Empty batch: only the identity aggregate verifies.
+            return agg.0.is_infinity();
+        }
+        pairing(&agg.0, &G2::generator()) == pairing(&hash_sum, &self.point)
+    }
+}
+
+impl BlsSignature {
+    /// The aggregate identity element.
+    pub fn identity() -> Self {
+        BlsSignature(G1::infinity())
+    }
+
+    /// Combine with another signature (order-insensitive).
+    pub fn aggregate(&self, other: &Self) -> Self {
+        BlsSignature(self.0.add(&other.0))
+    }
+
+    /// Remove a previously aggregated component.
+    pub fn subtract(&self, other: &Self) -> Self {
+        BlsSignature(self.0.sub(&other.0))
+    }
+}
+
+/// Aggregate a batch of signatures.
+pub fn aggregate(sigs: &[BlsSignature]) -> BlsSignature {
+    sigs.iter()
+        .fold(BlsSignature::identity(), |acc, s| acc.aggregate(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> BlsPrivateKey {
+        let mut rng = StdRng::seed_from_u64(101);
+        BlsPrivateKey::generate(&mut rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let sk = key();
+        let sig = sk.sign(b"quote: AAPL 182.52");
+        assert!(sk.public_key().verify(b"quote: AAPL 182.52", &sig));
+        assert!(!sk.public_key().verify(b"quote: AAPL 182.53", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let sk1 = key();
+        let mut rng = StdRng::seed_from_u64(202);
+        let sk2 = BlsPrivateKey::generate(&mut rng);
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn aggregate_verifies() {
+        let sk = key();
+        let msgs: Vec<Vec<u8>> = (0..5u32).map(|i| format!("tuple {i}").into_bytes()).collect();
+        let sigs: Vec<BlsSignature> = msgs.iter().map(|m| sk.sign(m)).collect();
+        let agg = aggregate(&sigs);
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        assert!(sk.public_key().verify_aggregate(&refs, &agg));
+    }
+
+    #[test]
+    fn aggregate_rejects_tampering() {
+        let sk = key();
+        let msgs = [&b"a"[..], b"b", b"c"];
+        let sigs: Vec<BlsSignature> = msgs.iter().map(|m| sk.sign(m)).collect();
+        let agg = aggregate(&sigs);
+        assert!(!sk.public_key().verify_aggregate(&[&b"a"[..], b"b", b"x"], &agg));
+        assert!(!sk.public_key().verify_aggregate(&[&b"a"[..], b"b"], &agg));
+    }
+
+    #[test]
+    fn aggregate_order_insensitive() {
+        let sk = key();
+        let m1 = b"first".as_slice();
+        let m2 = b"second".as_slice();
+        let s1 = sk.sign(m1);
+        let s2 = sk.sign(m2);
+        assert_eq!(s1.aggregate(&s2), s2.aggregate(&s1));
+        assert!(sk.public_key().verify_aggregate(&[m2, m1], &s1.aggregate(&s2)));
+    }
+
+    #[test]
+    fn subtract_inverts_aggregate() {
+        let sk = key();
+        let s1 = sk.sign(b"one");
+        let s2 = sk.sign(b"two");
+        let agg = s1.aggregate(&s2);
+        assert_eq!(agg.subtract(&s2), s1);
+        // Eager cache refresh pattern: swap an old component for a new one.
+        let s2new = sk.sign(b"two v2");
+        let refreshed = agg.subtract(&s2).aggregate(&s2new);
+        assert!(sk
+            .public_key()
+            .verify_aggregate(&[&b"one"[..], b"two v2"], &refreshed));
+    }
+
+    #[test]
+    fn empty_aggregate_is_identity_only() {
+        let sk = key();
+        assert!(sk.public_key().verify_aggregate(&[], &BlsSignature::identity()));
+        let nonidentity = sk.sign(b"x");
+        assert!(!sk.public_key().verify_aggregate(&[], &nonidentity));
+    }
+}

@@ -1,0 +1,281 @@
+//! Generic short-Weierstrass curve arithmetic (`y² = x³ + b`, a = 0) in
+//! Jacobian coordinates, shared by G1 (over Fp) and G2 (over Fp2).
+
+use std::fmt;
+
+/// Minimal field-element interface the curve formulas need.
+pub trait Felt: Copy + Clone + PartialEq + Eq + fmt::Debug {
+    /// Additive identity.
+    fn f_zero() -> Self;
+    /// Multiplicative identity.
+    fn f_one() -> Self;
+    /// True iff zero.
+    fn f_is_zero(&self) -> bool;
+    /// Addition.
+    fn f_add(&self, o: &Self) -> Self;
+    /// Subtraction.
+    fn f_sub(&self, o: &Self) -> Self;
+    /// Negation.
+    fn f_neg(&self) -> Self;
+    /// Multiplication.
+    fn f_mul(&self, o: &Self) -> Self;
+    /// Squaring.
+    fn f_square(&self) -> Self;
+    /// Doubling.
+    fn f_double(&self) -> Self;
+    /// Inversion (`None` for zero).
+    fn f_invert(&self) -> Option<Self>;
+}
+
+macro_rules! impl_felt {
+    ($t:ty) => {
+        impl Felt for $t {
+            fn f_zero() -> Self {
+                <$t>::zero()
+            }
+            fn f_one() -> Self {
+                <$t>::one()
+            }
+            fn f_is_zero(&self) -> bool {
+                self.is_zero()
+            }
+            fn f_add(&self, o: &Self) -> Self {
+                self.add(o)
+            }
+            fn f_sub(&self, o: &Self) -> Self {
+                self.sub(o)
+            }
+            fn f_neg(&self) -> Self {
+                self.neg()
+            }
+            fn f_mul(&self, o: &Self) -> Self {
+                self.mul(o)
+            }
+            fn f_square(&self) -> Self {
+                self.square()
+            }
+            fn f_double(&self) -> Self {
+                self.double()
+            }
+            fn f_invert(&self) -> Option<Self> {
+                self.invert()
+            }
+        }
+    };
+}
+
+impl_felt!(super::fp::Fp);
+impl_felt!(super::fp2::Fp2);
+
+/// Curve specification: the base field and the constant `b`.
+pub trait CurveSpec: 'static + Copy + Clone + PartialEq + Eq + fmt::Debug {
+    /// Base field of the curve.
+    type F: Felt;
+    /// The curve constant `b` in `y² = x³ + b`.
+    fn b() -> Self::F;
+    /// Human-readable group name.
+    const NAME: &'static str;
+}
+
+/// A point in Jacobian projective coordinates `(X : Y : Z)`, affine
+/// `(X/Z², Y/Z³)`; `Z = 0` encodes the point at infinity.
+#[derive(Copy, Clone, Debug)]
+pub struct Point<C: CurveSpec> {
+    pub x: C::F,
+    pub y: C::F,
+    pub z: C::F,
+}
+
+/// An affine point or infinity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Affine<C: CurveSpec> {
+    /// The identity element.
+    Infinity,
+    /// A finite point `(x, y)`.
+    Coords(C::F, C::F),
+}
+
+impl<C: CurveSpec> Point<C> {
+    /// The identity element.
+    pub fn infinity() -> Self {
+        Point {
+            x: C::F::f_one(),
+            y: C::F::f_one(),
+            z: C::F::f_zero(),
+        }
+    }
+
+    /// Construct from affine coordinates (unchecked; see
+    /// [`Affine::is_on_curve`]).
+    pub fn from_affine_coords(x: C::F, y: C::F) -> Self {
+        Point {
+            x,
+            y,
+            z: C::F::f_one(),
+        }
+    }
+
+    /// Lift an [`Affine`] point.
+    pub fn from_affine(a: &Affine<C>) -> Self {
+        match a {
+            Affine::Infinity => Self::infinity(),
+            Affine::Coords(x, y) => Self::from_affine_coords(*x, *y),
+        }
+    }
+
+    /// True iff this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.f_is_zero()
+    }
+
+    /// Point doubling (a = 0 Jacobian formulas).
+    pub fn double(&self) -> Self {
+        if self.is_infinity() || self.y.f_is_zero() {
+            return Self::infinity();
+        }
+        let a = self.x.f_square();
+        let b = self.y.f_square();
+        let c = b.f_square();
+        let d = self
+            .x
+            .f_add(&b)
+            .f_square()
+            .f_sub(&a)
+            .f_sub(&c)
+            .f_double();
+        let e = a.f_double().f_add(&a);
+        let f = e.f_square();
+        let x3 = f.f_sub(&d.f_double());
+        let c8 = c.f_double().f_double().f_double();
+        let y3 = e.f_mul(&d.f_sub(&x3)).f_sub(&c8);
+        let z3 = self.y.f_mul(&self.z).f_double();
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.f_square();
+        let z2z2 = other.z.f_square();
+        let u1 = self.x.f_mul(&z2z2);
+        let u2 = other.x.f_mul(&z1z1);
+        let s1 = self.y.f_mul(&other.z).f_mul(&z2z2);
+        let s2 = other.y.f_mul(&self.z).f_mul(&z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::infinity();
+        }
+        let h = u2.f_sub(&u1);
+        let i = h.f_double().f_square();
+        let j = h.f_mul(&i);
+        let r = s2.f_sub(&s1).f_double();
+        let v = u1.f_mul(&i);
+        let x3 = r.f_square().f_sub(&j).f_sub(&v.f_double());
+        let y3 = r
+            .f_mul(&v.f_sub(&x3))
+            .f_sub(&s1.f_mul(&j).f_double());
+        let z3 = self
+            .z
+            .f_add(&other.z)
+            .f_square()
+            .f_sub(&z1z1)
+            .f_sub(&z2z2)
+            .f_mul(&h);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Point {
+            x: self.x,
+            y: self.y.f_neg(),
+            z: self.z,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication by a little-endian limb scalar
+    /// (double-and-add, MSB first).
+    pub fn mul_scalar(&self, k: &[u64]) -> Self {
+        let mut acc = Self::infinity();
+        let mut started = false;
+        for i in (0..k.len() * 64).rev() {
+            if started {
+                acc = acc.double();
+            }
+            if (k[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(self);
+                started = true;
+            }
+        }
+        acc
+    }
+
+    /// Convert to affine coordinates.
+    pub fn to_affine(&self) -> Affine<C> {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let z_inv = self.z.f_invert().expect("nonzero z");
+        let z_inv2 = z_inv.f_square();
+        let z_inv3 = z_inv2.f_mul(&z_inv);
+        Affine::Coords(self.x.f_mul(&z_inv2), self.y.f_mul(&z_inv3))
+    }
+}
+
+impl<C: CurveSpec> PartialEq for Point<C> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => return true,
+            (true, false) | (false, true) => return false,
+            _ => {}
+        }
+        // Cross-multiplied comparison avoids inversions.
+        let z1z1 = self.z.f_square();
+        let z2z2 = other.z.f_square();
+        if self.x.f_mul(&z2z2) != other.x.f_mul(&z1z1) {
+            return false;
+        }
+        let z1c = z1z1.f_mul(&self.z);
+        let z2c = z2z2.f_mul(&other.z);
+        self.y.f_mul(&z2c) == other.y.f_mul(&z1c)
+    }
+}
+
+impl<C: CurveSpec> Eq for Point<C> {}
+
+impl<C: CurveSpec> Affine<C> {
+    /// True iff the identity.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Affine::Infinity)
+    }
+
+    /// Check the curve equation `y² = x³ + b`.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Affine::Infinity => true,
+            Affine::Coords(x, y) => {
+                y.f_square() == x.f_square().f_mul(x).f_add(&C::b())
+            }
+        }
+    }
+}

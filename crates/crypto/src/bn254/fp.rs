@@ -1,0 +1,534 @@
+//! 256-bit prime fields with 4×64-limb Montgomery arithmetic.
+//!
+//! Two instantiations: [`Fp`] (the BN254 base field) and [`Fr`] (the scalar
+//! field / group order). Both primes come from the BN parametrization
+//! x = 4965661367192848881:
+//! `p = 36x^4 + 36x^3 + 24x^2 + 6x + 1`, `r = 36x^4 + 36x^3 + 18x^2 + 6x + 1`.
+//! A unit test re-derives every constant from scratch with [`crate::bigint`].
+#![allow(clippy::needless_range_loop)] // fixed 4-limb loops read better indexed
+
+use crate::bigint::BigUint;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Compile-time parameters of a 4-limb prime field.
+pub trait FieldParams: 'static + Copy + Clone + Send + Sync + PartialEq + Eq {
+    /// The prime modulus, little-endian limbs.
+    const MODULUS: [u64; 4];
+    /// `-MODULUS^{-1} mod 2^64`.
+    const INV: u64;
+    /// `2^256 mod MODULUS` (Montgomery form of 1).
+    const R: [u64; 4];
+    /// `2^512 mod MODULUS`.
+    const R2: [u64; 4];
+    /// Short human-readable name for diagnostics.
+    const NAME: &'static str;
+}
+
+/// BN254 base-field parameters (the prime `p`).
+#[derive(Copy, Clone, PartialEq, Eq)]
+pub struct FpParams;
+
+impl FieldParams for FpParams {
+    const MODULUS: [u64; 4] = [
+        0x3c208c16d87cfd47,
+        0x97816a916871ca8d,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ];
+    const INV: u64 = 0x87d20782e4866389;
+    const R: [u64; 4] = [
+        0xd35d438dc58f0d9d,
+        0x0a78eb28f5c70b3d,
+        0x666ea36f7879462c,
+        0x0e0a77c19a07df2f,
+    ];
+    const R2: [u64; 4] = [
+        0xf32cfc5b538afa89,
+        0xb5e71911d44501fb,
+        0x47ab1eff0a417ff6,
+        0x06d89f71cab8351f,
+    ];
+    const NAME: &'static str = "Fp";
+}
+
+/// BN254 scalar-field parameters (the prime `r`, the order of G1/G2/GT).
+#[derive(Copy, Clone, PartialEq, Eq)]
+pub struct FrParams;
+
+impl FieldParams for FrParams {
+    const MODULUS: [u64; 4] = [
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ];
+    const INV: u64 = 0xc2e1f593efffffff;
+    const R: [u64; 4] = [
+        0xac96341c4ffffffb,
+        0x36fc76959f60cd29,
+        0x666ea36f7879462e,
+        0x0e0a77c19a07df2f,
+    ];
+    const R2: [u64; 4] = [
+        0x1bb8e645ae216da7,
+        0x53fe3ab1e35c59e3,
+        0x8c49833d53bb8085,
+        0x0216d0b17f4e44a5,
+    ];
+    const NAME: &'static str = "Fr";
+}
+
+/// An element of a 4-limb prime field, stored in Montgomery form.
+pub struct Field<P: FieldParams>(pub(crate) [u64; 4], PhantomData<P>);
+
+/// The BN254 base field.
+pub type Fp = Field<FpParams>;
+/// The BN254 scalar field.
+pub type Fr = Field<FrParams>;
+
+impl<P: FieldParams> Copy for Field<P> {}
+impl<P: FieldParams> Clone for Field<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: FieldParams> PartialEq for Field<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<P: FieldParams> Eq for Field<P> {}
+
+impl<P: FieldParams> fmt::Debug for Field<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(0x{})", P::NAME, self.to_biguint().to_hex())
+    }
+}
+
+#[inline(always)]
+fn adc(a: u64, b: u64, carry: &mut u64) -> u64 {
+    let t = a as u128 + b as u128 + *carry as u128;
+    *carry = (t >> 64) as u64;
+    t as u64
+}
+
+#[inline(always)]
+fn sbb(a: u64, b: u64, borrow: &mut u64) -> u64 {
+    let t = (a as u128).wrapping_sub(b as u128 + (*borrow >> 63) as u128);
+    *borrow = (t >> 64) as u64;
+    t as u64
+}
+
+#[inline(always)]
+fn mac(a: u64, b: u64, c: u64, carry: &mut u64) -> u64 {
+    let t = a as u128 + b as u128 * c as u128 + *carry as u128;
+    *carry = (t >> 64) as u64;
+    t as u64
+}
+
+impl<P: FieldParams> Field<P> {
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Field([0; 4], PhantomData)
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one() -> Self {
+        Field(P::R, PhantomData)
+    }
+
+    /// True iff this is the additive identity.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Construct from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Field([v, 0, 0, 0], PhantomData).mul(&Field(P::R2, PhantomData))
+    }
+
+    /// Construct from canonical little-endian limbs (must be < modulus).
+    pub fn from_canonical(limbs: [u64; 4]) -> Self {
+        debug_assert!(lt(&limbs, &P::MODULUS), "value not reduced");
+        Field(limbs, PhantomData).mul(&Field(P::R2, PhantomData))
+    }
+
+    /// Construct from a [`BigUint`], reducing modulo the field prime.
+    pub fn from_biguint(v: &BigUint) -> Self {
+        let modulus = BigUint::from_limbs(P::MODULUS.to_vec());
+        let reduced = v.rem(&modulus);
+        let mut limbs = [0u64; 4];
+        for (i, &l) in reduced.limbs().iter().enumerate() {
+            limbs[i] = l;
+        }
+        Self::from_canonical(limbs)
+    }
+
+    /// Construct by reducing 32 big-endian bytes.
+    pub fn from_bytes_be_reduce(bytes: &[u8]) -> Self {
+        Self::from_biguint(&BigUint::from_bytes_be(bytes))
+    }
+
+    /// Canonical (non-Montgomery) little-endian limbs.
+    pub fn to_canonical(&self) -> [u64; 4] {
+        // Montgomery reduction of the raw representation (multiply by 1).
+        let one = [1u64, 0, 0, 0];
+        mont_mul::<P>(&self.0, &one)
+    }
+
+    /// Canonical value as a [`BigUint`].
+    pub fn to_biguint(&self) -> BigUint {
+        BigUint::from_limbs(self.to_canonical().to_vec())
+    }
+
+    /// Canonical value as 32 big-endian bytes.
+    pub fn to_bytes_be(&self) -> [u8; 32] {
+        let c = self.to_canonical();
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&c[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Uniform random field element.
+    pub fn random(rng: &mut impl rand::Rng) -> Self {
+        loop {
+            let mut limbs = [0u64; 4];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            // Mask the top bits to the modulus bit length (254) to cut rejections.
+            limbs[3] &= (1u64 << 62) - 1;
+            if lt(&limbs, &P::MODULUS) {
+                return Self::from_canonical(limbs);
+            }
+        }
+    }
+
+    /// `self + other`.
+    #[inline]
+    pub fn add(&self, other: &Self) -> Self {
+        let mut carry = 0u64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = adc(self.0[i], other.0[i], &mut carry);
+        }
+        reduce_once::<P>(&mut out, carry != 0);
+        Field(out, PhantomData)
+    }
+
+    /// `self * 2`.
+    #[inline]
+    pub fn double(&self) -> Self {
+        self.add(self)
+    }
+
+    /// `self - other`.
+    #[inline]
+    pub fn sub(&self, other: &Self) -> Self {
+        let mut borrow = 0u64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = sbb(self.0[i], other.0[i], &mut borrow);
+        }
+        if borrow != 0 {
+            let mut carry = 0u64;
+            for i in 0..4 {
+                out[i] = adc(out[i], P::MODULUS[i], &mut carry);
+            }
+        }
+        Field(out, PhantomData)
+    }
+
+    /// `-self`.
+    #[inline]
+    pub fn neg(&self) -> Self {
+        if self.is_zero() {
+            *self
+        } else {
+            let mut borrow = 0u64;
+            let mut out = [0u64; 4];
+            for i in 0..4 {
+                out[i] = sbb(P::MODULUS[i], self.0[i], &mut borrow);
+            }
+            Field(out, PhantomData)
+        }
+    }
+
+    /// `self * other` (Montgomery CIOS).
+    #[inline]
+    pub fn mul(&self, other: &Self) -> Self {
+        Field(mont_mul::<P>(&self.0, &other.0), PhantomData)
+    }
+
+    /// `self^2`.
+    #[inline]
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// `self^exp` where `exp` is little-endian limbs (canonical integer).
+    pub fn pow(&self, exp: &[u64]) -> Self {
+        let mut result = Self::one();
+        let mut found_one = false;
+        for i in (0..exp.len() * 64).rev() {
+            if found_one {
+                result = result.square();
+            }
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                found_one = true;
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse; `None` for zero. Uses Fermat: `a^(p-2)`.
+    pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let mut exp = P::MODULUS;
+        // p - 2 (p is odd and > 2, so no borrow beyond limb 0 unless limb0 < 2).
+        let (d, borrow) = exp[0].overflowing_sub(2);
+        exp[0] = d;
+        if borrow {
+            let mut i = 1;
+            loop {
+                let (d, b) = exp[i].overflowing_sub(1);
+                exp[i] = d;
+                if !b {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        Some(self.pow(&exp))
+    }
+
+    /// Square root when the modulus is ≡ 3 (mod 4): `a^((p+1)/4)`.
+    /// Returns `None` if `self` is not a quadratic residue.
+    pub fn sqrt(&self) -> Option<Self> {
+        debug_assert_eq!(P::MODULUS[0] & 3, 3, "sqrt requires p = 3 mod 4");
+        // (p+1)/4: add 1 then shift right 2.
+        let mut e = P::MODULUS;
+        let mut carry = 1u64;
+        for l in &mut e {
+            let (s, c) = l.overflowing_add(carry);
+            *l = s;
+            carry = c as u64;
+        }
+        // shift right by 2
+        for i in 0..4 {
+            let hi = if i + 1 < 4 { e[i + 1] } else { carry };
+            e[i] = (e[i] >> 2) | (hi << 62);
+        }
+        let root = self.pow(&e);
+        if root.square() == *self {
+            Some(root)
+        } else {
+            None
+        }
+    }
+
+    /// True iff the canonical representative is odd (parity for point
+    /// compression / deterministic sign choice).
+    pub fn is_odd(&self) -> bool {
+        self.to_canonical()[0] & 1 == 1
+    }
+}
+
+/// `a < b` on 4-limb little-endian values.
+#[inline]
+fn lt(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+#[inline]
+fn reduce_once<P: FieldParams>(out: &mut [u64; 4], overflow: bool) {
+    if overflow || !lt(out, &P::MODULUS) {
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            out[i] = sbb(out[i], P::MODULUS[i], &mut borrow);
+        }
+    }
+}
+
+/// 4-limb Montgomery multiplication (CIOS).
+#[inline]
+fn mont_mul<P: FieldParams>(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let n = &P::MODULUS;
+    let mut t = [0u64; 6];
+    for i in 0..4 {
+        let mut carry = 0u64;
+        for j in 0..4 {
+            t[j] = mac(t[j], a[i], b[j], &mut carry);
+        }
+        let mut c = 0u64;
+        t[4] = adc(t[4], carry, &mut c);
+        t[5] = c;
+
+        let m = t[0].wrapping_mul(P::INV);
+        let mut carry = 0u64;
+        // (t[0] + m*n[0]) is divisible by 2^64; we only need the carry.
+        mac(t[0], m, n[0], &mut carry);
+        for j in 1..4 {
+            t[j - 1] = mac(t[j], m, n[j], &mut carry);
+        }
+        let mut c = 0u64;
+        t[3] = adc(t[4], carry, &mut c);
+        t[4] = t[5] + c;
+        t[5] = 0;
+    }
+    let mut out = [t[0], t[1], t[2], t[3]];
+    reduce_once::<P>(&mut out, t[4] != 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Re-derive every hard-coded constant from first principles.
+    #[test]
+    fn params_are_self_consistent() {
+        fn check<P: FieldParams>() {
+            let x = BigUint::from_dec("4965661367192848881").unwrap();
+            let x2 = x.mul(&x);
+            let x3 = x2.mul(&x);
+            let x4 = x3.mul(&x);
+            let c36 = BigUint::from_u64(36);
+            let c24 = BigUint::from_u64(24);
+            let c18 = BigUint::from_u64(18);
+            let c6 = BigUint::from_u64(6);
+            let p = c36
+                .mul(&x4)
+                .add(&c36.mul(&x3))
+                .add(&c24.mul(&x2))
+                .add(&c6.mul(&x))
+                .add(&BigUint::one());
+            let r = c36
+                .mul(&x4)
+                .add(&c36.mul(&x3))
+                .add(&c18.mul(&x2))
+                .add(&c6.mul(&x))
+                .add(&BigUint::one());
+            let modulus = BigUint::from_limbs(P::MODULUS.to_vec());
+            assert!(
+                modulus == p || modulus == r,
+                "{}: modulus does not match the BN parametrization",
+                P::NAME
+            );
+            // INV
+            let mut inv = 1u64;
+            for _ in 0..6 {
+                inv = inv.wrapping_mul(2u64.wrapping_sub(P::MODULUS[0].wrapping_mul(inv)));
+            }
+            assert_eq!(inv.wrapping_neg(), P::INV, "{}: INV mismatch", P::NAME);
+            // R, R2
+            let r1 = BigUint::one().shl(256).rem(&modulus);
+            let r2 = BigUint::one().shl(512).rem(&modulus);
+            let pad = |v: &BigUint| {
+                let mut l = [0u64; 4];
+                for (i, &x) in v.limbs().iter().enumerate() {
+                    l[i] = x;
+                }
+                l
+            };
+            assert_eq!(pad(&r1), P::R, "{}: R mismatch", P::NAME);
+            assert_eq!(pad(&r2), P::R2, "{}: R2 mismatch", P::NAME);
+        }
+        check::<FpParams>();
+        check::<FrParams>();
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            let c = Fp::random(&mut r);
+            assert_eq!(a.add(&b), b.add(&a));
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.add(&a.neg()), Fp::zero());
+            assert_eq!(a.sub(&b).add(&b), a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_biguint() {
+        let mut r = rng();
+        let p = BigUint::from_limbs(FpParams::MODULUS.to_vec());
+        for _ in 0..20 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            let expect = a.to_biguint().mul(&b.to_biguint()).rem(&p);
+            assert_eq!(a.mul(&b).to_biguint(), expect);
+        }
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fp::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp::one());
+        }
+        assert!(Fp::zero().invert().is_none());
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fp::random(&mut r);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg());
+        }
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let three = Fp::from_u64(3);
+        assert_eq!(three.pow(&[0]), Fp::one());
+        assert_eq!(three.pow(&[1]), three);
+        assert_eq!(three.pow(&[5]), Fp::from_u64(243));
+    }
+
+    #[test]
+    fn canonical_round_trip() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fr::random(&mut r);
+            assert_eq!(Fr::from_canonical(a.to_canonical()), a);
+            assert_eq!(Fr::from_bytes_be_reduce(&a.to_bytes_be()), a);
+        }
+    }
+
+    #[test]
+    fn fr_modulus_differs_from_fp() {
+        assert_ne!(FpParams::MODULUS, FrParams::MODULUS);
+    }
+}

@@ -1,0 +1,218 @@
+//! Quadratic extension `Fp12 = Fp6[w]/(w² - v)`: the pairing target field GT.
+
+use super::fp2::Fp2;
+use super::fp6::Fp6;
+
+/// An element `c0 + c1·w` of Fp12.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Fp12 {
+    pub c0: Fp6,
+    pub c1: Fp6,
+}
+
+impl Fp12 {
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Fp12 {
+            c0: Fp6::zero(),
+            c1: Fp6::zero(),
+        }
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Fp12 {
+            c0: Fp6::one(),
+            c1: Fp6::zero(),
+        }
+    }
+
+    /// Construct from components.
+    pub fn new(c0: Fp6, c1: Fp6) -> Self {
+        Fp12 { c0, c1 }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    /// True iff one.
+    pub fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// Uniform random element.
+    pub fn random(rng: &mut impl rand::Rng) -> Self {
+        Fp12 {
+            c0: Fp6::random(rng),
+            c1: Fp6::random(rng),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        Fp12 {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        Fp12 {
+            c0: self.c0.sub(&other.c0),
+            c1: self.c1.sub(&other.c1),
+        }
+    }
+
+    /// `self * other` (Karatsuba over Fp6, reduction w² = v).
+    pub fn mul(&self, other: &Self) -> Self {
+        let aa = self.c0.mul(&other.c0);
+        let bb = self.c1.mul(&other.c1);
+        let sum_a = self.c0.add(&self.c1);
+        let sum_b = other.c0.add(&other.c1);
+        Fp12 {
+            c0: aa.add(&bb.mul_by_v()),
+            c1: sum_a.mul(&sum_b).sub(&aa).sub(&bb),
+        }
+    }
+
+    /// `self²`.
+    pub fn square(&self) -> Self {
+        // (c0 + c1 w)^2 = (c0^2 + v c1^2) + 2 c0 c1 w
+        let ab = self.c0.mul(&self.c1);
+        let a2 = self.c0.square();
+        let b2 = self.c1.square();
+        Fp12 {
+            c0: a2.add(&b2.mul_by_v()),
+            c1: ab.add(&ab),
+        }
+    }
+
+    /// Conjugation `c0 - c1·w`; equals the Frobenius power `x ↦ x^(p^6)`
+    /// (verified by a unit test), so for unitary elements it is the inverse.
+    pub fn conjugate(&self) -> Self {
+        Fp12 {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
+    }
+
+    /// Multiplicative inverse: `(c0 - c1 w) / (c0² - v·c1²)`.
+    pub fn invert(&self) -> Option<Self> {
+        let norm = self.c0.square().sub(&self.c1.square().mul_by_v());
+        let inv = norm.invert()?;
+        Some(Fp12 {
+            c0: self.c0.mul(&inv),
+            c1: self.c1.neg().mul(&inv),
+        })
+    }
+
+    /// `self^exp` for a little-endian limb exponent.
+    pub fn pow(&self, exp: &[u64]) -> Self {
+        let mut result = Self::one();
+        let mut found_one = false;
+        for i in (0..exp.len() * 64).rev() {
+            if found_one {
+                result = result.square();
+            }
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                found_one = true;
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Sparse multiplication by a Tate line function of the shape
+    /// `a (in Fp2, slot c0.c0) + b·v (slot c0.c1) + c·v·w (slot c1.c1)`.
+    ///
+    /// This is the only shape the Miller loop produces, and exploiting it
+    /// roughly halves the loop's Fp12 multiplication cost.
+    pub fn mul_by_line(&self, a: &Fp2, b: &Fp2, c: &Fp2) -> Self {
+        let line = Fp12 {
+            c0: Fp6::new(*a, *b, Fp2::zero()),
+            c1: Fp6::new(Fp2::zero(), *c, Fp2::zero()),
+        };
+        self.mul(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fp::FpParams;
+    use super::super::fp::FieldParams;
+    use super::*;
+    use crate::bigint::BigUint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn w_squared_is_v() {
+        let w = Fp12::new(Fp6::zero(), Fp6::one());
+        let v = Fp12::new(Fp6::new(Fp2::zero(), Fp2::one(), Fp2::zero()), Fp6::zero());
+        assert_eq!(w.square(), v);
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp12::random(&mut r);
+            let b = Fp12::random(&mut r);
+            let c = Fp12::random(&mut r);
+            assert_eq!(a.mul(&b), b.mul(&a));
+            assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            assert_eq!(a.square(), a.mul(&a));
+        }
+    }
+
+    #[test]
+    fn inversion_round_trip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Fp12::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp12::one());
+        }
+    }
+
+    #[test]
+    fn conjugate_equals_frobenius_p6() {
+        // x^(p^6) must equal conjugation; this justifies the cheap easy part
+        // of the final exponentiation.
+        let p = BigUint::from_limbs(FpParams::MODULUS.to_vec());
+        let p6 = p.mul(&p).mul(&p).mul(&p).mul(&p).mul(&p);
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        assert_eq!(a.pow(p6.limbs()), a.conjugate());
+    }
+
+    #[test]
+    fn pow_small() {
+        let mut r = rng();
+        let a = Fp12::random(&mut r);
+        assert_eq!(a.pow(&[0]), Fp12::one());
+        assert_eq!(a.pow(&[1]), a);
+        assert_eq!(a.pow(&[2]), a.square());
+        assert_eq!(a.pow(&[3]), a.square().mul(&a));
+    }
+
+    #[test]
+    fn mul_by_line_matches_full_mul() {
+        let mut r = rng();
+        let f = Fp12::random(&mut r);
+        let a = Fp2::random(&mut r);
+        let b = Fp2::random(&mut r);
+        let c = Fp2::random(&mut r);
+        let sparse = Fp12::new(Fp6::new(a, b, Fp2::zero()), Fp6::new(Fp2::zero(), c, Fp2::zero()));
+        assert_eq!(f.mul_by_line(&a, &b, &c), f.mul(&sparse));
+    }
+}

@@ -1,0 +1,28 @@
+//! BN254 ("alt_bn128") pairing-friendly elliptic curve.
+//!
+//! The curve is `y^2 = x^3 + 3` over the 254-bit prime `p`, with `#E(Fp) = r`
+//! prime (cofactor 1). G2 lives on the sextic D-twist `y'^2 = x'^3 + 3/(9+u)`
+//! over Fp2. The pairing implemented is the reduced **Tate pairing**
+//! `e(P, Q) = f_{r,P}(psi(Q))^((p^12-1)/r)` with denominator elimination —
+//! deliberately the simplest correct construction (the Miller loop walks the
+//! 254-bit group order and needs no Frobenius-twisted correction steps). A
+//! 160-bit-security BN curve is exactly the "160-bit ECC" setting of the
+//! paper's Table 3.
+
+pub mod curve;
+pub mod fp;
+pub mod fp12;
+pub mod fp2;
+pub mod fp6;
+pub mod g1;
+pub mod g2;
+pub mod pairing;
+
+pub use curve::Affine;
+pub use fp::{Fp, Fr};
+pub use fp12::Fp12;
+pub use fp2::Fp2;
+pub use fp6::Fp6;
+pub use g1::{G1, G1Affine};
+pub use g2::{G2, G2Affine};
+pub use pairing::{pairing, pairing_affine};

@@ -1,0 +1,214 @@
+//! Reduced Tate pairing `e: G1 × G2 → GT ⊂ Fp12`.
+//!
+//! `e(P, Q) = f_{r,P}(ψ(Q))^((p^12-1)/r)` where ψ is the untwist
+//! `(x', y') ↦ (x'·w², y'·w³)` from the D-twist into E(Fp12). The Miller
+//! loop walks the bits of the 254-bit group order r with lines through
+//! multiples of P (coordinates in Fp — cheap) evaluated at ψ(Q), whose
+//! sparse coordinates occupy two Fp2 slots of Fp12. Vertical lines evaluate
+//! into the proper subfield Fp6 and are erased by the final exponentiation
+//! (denominator elimination), so they are skipped. The final exponentiation
+//! splits as `(p^6-1) · (p^6+1)/r`; the first factor is the cheap
+//! `conj(f)·f^{-1}`, the second a plain square-and-multiply.
+//!
+//! This is deliberately the simplest correct pairing (no Frobenius-twisted
+//! ate steps); bilinearity and non-degeneracy are property-tested.
+
+use std::sync::OnceLock;
+
+use super::curve::Affine;
+use super::fp::{FieldParams, Fp, FpParams, FrParams};
+use super::fp12::Fp12;
+use super::fp2::Fp2;
+use super::g1::{G1, G1Affine};
+use super::g2::{G2, G2Affine};
+use crate::bigint::BigUint;
+
+/// Little-endian limbs of the hard exponent `(p^6 + 1)/r`.
+fn hard_exponent() -> &'static Vec<u64> {
+    static E: OnceLock<Vec<u64>> = OnceLock::new();
+    E.get_or_init(|| {
+        let p = BigUint::from_limbs(FpParams::MODULUS.to_vec());
+        let r = BigUint::from_limbs(FrParams::MODULUS.to_vec());
+        let p6 = p.mul(&p).mul(&p).mul(&p).mul(&p).mul(&p);
+        let (q, rem) = p6.add(&BigUint::one()).divrem(&r);
+        assert!(rem.is_zero(), "r must divide p^6 + 1");
+        q.limbs().to_vec()
+    })
+}
+
+/// A running Miller-loop point in affine Fp coordinates (`None` = infinity).
+type AffPt = Option<(Fp, Fp)>;
+
+/// Evaluate the line through `t` with slope `lambda` at ψ(Q) and fold it
+/// into `f`: the line is `(λ·x_T - y_T) - λ·x_ψ(Q) + y_ψ(Q)` with the three
+/// terms landing in the sparse Fp12 slots (c0.c0, c0.c1, c1.c1).
+fn eval_line(f: &Fp12, lambda: &Fp, t: &(Fp, Fp), xq: &Fp2, yq: &Fp2) -> Fp12 {
+    let a = Fp2::from_fp(lambda.mul(&t.0).sub(&t.1));
+    let b = xq.mul_fp(&lambda.neg());
+    f.mul_by_line(&a, &b, yq)
+}
+
+/// Tangent step: fold the tangent line at `t` into `f` and double `t`.
+fn double_step(f: &Fp12, t: &mut AffPt, xq: &Fp2, yq: &Fp2) -> Fp12 {
+    let Some(pt) = *t else { return *f };
+    if pt.1.is_zero() {
+        // Vertical tangent: contribution lies in a subfield (eliminated).
+        *t = None;
+        return *f;
+    }
+    // λ = 3x² / 2y
+    let three_x2 = pt.0.square().mul(&Fp::from_u64(3));
+    let lambda = three_x2.mul(&pt.1.double().invert().expect("y nonzero"));
+    let out = eval_line(f, &lambda, &pt, xq, yq);
+    let x3 = lambda.square().sub(&pt.0.double());
+    let y3 = lambda.mul(&pt.0.sub(&x3)).sub(&pt.1);
+    *t = Some((x3, y3));
+    out
+}
+
+/// Addition step: fold the line through `t` and `p` into `f` and set
+/// `t := t + p`.
+fn add_step(f: &Fp12, t: &mut AffPt, p: &(Fp, Fp), xq: &Fp2, yq: &Fp2) -> Fp12 {
+    let Some(pt) = *t else {
+        *t = Some(*p);
+        return *f;
+    };
+    if pt.0 == p.0 {
+        if pt.1 == p.1 {
+            return double_step(f, t, xq, yq);
+        }
+        // t == -p: vertical line (eliminated); t + p = O.
+        *t = None;
+        return *f;
+    }
+    let lambda = p
+        .1
+        .sub(&pt.1)
+        .mul(&p.0.sub(&pt.0).invert().expect("x1 != x2"));
+    let out = eval_line(f, &lambda, &pt, xq, yq);
+    let x3 = lambda.square().sub(&pt.0).sub(&p.0);
+    let y3 = lambda.mul(&pt.0.sub(&x3)).sub(&pt.1);
+    *t = Some((x3, y3));
+    out
+}
+
+/// The Miller function `f_{r,P}(ψ(Q))` (unreduced pairing value).
+pub fn miller_loop(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    let (Affine::Coords(px, py), Affine::Coords(qx, qy)) = (p, q) else {
+        return Fp12::one();
+    };
+    let p_aff = (*px, *py);
+    // ψ(Q) sparse coordinates: x lives in slot c0.c1 (x'·v), y in c1.c1 (y'·v·w).
+    let xq = *qx;
+    let yq = *qy;
+
+    let r_bits = FrParams::MODULUS;
+    let nbits = 254; // r is a 254-bit prime
+    debug_assert!(r_bits[3] >> 53 == 1, "expected 254-bit group order");
+
+    let mut f = Fp12::one();
+    let mut t: AffPt = Some(p_aff);
+    for i in (0..nbits - 1).rev() {
+        f = f.square();
+        f = double_step(&f, &mut t, &xq, &yq);
+        if (r_bits[i / 64] >> (i % 64)) & 1 == 1 {
+            f = add_step(&f, &mut t, &p_aff, &xq, &yq);
+        }
+    }
+    debug_assert!(t.is_none(), "Miller loop must end at infinity (t = rP)");
+    f
+}
+
+/// Final exponentiation `f ↦ f^((p^12-1)/r)`.
+pub fn final_exponentiation(f: &Fp12) -> Fp12 {
+    // Easy part: f^(p^6 - 1) = conj(f) * f^{-1} (x^(p^6) == conj(x), tested).
+    let inv = f.invert().expect("Miller value is nonzero");
+    let easy = f.conjugate().mul(&inv);
+    // Hard part: ^(p^6+1)/r.
+    easy.pow(hard_exponent())
+}
+
+/// The reduced Tate pairing on affine inputs.
+pub fn pairing_affine(p: &G1Affine, q: &G2Affine) -> Fp12 {
+    final_exponentiation(&miller_loop(p, q))
+}
+
+/// The reduced Tate pairing `e(P, Q)`.
+pub fn pairing(p: &G1, q: &G2) -> Fp12 {
+    pairing_affine(&p.to_affine(), &q.to_affine())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fp::Fr;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairing_non_degenerate() {
+        let e = pairing(&G1::generator(), &G2::generator());
+        assert!(!e.is_one(), "e(G1, G2) must not be 1");
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn pairing_has_order_r() {
+        let e = pairing(&G1::generator(), &G2::generator());
+        assert!(e.pow(&FrParams::MODULUS).is_one());
+    }
+
+    #[test]
+    fn pairing_of_infinity_is_one() {
+        assert!(pairing(&G1::infinity(), &G2::generator()).is_one());
+        assert!(pairing(&G1::generator(), &G2::infinity()).is_one());
+    }
+
+    #[test]
+    fn bilinear_in_g1() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let a = Fr::random(&mut rng);
+        let g1 = G1::generator();
+        let g2 = G2::generator();
+        let lhs = pairing(&g1.mul_fr(&a), &g2);
+        let rhs = pairing(&g1, &g2).pow(&a.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_g2() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = Fr::random(&mut rng);
+        let g1 = G1::generator();
+        let g2 = G2::generator();
+        let lhs = pairing(&g1, &g2.mul_fr(&b));
+        let rhs = pairing(&g1, &g2).pow(&b.to_canonical());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_both_sides() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let g1 = G1::generator();
+        let g2 = G2::generator();
+        let lhs = pairing(&g1.mul_fr(&a), &g2.mul_fr(&b));
+        let rhs = pairing(&g1.mul_fr(&b), &g2.mul_fr(&a));
+        assert_eq!(lhs, rhs);
+        let direct = pairing(&g1, &g2).pow(&a.to_canonical()).pow(&b.to_canonical());
+        assert_eq!(lhs, direct);
+    }
+
+    #[test]
+    fn additive_in_g1() {
+        // e(P1 + P2, Q) = e(P1, Q) * e(P2, Q)
+        let g1 = G1::generator();
+        let g2 = G2::generator();
+        let p1 = g1.mul_scalar(&[5]);
+        let p2 = g1.mul_scalar(&[11]);
+        let lhs = pairing(&p1.add(&p2), &g2);
+        let rhs = pairing(&p1, &g2).mul(&pairing(&p2, &g2));
+        assert_eq!(lhs, rhs);
+    }
+}

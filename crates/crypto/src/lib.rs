@@ -1,0 +1,26 @@
+//! # authdb-crypto
+//!
+//! From-scratch cryptographic substrate for the `authdb` reproduction of
+//! *Scalable Verification for Outsourced Dynamic Databases* (Pang, Zhang,
+//! Mouratidis, VLDB 2009):
+//!
+//! * [`bigint`] — arbitrary-precision arithmetic (Knuth division, Montgomery
+//!   exponentiation, Miller-Rabin).
+//! * [`sha1`] / [`sha256`] — the one-way hashes (the paper's 160-bit digests
+//!   and the modern default, respectively).
+//! * [`rsa`] — RSA + Condensed-RSA signature aggregation (Table 3 baseline).
+//! * [`bn254`] — BN254 field tower, G1/G2, and a Tate pairing.
+//! * [`bls`] — BLS signatures over BN254 with aggregation: the paper's
+//!   Bilinear Aggregate Signature ("BAS") scheme.
+//! * [`merkle`] — Merkle hash tree primitives (Section 2.1).
+//! * [`signer`] — the pluggable aggregate-signature abstraction the rest of
+//!   the workspace consumes.
+
+pub mod bigint;
+pub mod bls;
+pub mod bn254;
+pub mod merkle;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+pub mod signer;

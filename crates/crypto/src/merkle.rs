@@ -1,0 +1,171 @@
+//! Merkle hash tree (Section 2.1, Figure 1).
+//!
+//! A binary MHT over message digests: leaves are `h(m_i)`, internal nodes
+//! `h(left | right)`, and the root is what the owner signs. Verification of
+//! any subset uses a **verification object (VO)** containing the sibling
+//! digests along the path. This standalone primitive backs unit tests and
+//! the per-record attribute trees of \[19\]; the EMB− tree in `authdb-index`
+//! embeds the same digest algebra into B+-tree nodes.
+
+use crate::sha256::{sha256, sha256_pair, Digest};
+
+/// A Merkle hash tree with all levels materialized.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests; last level has a single root digest.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One step of an audit path: the sibling digest and which side it is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathNode {
+    /// Sibling hashes on the left: parent = h(sibling | current).
+    Left(Digest),
+    /// Sibling hashes on the right: parent = h(current | sibling).
+    Right(Digest),
+}
+
+impl MerkleTree {
+    /// Build a tree over raw messages (leaves are their SHA-256 digests).
+    ///
+    /// # Panics
+    /// Panics if `messages` is empty.
+    pub fn from_messages<M: AsRef<[u8]>>(messages: &[M]) -> Self {
+        Self::from_leaves(messages.iter().map(|m| sha256(m.as_ref())).collect())
+    }
+
+    /// Build a tree over precomputed leaf digests. An odd node at the end of
+    /// a level is promoted unchanged (no duplication), matching the
+    /// directed-acyclic-graph generalization in \[20\].
+    ///
+    /// # Panics
+    /// Panics if `leaves` is empty.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(sha256_pair(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest (what the owner signs).
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Leaf digest at `index`.
+    pub fn leaf(&self, index: usize) -> Digest {
+        self.levels[0][index]
+    }
+
+    /// The audit path (VO) for leaf `index`: sibling digests bottom-up.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn path(&self, index: usize) -> Vec<PathNode> {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            if idx.is_multiple_of(2) {
+                if idx + 1 < level.len() {
+                    path.push(PathNode::Right(level[idx + 1]));
+                }
+                // Odd trailing node: promoted, no sibling step.
+            } else {
+                path.push(PathNode::Left(level[idx - 1]));
+            }
+            idx /= 2;
+        }
+        path
+    }
+
+    /// Recompute a root from a leaf digest and an audit path.
+    pub fn root_from_path(leaf: Digest, path: &[PathNode]) -> Digest {
+        let mut acc = leaf;
+        for node in path {
+            acc = match node {
+                PathNode::Left(sib) => sha256_pair(sib, &acc),
+                PathNode::Right(sib) => sha256_pair(&acc, sib),
+            };
+        }
+        acc
+    }
+
+    /// Verify that `message` is the leaf whose path reproduces `root`.
+    pub fn verify(message: &[u8], path: &[PathNode], root: &Digest) -> bool {
+        Self::root_from_path(sha256(message), path) == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_leaf_tree_matches_figure_1() {
+        // Figure 1: root = h(h(h(m1)|h(m2)) | h(h(m3)|h(m4)))
+        let msgs = [b"m1", b"m2", b"m3", b"m4"];
+        let t = MerkleTree::from_messages(&msgs);
+        let n12 = sha256_pair(&sha256(b"m1"), &sha256(b"m2"));
+        let n34 = sha256_pair(&sha256(b"m3"), &sha256(b"m4"));
+        assert_eq!(t.root(), sha256_pair(&n12, &n34));
+    }
+
+    #[test]
+    fn every_leaf_path_verifies() {
+        for n in 1..=17usize {
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| format!("msg {i}").into_bytes()).collect();
+            let t = MerkleTree::from_messages(&msgs);
+            for (i, m) in msgs.iter().enumerate() {
+                let path = t.path(i);
+                assert!(
+                    MerkleTree::verify(m, &path, &t.root()),
+                    "leaf {i} of {n} failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let msgs = [b"a", b"b", b"c"];
+        let t = MerkleTree::from_messages(&msgs);
+        let path = t.path(1);
+        assert!(!MerkleTree::verify(b"B", &path, &t.root()));
+    }
+
+    #[test]
+    fn tampered_path_fails() {
+        let msgs = [b"a", b"b", b"c", b"d"];
+        let t = MerkleTree::from_messages(&msgs);
+        let mut path = t.path(0);
+        if let PathNode::Right(ref mut d) = path[0] {
+            d[0] ^= 1;
+        }
+        assert!(!MerkleTree::verify(b"a", &path, &t.root()));
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = MerkleTree::from_messages(&[b"only"]);
+        assert_eq!(t.root(), sha256(b"only"));
+        assert!(t.path(0).is_empty());
+        assert!(MerkleTree::verify(b"only", &[], &t.root()));
+    }
+}

@@ -1,0 +1,590 @@
+//! Discrete-event simulation engine.
+//!
+//! Transactions are linear sequences of [`Step`]s over shared resources:
+//! a multi-server CPU, a multi-server disk, single-server network links,
+//! and one readers-writer lock (the EMB− root; BAS record-level locking has
+//! no global choke point, so BAS programs simply omit the lock steps). The
+//! engine reports per-transaction response times broken down into lock
+//! waiting, server processing, and client verification — the decomposition
+//! of the paper's Figures 7(b) and 9(b).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulated seconds.
+pub type SimTime = f64;
+
+/// Lock acquisition mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Readers (queries).
+    Shared,
+    /// Writers (updates).
+    Exclusive,
+}
+
+/// Contended resources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Res {
+    /// CPU cores.
+    Cpu,
+    /// Disk arms.
+    Disk,
+    /// Server-to-user link.
+    Lan,
+    /// DA-to-server link.
+    Wan,
+}
+
+const RES_COUNT: usize = 4;
+
+fn res_index(r: Res) -> usize {
+    match r {
+        Res::Cpu => 0,
+        Res::Disk => 1,
+        Res::Lan => 2,
+        Res::Wan => 3,
+    }
+}
+
+/// One step of a transaction.
+#[derive(Clone, Copy, Debug)]
+pub enum Step {
+    /// Acquire the global lock.
+    Lock(Mode),
+    /// Release the global lock.
+    Unlock,
+    /// Hold a resource for the given service time.
+    Use(Res, SimTime),
+    /// Uncontended client-side work (attributed to verification).
+    Verify(SimTime),
+    /// Uncontended delay (e.g. DA-side signing).
+    Delay(SimTime),
+}
+
+/// Transaction classes (reporting only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A user query.
+    Query,
+    /// A data update forwarded from the DA.
+    Update,
+}
+
+/// A transaction to simulate.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Class.
+    pub kind: TxnKind,
+    /// The step program.
+    pub steps: Vec<Step>,
+}
+
+/// Per-transaction outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnResult {
+    /// Class.
+    pub kind: TxnKind,
+    /// Arrival time.
+    pub arrived: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Time spent waiting for the lock.
+    pub lock_wait: SimTime,
+    /// Time spent queueing for and holding CPU/disk/network.
+    pub processing: SimTime,
+    /// Client verification time.
+    pub verify: SimTime,
+}
+
+impl TxnResult {
+    /// Total response time.
+    pub fn response(&self) -> SimTime {
+        self.finished - self.arrived
+    }
+}
+
+/// Aggregated statistics for one transaction class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassStats {
+    /// Transactions completed.
+    pub count: usize,
+    /// Mean response time (seconds).
+    pub mean_response: f64,
+    /// Mean lock-wait component.
+    pub mean_lock_wait: f64,
+    /// Mean processing component.
+    pub mean_processing: f64,
+    /// Mean verification component.
+    pub mean_verify: f64,
+}
+
+/// Summarize results for one class.
+pub fn summarize(results: &[TxnResult], kind: TxnKind) -> ClassStats {
+    let rs: Vec<&TxnResult> = results.iter().filter(|r| r.kind == kind).collect();
+    if rs.is_empty() {
+        return ClassStats::default();
+    }
+    let n = rs.len() as f64;
+    ClassStats {
+        count: rs.len(),
+        mean_response: rs.iter().map(|r| r.response()).sum::<f64>() / n,
+        mean_lock_wait: rs.iter().map(|r| r.lock_wait).sum::<f64>() / n,
+        mean_processing: rs.iter().map(|r| r.processing).sum::<f64>() / n,
+        mean_verify: rs.iter().map(|r| r.verify).sum::<f64>() / n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+enum Event {
+    /// A transaction becomes runnable (arrival, delay expiry, lock grant).
+    Wake(usize),
+    /// A `Use` completes: free the resource, dispatch the queue, continue.
+    Complete(usize, usize), // (txn, resource index)
+}
+
+struct Timed {
+    t: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.t.total_cmp(&self.t).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Server {
+    capacity: usize,
+    busy: usize,
+    queue: VecDeque<(usize, SimTime)>,
+}
+
+struct RwLockState {
+    readers: usize,
+    writer: bool,
+    queue: VecDeque<(usize, Mode)>,
+}
+
+struct TxnState {
+    spec: TxnSpec,
+    step: usize,
+    lock_wait_start: Option<SimTime>,
+    proc_wait_start: Option<SimTime>,
+    lock_wait: SimTime,
+    processing: SimTime,
+    verify: SimTime,
+    finished: Option<SimTime>,
+}
+
+/// Resource capacities.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// CPU cores at the query server (the testbed's quad-core).
+    pub cpu_cores: usize,
+    /// Independent disk arms (the testbed has two disks).
+    pub disks: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cpu_cores: 4,
+            disks: 2,
+        }
+    }
+}
+
+struct Engine {
+    txns: Vec<TxnState>,
+    servers: [Server; RES_COUNT],
+    lock: RwLockState,
+    events: BinaryHeap<Timed>,
+    seq: u64,
+}
+
+impl Engine {
+    fn push(&mut self, t: SimTime, ev: Event) {
+        self.events.push(Timed {
+            t,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Run `idx` forward from its current step until it blocks or finishes.
+    fn advance(&mut self, idx: usize, now: SimTime) {
+        loop {
+            let step = {
+                let t = &self.txns[idx];
+                if t.step >= t.spec.steps.len() {
+                    self.txns[idx].finished = Some(now);
+                    return;
+                }
+                t.spec.steps[t.step]
+            };
+            match step {
+                Step::Delay(d) => {
+                    self.txns[idx].step += 1;
+                    self.push(now + d, Event::Wake(idx));
+                    return;
+                }
+                Step::Verify(d) => {
+                    self.txns[idx].step += 1;
+                    self.txns[idx].verify += d;
+                    self.push(now + d, Event::Wake(idx));
+                    return;
+                }
+                Step::Use(res, d) => {
+                    let r = res_index(res);
+                    if self.servers[r].busy < self.servers[r].capacity {
+                        self.servers[r].busy += 1;
+                        self.txns[idx].step += 1;
+                        self.txns[idx].processing += d;
+                        self.push(now + d, Event::Complete(idx, r));
+                    } else {
+                        self.servers[r].queue.push_back((idx, d));
+                        self.txns[idx].proc_wait_start = Some(now);
+                    }
+                    return;
+                }
+                Step::Lock(mode) => {
+                    let free = match mode {
+                        Mode::Shared => !self.lock.writer && self.lock.queue.is_empty(),
+                        Mode::Exclusive => {
+                            !self.lock.writer
+                                && self.lock.readers == 0
+                                && self.lock.queue.is_empty()
+                        }
+                    };
+                    if free {
+                        match mode {
+                            Mode::Shared => self.lock.readers += 1,
+                            Mode::Exclusive => self.lock.writer = true,
+                        }
+                        self.txns[idx].step += 1;
+                        continue;
+                    }
+                    self.lock.queue.push_back((idx, mode));
+                    self.txns[idx].lock_wait_start = Some(now);
+                    return;
+                }
+                Step::Unlock => {
+                    if self.lock.writer {
+                        self.lock.writer = false;
+                    } else {
+                        self.lock.readers = self.lock.readers.saturating_sub(1);
+                    }
+                    self.txns[idx].step += 1;
+                    self.grant_lock(now);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// FIFO lock grant: a leading writer alone (once readers drain), or the
+    /// maximal leading run of readers.
+    fn grant_lock(&mut self, now: SimTime) {
+        let mut woken = Vec::new();
+        while let Some(&(head, mode)) = self.lock.queue.front() {
+            match mode {
+                Mode::Exclusive => {
+                    if self.lock.readers == 0 && !self.lock.writer && woken.is_empty() {
+                        self.lock.writer = true;
+                        self.lock.queue.pop_front();
+                        woken.push(head);
+                    }
+                    break;
+                }
+                Mode::Shared => {
+                    if self.lock.writer {
+                        break;
+                    }
+                    self.lock.readers += 1;
+                    self.lock.queue.pop_front();
+                    woken.push(head);
+                }
+            }
+        }
+        for w in woken {
+            // Past its Lock step; account the wait when the wake fires.
+            self.txns[w].step += 1;
+            self.push(now, Event::Wake(w));
+        }
+    }
+}
+
+/// Run the simulation to completion.
+pub fn run(config: SimConfig, specs: Vec<TxnSpec>) -> Vec<TxnResult> {
+    let mut engine = Engine {
+        txns: specs
+            .into_iter()
+            .map(|spec| TxnState {
+                spec,
+                step: 0,
+                lock_wait_start: None,
+                proc_wait_start: None,
+                lock_wait: 0.0,
+                processing: 0.0,
+                verify: 0.0,
+                finished: None,
+            })
+            .collect(),
+        servers: [
+            Server {
+                capacity: config.cpu_cores,
+                busy: 0,
+                queue: VecDeque::new(),
+            },
+            Server {
+                capacity: config.disks,
+                busy: 0,
+                queue: VecDeque::new(),
+            },
+            Server {
+                capacity: 1,
+                busy: 0,
+                queue: VecDeque::new(),
+            },
+            Server {
+                capacity: 1,
+                busy: 0,
+                queue: VecDeque::new(),
+            },
+        ],
+        lock: RwLockState {
+            readers: 0,
+            writer: false,
+            queue: VecDeque::new(),
+        },
+        events: BinaryHeap::new(),
+        seq: 0,
+    };
+    for i in 0..engine.txns.len() {
+        let at = engine.txns[i].spec.at;
+        engine.push(at, Event::Wake(i));
+    }
+
+    while let Some(Timed { t, ev, .. }) = engine.events.pop() {
+        match ev {
+            Event::Wake(idx) => {
+                if let Some(start) = engine.txns[idx].lock_wait_start.take() {
+                    engine.txns[idx].lock_wait += t - start;
+                }
+                engine.advance(idx, t);
+            }
+            Event::Complete(idx, r) => {
+                engine.servers[r].busy -= 1;
+                // Dispatch the next queued job on this resource.
+                if let Some((next, d)) = engine.servers[r].queue.pop_front() {
+                    engine.servers[r].busy += 1;
+                    if let Some(start) = engine.txns[next].proc_wait_start.take() {
+                        engine.txns[next].processing += t - start;
+                    }
+                    engine.txns[next].step += 1;
+                    engine.txns[next].processing += d;
+                    engine.push(t + d, Event::Complete(next, r));
+                }
+                engine.advance(idx, t);
+            }
+        }
+    }
+
+    engine
+        .txns
+        .into_iter()
+        .map(|t| TxnResult {
+            kind: t.spec.kind,
+            arrived: t.spec.at,
+            finished: t.finished.expect("all transactions complete"),
+            lock_wait: t.lock_wait,
+            processing: t.processing,
+            verify: t.verify,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(at: f64, kind: TxnKind, steps: Vec<Step>) -> TxnSpec {
+        TxnSpec { at, kind, steps }
+    }
+
+    #[test]
+    fn single_transaction_timing() {
+        let res = run(
+            SimConfig::default(),
+            vec![txn(
+                0.0,
+                TxnKind::Query,
+                vec![Step::Use(Res::Cpu, 0.010), Step::Verify(0.005)],
+            )],
+        );
+        assert!((res[0].response() - 0.015).abs() < 1e-9);
+        assert!((res[0].verify - 0.005).abs() < 1e-9);
+        assert!((res[0].processing - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_queueing_on_single_server() {
+        // Two jobs on the 1-server LAN: second waits for the first.
+        let res = run(
+            SimConfig::default(),
+            vec![
+                txn(0.0, TxnKind::Query, vec![Step::Use(Res::Lan, 0.010)]),
+                txn(0.001, TxnKind::Query, vec![Step::Use(Res::Lan, 0.010)]),
+            ],
+        );
+        assert!((res[0].finished - 0.010).abs() < 1e-9);
+        assert!((res[1].finished - 0.020).abs() < 1e-9);
+        // Second job's processing includes its queue wait.
+        assert!((res[1].processing - 0.019).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_core_cpu_runs_in_parallel() {
+        let specs: Vec<TxnSpec> = (0..4)
+            .map(|i| {
+                txn(
+                    i as f64 * 1e-6,
+                    TxnKind::Query,
+                    vec![Step::Use(Res::Cpu, 0.010)],
+                )
+            })
+            .collect();
+        let res = run(SimConfig { cpu_cores: 4, disks: 1 }, specs);
+        for r in &res {
+            assert!(r.response() < 0.0101, "all four run concurrently");
+        }
+    }
+
+    #[test]
+    fn exclusive_lock_serializes() {
+        let w = |at: f64| {
+            txn(
+                at,
+                TxnKind::Update,
+                vec![
+                    Step::Lock(Mode::Exclusive),
+                    Step::Use(Res::Cpu, 0.010),
+                    Step::Unlock,
+                ],
+            )
+        };
+        let res = run(SimConfig { cpu_cores: 8, disks: 1 }, vec![w(0.0), w(0.0)]);
+        let mut finishes: Vec<f64> = res.iter().map(|r| r.finished).collect();
+        finishes.sort_by(f64::total_cmp);
+        assert!((finishes[0] - 0.010).abs() < 1e-9);
+        assert!((finishes[1] - 0.020).abs() < 1e-9);
+        // One of them waited ~10ms on the lock.
+        let total_lock_wait: f64 = res.iter().map(|r| r.lock_wait).sum();
+        assert!((total_lock_wait - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_locks_overlap() {
+        let r = |at: f64| {
+            txn(
+                at,
+                TxnKind::Query,
+                vec![
+                    Step::Lock(Mode::Shared),
+                    Step::Delay(0.010),
+                    Step::Unlock,
+                ],
+            )
+        };
+        let res = run(SimConfig::default(), vec![r(0.0), r(0.0), r(0.0)]);
+        for x in &res {
+            assert!(x.response() < 0.0101);
+            assert!(x.lock_wait < 1e-9);
+        }
+    }
+
+    #[test]
+    fn writer_blocks_readers_fifo() {
+        // Reader holds; writer queues; later reader queues behind writer
+        // (FIFO fairness — no reader starvation of writers).
+        let specs = vec![
+            txn(
+                0.0,
+                TxnKind::Query,
+                vec![Step::Lock(Mode::Shared), Step::Delay(0.010), Step::Unlock],
+            ),
+            txn(
+                0.001,
+                TxnKind::Update,
+                vec![
+                    Step::Lock(Mode::Exclusive),
+                    Step::Delay(0.010),
+                    Step::Unlock,
+                ],
+            ),
+            txn(
+                0.002,
+                TxnKind::Query,
+                vec![Step::Lock(Mode::Shared), Step::Delay(0.010), Step::Unlock],
+            ),
+        ];
+        let res = run(SimConfig::default(), specs);
+        assert!((res[0].finished - 0.010).abs() < 1e-9);
+        assert!((res[1].finished - 0.020).abs() < 1e-9, "writer next");
+        assert!((res[2].finished - 0.030).abs() < 1e-9, "reader after writer");
+    }
+
+    #[test]
+    fn saturation_raises_response_times() {
+        // Offered load > capacity on the disk: response times must grow
+        // with arrival index (queue build-up).
+        let specs: Vec<TxnSpec> = (0..200)
+            .map(|i| {
+                txn(
+                    i as f64 * 0.004, // 250/s against 2 disks x 100/s = 200/s
+                    TxnKind::Query,
+                    vec![Step::Use(Res::Disk, 0.010)],
+                )
+            })
+            .collect();
+        let res = run(SimConfig::default(), specs);
+        let first_10: f64 = res[..10].iter().map(|r| r.response()).sum::<f64>() / 10.0;
+        let last_10: f64 = res[190..].iter().map(|r| r.response()).sum::<f64>() / 10.0;
+        assert!(last_10 > 3.0 * first_10, "first {first_10} last {last_10}");
+    }
+
+    #[test]
+    fn summarize_splits_by_kind() {
+        let res = run(
+            SimConfig::default(),
+            vec![
+                txn(0.0, TxnKind::Query, vec![Step::Verify(0.004)]),
+                txn(0.0, TxnKind::Update, vec![Step::Delay(0.008)]),
+            ],
+        );
+        let q = summarize(&res, TxnKind::Query);
+        let u = summarize(&res, TxnKind::Update);
+        assert_eq!(q.count, 1);
+        assert_eq!(u.count, 1);
+        assert!((q.mean_verify - 0.004).abs() < 1e-9);
+        assert!((u.mean_response - 0.008).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! LRU buffer pool over the simulated disk.
+//!
+//! Pages are accessed through closures (`with_page` / `with_page_mut`),
+//! which keeps the locking discipline trivial: the pool's internal lock is
+//! held for the duration of the closure. Dirty pages are written back on
+//! eviction or explicit flush. Hit/miss counters feed the experiments' I/O
+//! accounting.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::disk::{Disk, PageBuf, PageId, PAGE_SIZE};
+
+/// Buffer pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that had to read the disk.
+    pub misses: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    buf: PageBuf,
+    dirty: bool,
+    /// Logical clock of last touch (for LRU eviction).
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// An LRU buffer pool; cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct BufferPool {
+    disk: Disk,
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl BufferPool {
+    /// Create a pool caching at most `capacity` pages of `disk`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(disk: Disk, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            inner: Arc::new(Mutex::new(PoolInner {
+                frames: HashMap::with_capacity(capacity),
+                capacity,
+                clock: 0,
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// The underlying disk handle.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Allocate a fresh page (resident and dirty).
+    pub fn allocate(&self) -> PageId {
+        let id = self.disk.allocate();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        self.evict_if_full(&mut inner);
+        inner.frames.insert(
+            id,
+            Frame {
+                buf: crate::disk::new_page(),
+                dirty: true,
+                last_used: clock,
+            },
+        );
+        id
+    }
+
+    /// Read-only access to a page.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
+        let mut inner = self.inner.lock();
+        self.load(&mut inner, id);
+        let frame = inner.frames.get(&id).expect("just loaded");
+        f(&frame.buf)
+    }
+
+    /// Mutable access to a page; marks it dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        let mut inner = self.inner.lock();
+        self.load(&mut inner, id);
+        let frame = inner.frames.get_mut(&id).expect("just loaded");
+        frame.dirty = true;
+        f(&mut frame.buf)
+    }
+
+    /// Write all dirty pages back to disk.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        let mut flushed = 0;
+        for (id, frame) in inner.frames.iter_mut() {
+            if frame.dirty {
+                self.disk.write(*id, &frame.buf);
+                frame.dirty = false;
+                flushed += 1;
+            }
+        }
+        inner.stats.writebacks += flushed;
+    }
+
+    /// Snapshot hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = PoolStats::default();
+    }
+
+    /// Drop every cached page (writing dirty ones back), so subsequent
+    /// accesses hit the disk. Used to measure cold-cache behaviour.
+    pub fn clear_cache(&self) {
+        let mut inner = self.inner.lock();
+        let ids: Vec<PageId> = inner.frames.keys().copied().collect();
+        for id in ids {
+            let frame = inner.frames.remove(&id).expect("present");
+            if frame.dirty {
+                self.disk.write(id, &frame.buf);
+                inner.stats.writebacks += 1;
+            }
+        }
+    }
+
+    fn load(&self, inner: &mut PoolInner, id: PageId) {
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            frame.last_used = clock;
+            inner.stats.hits += 1;
+            return;
+        }
+        inner.stats.misses += 1;
+        self.evict_if_full(inner);
+        let buf = self.disk.read(id);
+        inner.frames.insert(
+            id,
+            Frame {
+                buf,
+                dirty: false,
+                last_used: clock,
+            },
+        );
+    }
+
+    fn evict_if_full(&self, inner: &mut PoolInner) {
+        while inner.frames.len() >= inner.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .expect("nonempty");
+            let frame = inner.frames.remove(&victim).expect("present");
+            if frame.dirty {
+                self.disk.write(victim, &frame.buf);
+                inner.stats.writebacks += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_through_and_cache_hit() {
+        let disk = Disk::new();
+        let id = disk.allocate();
+        let pool = BufferPool::new(disk.clone(), 4);
+        pool.with_page(id, |p| assert_eq!(p[0], 0));
+        pool.with_page(id, |p| assert_eq!(p[0], 0));
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        // Only one physical read despite two accesses.
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn dirty_page_written_back_on_eviction() {
+        let disk = Disk::new();
+        let ids: Vec<_> = (0..3).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::new(disk.clone(), 2);
+        pool.with_page_mut(ids[0], |p| p[0] = 42);
+        pool.with_page(ids[1], |_| {});
+        pool.with_page(ids[2], |_| {}); // evicts ids[0]
+        assert_eq!(disk.read(ids[0])[0], 42);
+    }
+
+    #[test]
+    fn flush_persists_everything() {
+        let disk = Disk::new();
+        let id = disk.allocate();
+        let pool = BufferPool::new(disk.clone(), 4);
+        pool.with_page_mut(id, |p| p[7] = 9);
+        pool.flush();
+        assert_eq!(disk.read(id)[7], 9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let disk = Disk::new();
+        let ids: Vec<_> = (0..3).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::new(disk.clone(), 2);
+        pool.with_page(ids[0], |_| {});
+        pool.with_page(ids[1], |_| {});
+        pool.with_page(ids[0], |_| {}); // ids[1] is now LRU
+        pool.with_page(ids[2], |_| {}); // evicts ids[1]
+        disk.reset_stats();
+        pool.with_page(ids[0], |_| {}); // still cached
+        assert_eq!(disk.stats().reads, 0);
+        pool.with_page(ids[1], |_| {}); // was evicted
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_reads() {
+        let disk = Disk::new();
+        let id = disk.allocate();
+        let pool = BufferPool::new(disk.clone(), 4);
+        pool.with_page_mut(id, |p| p[0] = 5);
+        pool.clear_cache();
+        disk.reset_stats();
+        pool.with_page(id, |p| assert_eq!(p[0], 5));
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn allocate_through_pool_is_resident() {
+        let disk = Disk::new();
+        let pool = BufferPool::new(disk.clone(), 4);
+        let id = pool.allocate();
+        disk.reset_stats();
+        pool.with_page_mut(id, |p| p[1] = 1);
+        assert_eq!(disk.stats().reads, 0);
+    }
+}

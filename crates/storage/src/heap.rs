@@ -1,0 +1,246 @@
+//! Heap file of fixed-length records.
+//!
+//! The paper stores physical records in an external file with the B+-tree
+//! leaves pointing at them by record identifier (`rid`, Figure 2). Records
+//! are `RecLen` bytes (default 512, Table 2). Rids are dense indexes into
+//! the file, which is what lets the freshness protocol's update summaries
+//! address records by bit position.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::disk::{PageId, PAGE_SIZE};
+
+/// Record identifier: dense index into the heap file.
+pub type Rid = u64;
+
+struct HeapInner {
+    pages: Vec<PageId>,
+    record_len: usize,
+    per_page: usize,
+    count: u64,
+    /// Tombstone flags for deleted rids (rids are never reused, so the
+    /// freshness bitmap positions stay stable).
+    deleted: Vec<bool>,
+}
+
+/// A heap file of fixed-length records on the simulated disk.
+#[derive(Clone)]
+pub struct HeapFile {
+    pool: BufferPool,
+    inner: Arc<RwLock<HeapInner>>,
+}
+
+impl HeapFile {
+    /// Create an empty heap of `record_len`-byte records.
+    ///
+    /// # Panics
+    /// Panics if `record_len` is zero or larger than a page.
+    pub fn new(pool: BufferPool, record_len: usize) -> Self {
+        assert!(
+            record_len > 0 && record_len <= PAGE_SIZE,
+            "record length must be in 1..={PAGE_SIZE}"
+        );
+        HeapFile {
+            pool,
+            inner: Arc::new(RwLock::new(HeapInner {
+                pages: Vec::new(),
+                record_len,
+                per_page: PAGE_SIZE / record_len,
+                count: 0,
+                deleted: Vec::new(),
+            })),
+        }
+    }
+
+    /// Record length in bytes.
+    pub fn record_len(&self) -> usize {
+        self.inner.read().record_len
+    }
+
+    /// Number of records ever appended (including deleted ones).
+    pub fn len(&self) -> u64 {
+        self.inner.read().count
+    }
+
+    /// True iff no record was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_count(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.count - inner.deleted.iter().filter(|d| **d).count() as u64
+    }
+
+    /// Append a record, returning its rid.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly `record_len` bytes.
+    pub fn append(&self, data: &[u8]) -> Rid {
+        let mut inner = self.inner.write();
+        assert_eq!(inner.record_len, data.len(), "wrong record length");
+        let rid = inner.count;
+        let slot = (rid % inner.per_page as u64) as usize;
+        if slot == 0 {
+            let page = self.pool.allocate();
+            inner.pages.push(page);
+        }
+        let page = *inner.pages.last().expect("page allocated");
+        let off = slot * inner.record_len;
+        let len = inner.record_len;
+        self.pool
+            .with_page_mut(page, |p| p[off..off + len].copy_from_slice(data));
+        inner.count += 1;
+        inner.deleted.push(false);
+        rid
+    }
+
+    /// Read record `rid`; `None` if out of range or deleted.
+    pub fn read(&self, rid: Rid) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        if rid >= inner.count || inner.deleted[rid as usize] {
+            return None;
+        }
+        let (page, off, len) = locate(&inner, rid);
+        Some(self.pool.with_page(page, |p| p[off..off + len].to_vec()))
+    }
+
+    /// Overwrite record `rid`; returns false if out of range or deleted.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly `record_len` bytes.
+    pub fn update(&self, rid: Rid, data: &[u8]) -> bool {
+        let inner = self.inner.read();
+        assert_eq!(inner.record_len, data.len(), "wrong record length");
+        if rid >= inner.count || inner.deleted[rid as usize] {
+            return false;
+        }
+        let (page, off, len) = locate(&inner, rid);
+        self.pool
+            .with_page_mut(page, |p| p[off..off + len].copy_from_slice(data));
+        true
+    }
+
+    /// Tombstone record `rid`; returns false if already deleted/out of range.
+    pub fn delete(&self, rid: Rid) -> bool {
+        let mut inner = self.inner.write();
+        if rid >= inner.count || inner.deleted[rid as usize] {
+            return false;
+        }
+        inner.deleted[rid as usize] = true;
+        true
+    }
+
+    /// True iff `rid` exists and is not deleted.
+    pub fn exists(&self, rid: Rid) -> bool {
+        let inner = self.inner.read();
+        rid < inner.count && !inner.deleted[rid as usize]
+    }
+
+    /// Rids sharing the disk page of `rid` (the paper's active-renewal
+    /// piggyback: "the DA takes the opportunity to examine the other records
+    /// in the disk block", Section 3.1). Includes `rid` itself.
+    pub fn rids_on_same_page(&self, rid: Rid) -> Vec<Rid> {
+        let inner = self.inner.read();
+        if rid >= inner.count {
+            return Vec::new();
+        }
+        let page_idx = rid / inner.per_page as u64;
+        let start = page_idx * inner.per_page as u64;
+        let end = (start + inner.per_page as u64).min(inner.count);
+        (start..end)
+            .filter(|r| !inner.deleted[*r as usize])
+            .collect()
+    }
+}
+
+fn locate(inner: &HeapInner, rid: Rid) -> (PageId, usize, usize) {
+    let page = inner.pages[(rid / inner.per_page as u64) as usize];
+    let off = (rid % inner.per_page as u64) as usize * inner.record_len;
+    (page, off, inner.record_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+
+    fn heap(record_len: usize) -> HeapFile {
+        let disk = Disk::new();
+        HeapFile::new(BufferPool::new(disk, 64), record_len)
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let h = heap(512);
+        let rec = vec![7u8; 512];
+        let rid = h.append(&rec);
+        assert_eq!(h.read(rid).unwrap(), rec);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn rids_are_dense() {
+        let h = heap(100);
+        for i in 0..50u64 {
+            assert_eq!(h.append(&[i as u8; 100]), i);
+        }
+        for i in 0..50u64 {
+            assert_eq!(h.read(i).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let h = heap(64);
+        let rid = h.append(&[1u8; 64]);
+        assert!(h.update(rid, &[2u8; 64]));
+        assert_eq!(h.read(rid).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn delete_tombstones_without_rid_reuse() {
+        let h = heap(64);
+        let a = h.append(&[1u8; 64]);
+        assert!(h.delete(a));
+        assert!(!h.delete(a));
+        assert!(h.read(a).is_none());
+        assert!(!h.exists(a));
+        let b = h.append(&[2u8; 64]);
+        assert_ne!(a, b, "rids must not be reused");
+        assert_eq!(h.live_count(), 1);
+    }
+
+    #[test]
+    fn records_span_multiple_pages() {
+        let h = heap(512); // 8 per page
+        for i in 0..20u64 {
+            h.append(&vec![(i % 251) as u8; 512]);
+        }
+        for i in 0..20u64 {
+            assert_eq!(h.read(i).unwrap()[0], (i % 251) as u8);
+        }
+    }
+
+    #[test]
+    fn same_page_neighbors() {
+        let h = heap(512); // 8 per page
+        for i in 0..20u64 {
+            h.append(&vec![i as u8; 512]);
+        }
+        let n = h.rids_on_same_page(3);
+        assert_eq!(n, (0..8).collect::<Vec<u64>>());
+        let n2 = h.rids_on_same_page(17);
+        assert_eq!(n2, (16..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong record length")]
+    fn append_rejects_wrong_length() {
+        let h = heap(64);
+        h.append(&[0u8; 63]);
+    }
+}

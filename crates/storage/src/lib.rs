@@ -1,0 +1,20 @@
+//! # authdb-storage
+//!
+//! Paged storage substrate for the `authdb` workspace:
+//!
+//! * [`disk`] — simulated 4-KB-page block device with I/O accounting.
+//! * [`buffer`] — LRU buffer pool with hit/miss statistics.
+//! * [`heap`] — fixed-length-record heap file addressed by dense rids.
+//!
+//! Everything is in-memory; "disk" traffic is *counted*, and the simulator
+//! crate converts counts to time with a calibrated cost model. This keeps the
+//! experiments deterministic while preserving the I/O structure the paper's
+//! evaluation depends on (tree heights, update path lengths, page layouts).
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use disk::{Disk, IoStats, PageId, PAGE_SIZE};
+pub use heap::{HeapFile, Rid};
