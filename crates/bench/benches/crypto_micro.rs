@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use authdb_crypto::bls::BlsPrivateKey;
-use authdb_crypto::bn254::{pairing, Fr, G1, G2};
+use authdb_crypto::bn254::{
+    final_exponentiation, multi_miller_loop, pairing, Fr, G2Prepared, G1, G2,
+};
 use authdb_crypto::rsa::RsaPrivateKey;
 use authdb_crypto::sha1::sha1;
 use authdb_crypto::sha256::sha256;
@@ -43,6 +45,145 @@ fn bench_bn254(c: &mut Criterion) {
     g.finish();
 }
 
+/// The seed tree's reduced Tate pairing, reconstructed against public
+/// APIs: a 254-bit Miller loop over multiples of P with per-step affine
+/// inversions, and a square-and-multiply final exponentiation over the
+/// 1270-bit `(p⁶+1)/r`. Kept as the "before" baseline the multi-pairing
+/// engine is measured against.
+mod tate_baseline {
+    use authdb_crypto::bigint::BigUint;
+    use authdb_crypto::bn254::curve::Affine;
+    use authdb_crypto::bn254::fp::{FieldParams, Fp, FpParams, FrParams};
+    use authdb_crypto::bn254::{Fp12, Fp2, G1, G2};
+    use std::sync::OnceLock;
+
+    fn hard_exponent() -> &'static Vec<u64> {
+        static E: OnceLock<Vec<u64>> = OnceLock::new();
+        E.get_or_init(|| {
+            let p = BigUint::from_limbs(FpParams::MODULUS.to_vec());
+            let r = BigUint::from_limbs(FrParams::MODULUS.to_vec());
+            let p6 = p.mul(&p).mul(&p).mul(&p).mul(&p).mul(&p);
+            let (q, rem) = p6.add(&BigUint::one()).divrem(&r);
+            assert!(rem.is_zero());
+            q.limbs().to_vec()
+        })
+    }
+
+    type AffPt = Option<(Fp, Fp)>;
+
+    fn eval_line(f: &Fp12, lambda: &Fp, t: &(Fp, Fp), xq: &Fp2, yq: &Fp2) -> Fp12 {
+        let a = Fp2::from_fp(lambda.mul(&t.0).sub(&t.1));
+        let b = xq.mul_fp(&lambda.neg());
+        f.mul_by_line(&a, &b, yq)
+    }
+
+    fn double_step(f: &Fp12, t: &mut AffPt, xq: &Fp2, yq: &Fp2) -> Fp12 {
+        let Some(pt) = *t else { return *f };
+        if pt.1.is_zero() {
+            *t = None;
+            return *f;
+        }
+        let three_x2 = pt.0.square().mul(&Fp::from_u64(3));
+        let lambda = three_x2.mul(&pt.1.double().invert().expect("y nonzero"));
+        let out = eval_line(f, &lambda, &pt, xq, yq);
+        let x3 = lambda.square().sub(&pt.0.double());
+        let y3 = lambda.mul(&pt.0.sub(&x3)).sub(&pt.1);
+        *t = Some((x3, y3));
+        out
+    }
+
+    fn add_step(f: &Fp12, t: &mut AffPt, p: &(Fp, Fp), xq: &Fp2, yq: &Fp2) -> Fp12 {
+        let Some(pt) = *t else {
+            *t = Some(*p);
+            return *f;
+        };
+        if pt.0 == p.0 {
+            if pt.1 == p.1 {
+                return double_step(f, t, xq, yq);
+            }
+            *t = None;
+            return *f;
+        }
+        let lambda =
+            p.1.sub(&pt.1)
+                .mul(&p.0.sub(&pt.0).invert().expect("x1 != x2"));
+        let out = eval_line(f, &lambda, &pt, xq, yq);
+        let x3 = lambda.square().sub(&pt.0).sub(&p.0);
+        let y3 = lambda.mul(&pt.0.sub(&x3)).sub(&pt.1);
+        *t = Some((x3, y3));
+        out
+    }
+
+    /// The seed's `pairing()`: Tate Miller loop plus a per-call
+    /// square-and-multiply final exponentiation.
+    pub fn pairing(p: &G1, q: &G2) -> Fp12 {
+        let (Affine::Coords(px, py), Affine::Coords(qx, qy)) = (p.to_affine(), q.to_affine())
+        else {
+            return Fp12::one();
+        };
+        let p_aff = (px, py);
+        let r_bits = FrParams::MODULUS;
+        let nbits = 254;
+        let mut f = Fp12::one();
+        let mut t: AffPt = Some(p_aff);
+        for i in (0..nbits - 1).rev() {
+            f = f.square();
+            f = double_step(&f, &mut t, &qx, &qy);
+            if (r_bits[i / 64] >> (i % 64)) & 1 == 1 {
+                f = add_step(&f, &mut t, &p_aff, &qx, &qy);
+            }
+        }
+        let inv = f.invert().expect("nonzero");
+        let easy = f.conjugate().mul(&inv);
+        easy.pow(hard_exponent())
+    }
+}
+
+/// The multi-pairing engine against independent pairings: a k-message
+/// aggregate verification is 1 multi-Miller-loop + 1 final exponentiation
+/// versus k+1 full `pairing()` calls. The acceptance bar is ≥2× at k=16.
+fn bench_multi_pairing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut g = c.benchmark_group("multi_pairing");
+    g.sample_size(10);
+
+    let p = G1::generator();
+    let q = G2::generator();
+    g.bench_function("pairing_tate_seed_baseline", |b| {
+        b.iter(|| tate_baseline::pairing(&p, &q))
+    });
+    g.bench_function("pairing_single", |b| b.iter(|| pairing(&p, &q)));
+
+    // Fixed-key preparation, as in verification: prepared once, reused.
+    let prep = G2Prepared::new(&q);
+    let pa = p.to_affine();
+    g.bench_function("pairing_single_prepared", |b| {
+        b.iter(|| final_exponentiation(&multi_miller_loop(&[(&pa, &prep)])))
+    });
+
+    for k in [4usize, 16, 64] {
+        // k+1 terms model verify_aggregate: the aggregate against the
+        // generator plus the hash-sum against the public key — here k+1
+        // random points against one prepared key.
+        let points: Vec<_> = (0..=k)
+            .map(|_| p.mul_fr(&Fr::random(&mut rng)).to_affine())
+            .collect();
+        let terms: Vec<_> = points.iter().map(|pt| (pt, &prep)).collect();
+        g.bench_function(format!("multi_pairing_k{k}"), |b| {
+            b.iter(|| final_exponentiation(&multi_miller_loop(&terms)))
+        });
+        g.bench_function(format!("independent_pairings_k{k}"), |b| {
+            b.iter(|| {
+                points
+                    .iter()
+                    .map(|pt| final_exponentiation(&multi_miller_loop(&[(pt, &prep)])))
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_bls(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let sk = BlsPrivateKey::generate(&mut rng);
@@ -76,9 +217,7 @@ fn bench_rsa(c: &mut Criterion) {
     g.bench_function("verify_1024", |b| {
         b.iter(|| pk.verify(b"record content", &sig))
     });
-    let sigs: Vec<_> = (0..100u32)
-        .map(|i| sk.sign(&i.to_be_bytes()))
-        .collect();
+    let sigs: Vec<_> = (0..100u32).map(|i| sk.sign(&i.to_be_bytes())).collect();
     g.bench_function("condense_100", |b| {
         b.iter_batched(
             || sigs.clone(),
@@ -89,5 +228,12 @@ fn bench_rsa(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hashing, bench_bn254, bench_bls, bench_rsa);
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_bn254,
+    bench_multi_pairing,
+    bench_bls,
+    bench_rsa
+);
 criterion_main!(benches);

@@ -9,9 +9,7 @@
 //! to obtain contended response times.
 
 use authdb_bench::{banner, csv_begin, csv_end, env_n};
-use authdb_core::sigcache::{
-    select_cache, NodeId, RefreshStrategy, SigCache, SigTreeAnalysis,
-};
+use authdb_core::sigcache::{select_cache, NodeId, RefreshStrategy, SigCache, SigTreeAnalysis};
 use authdb_crypto::signer::{Keypair, SchemeKind, Signature};
 use authdb_sim::{des, CostModel, SimConfig, Step, TxnKind, TxnSpec};
 use rand::rngs::StdRng;
@@ -55,11 +53,11 @@ fn run_point(
     let pp = kp.public_params();
     let mut cache = SigCache::build(pp.clone(), leaves, selection, strategy);
     let cache_kb = selection.len() as f64 * 20.0 / 1024.0; // paper's 20-B sigs
+
     // Identical arrival/query trace across every point: the comparison
     // isolates the cache effect, not Poisson noise.
     let mut rng = StdRng::seed_from_u64(1000);
-    let sampler =
-        authdb_workload::cardinality::CardinalitySampler::new(&cardinality_probs(n));
+    let sampler = authdb_workload::cardinality::CardinalitySampler::new(&cardinality_probs(n));
 
     // Build the trace: per-transaction service times from real op counts.
     let mut specs = Vec::new();
@@ -136,9 +134,16 @@ fn main() {
     let n = 1usize << 20;
     let _ = env_n();
     let rate = 50.0;
-    let duration = if authdb_bench::full_scale() { 120.0 } else { 60.0 };
+    let duration = if authdb_bench::full_scale() {
+        120.0
+    } else {
+        60.0
+    };
     let cost = CostModel::pinned();
-    println!("N = {n} positions, 50 jobs/s, skewed cardinalities, ECC add = {:.2} µs", cost.ecc_add * 1e6);
+    println!(
+        "N = {n} positions, 50 jobs/s, skewed cardinalities, ECC add = {:.2} µs",
+        cost.ecc_add * 1e6
+    );
 
     let mut rng = StdRng::seed_from_u64(10);
     let kp = Keypair::generate(SchemeKind::Mock, &mut rng);
@@ -155,7 +160,11 @@ fn main() {
         "Algorithm 1 chose {} nodes (expected cost {:.0} -> {:.0} ops)",
         full_selection.chosen.len(),
         full_selection.base_cost,
-        full_selection.cost_curve.last().copied().unwrap_or(full_selection.base_cost)
+        full_selection
+            .cost_curve
+            .last()
+            .copied()
+            .unwrap_or(full_selection.base_cost)
     );
 
     for upd_pct in [10.0, 40.0] {
@@ -173,21 +182,31 @@ fn main() {
         node_counts.retain(|&c| c <= max_nodes);
         node_counts.dedup();
         for nodes in node_counts {
-            let selection: Vec<NodeId> = full_selection
-                .chosen
-                .iter()
-                .copied()
-                .take(nodes)
-                .collect();
+            let selection: Vec<NodeId> =
+                full_selection.chosen.iter().copied().take(nodes).collect();
             let mut leaves = base_leaves.clone();
             let eager = run_point(
-                n, &mut leaves, &kp, &selection, RefreshStrategy::Eager, upd_pct, rate,
-                duration, &cost,
+                n,
+                &mut leaves,
+                &kp,
+                &selection,
+                RefreshStrategy::Eager,
+                upd_pct,
+                rate,
+                duration,
+                &cost,
             );
             let mut leaves = base_leaves.clone();
             let lazy = run_point(
-                n, &mut leaves, &kp, &selection, RefreshStrategy::Lazy, upd_pct, rate,
-                duration, &cost,
+                n,
+                &mut leaves,
+                &kp,
+                &selection,
+                RefreshStrategy::Lazy,
+                upd_pct,
+                rate,
+                duration,
+                &cost,
             );
             println!(
                 "{:>9.1} | {:>9.1}ms {:>9.1}ms | {:>9.1}ms {:>9.1}ms",
@@ -200,7 +219,12 @@ fn main() {
             if nodes == 0 {
                 first_q = Some((eager.query_ms, lazy.query_ms));
             }
-            last_q = Some((eager.query_ms, lazy.query_ms, lazy.update_ms, eager.update_ms));
+            last_q = Some((
+                eager.query_ms,
+                lazy.query_ms,
+                lazy.update_ms,
+                eager.update_ms,
+            ));
         }
         csv_end();
         let (e0, l0) = first_q.unwrap();

@@ -131,7 +131,10 @@ fn one_join(
 }
 
 fn main() {
-    banner("Figure 11", "PK-FK equi-join VO sizes: BV vs BF (TPC-E-like)");
+    banner(
+        "Figure 11",
+        "PK-FK equi-join VO sizes: BV vs BF (TPC-E-like)",
+    );
     let scale = if full_scale() { 1 } else { 5 };
     let n_s = tpce::N_S / scale;
     let i_b = tpce::I_B;
@@ -145,7 +148,10 @@ fn main() {
 
     // ---- (a) match ratio sweep ----
     println!("\n(a) VO size vs alpha (selectivity 20%, m/I_B = 8, I_B/p = 4):");
-    println!("{:>6} | {:>10} | {:>10} | {:>8} | {:>10} | {:>10}", "alpha", "BV", "BF", "BF/BV", "BV (f.2)", "BF (f.3)");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>8} | {:>10} | {:>10}",
+        "alpha", "BV", "BF", "BF/BV", "BV (f.2)", "BF (f.3)"
+    );
     csv_begin("alpha,bv_bytes,bf_bytes,bv_formula,bf_formula");
     for alpha in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
         let mut r = build_r(n_r, i_b, alpha);
@@ -218,7 +224,10 @@ fn main() {
 
     // ---- (d) selectivity sweep ----
     println!("\n(d) VO size vs selectivity on R (alpha = 0.5):");
-    println!("{:>6} | {:>10} | {:>10} | {:>8}", "sel%", "BV", "BF", "saved");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>8}",
+        "sel%", "BV", "BF", "saved"
+    );
     csv_begin("selectivity,bv_bytes,bf_bytes");
     for sel in [0.005, 0.05, 0.2, 0.5, 0.95] {
         let (bv, bf) = one_join(&mut bed, &mut r, sel, 4, 8.0);

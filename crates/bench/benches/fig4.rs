@@ -35,7 +35,10 @@ fn main() {
 
     println!("\nMinimum viable partition size I_B/p:");
     for r in [1.0, 2.0, 5.0, 10.0] {
-        println!("  I_A/I_B = {r:>4.1}: I_B/p >= {:.2}", viability::min_partition_size(r));
+        println!(
+            "  I_A/I_B = {r:>4.1}: I_B/p >= {:.2}",
+            viability::min_partition_size(r)
+        );
     }
     let t1 = viability::min_partition_size(1.0);
     let t10 = viability::min_partition_size(10.0);
@@ -44,6 +47,8 @@ fn main() {
     println!("\nPaper's annotated thresholds reproduced: 2.83 @ ratio 1, 6.29 @ ratio 10.");
 
     println!("\nNon-PK-FK regime (Section 3.5): BF not beneficial when I_B >= 7.83 I_A —");
-    println!("e.g. I_A/I_B = 1/8: min I_B/p = {:.1} (unbounded/negative => infeasible)",
-        viability::min_partition_size(1.0 / 8.0));
+    println!(
+        "e.g. I_A/I_B = 1/8: min I_B/p = {:.1} (unbounded/negative => infeasible)",
+        viability::min_partition_size(1.0 / 8.0)
+    );
 }

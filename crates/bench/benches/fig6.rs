@@ -25,7 +25,10 @@ fn run(label: &str, probs: Vec<f64>, ecc_add: f64, paper_picks: &[(usize, usize)
         sel.base_cost,
         fmt_time(sel.base_cost * ecc_add)
     );
-    println!("\n{:>6} | {:>14} | {:>12} | {:>9}", "pairs", "ops/query", "time/query", "saved");
+    println!(
+        "\n{:>6} | {:>14} | {:>12} | {:>9}",
+        "pairs", "ops/query", "time/query", "saved"
+    );
     println!("{:->6}-+-{:->14}-+-{:->12}-+-{:->9}", "", "", "", "");
     csv_begin("pairs,ops,seconds,saved_fraction");
     // Nodes come out in utility order; mirror nodes pair up.
@@ -55,7 +58,10 @@ fn run(label: &str, probs: Vec<f64>, ecc_add: f64, paper_picks: &[(usize, usize)
 
     println!("\nFirst chosen nodes (level, j):");
     for chunk in sel.chosen.chunks(4).take(4) {
-        let s: Vec<String> = chunk.iter().map(|c| format!("T{},{}", c.level, c.j)).collect();
+        let s: Vec<String> = chunk
+            .iter()
+            .map(|c| format!("T{},{}", c.level, c.j))
+            .collect();
         println!("  {}", s.join("  "));
     }
     let missing: Vec<&(usize, usize)> = paper_picks
@@ -86,16 +92,47 @@ fn main() {
     );
     let n = 1usize << 20; // the paper's one-million-record dataset
     let ecc_add = CostModel::measure().ecc_add;
-    println!("Measured ECC addition (aggregation) cost: {}", fmt_time(ecc_add));
+    println!(
+        "Measured ECC addition (aggregation) cost: {}",
+        fmt_time(ecc_add)
+    );
 
     // The paper's published pick lists for N = 2^20 (Section 4.1).
     let skewed_picks = [
-        (18, 1), (18, 2), (17, 1), (17, 6), (16, 1), (16, 14), (15, 1), (15, 30),
-        (15, 5), (15, 26), (14, 1), (14, 62), (14, 5), (14, 58), (13, 1), (13, 126),
+        (18, 1),
+        (18, 2),
+        (17, 1),
+        (17, 6),
+        (16, 1),
+        (16, 14),
+        (15, 1),
+        (15, 30),
+        (15, 5),
+        (15, 26),
+        (14, 1),
+        (14, 62),
+        (14, 5),
+        (14, 58),
+        (13, 1),
+        (13, 126),
     ];
     let uniform_picks = [
-        (18, 1), (18, 2), (17, 1), (17, 6), (16, 1), (16, 14), (15, 1), (15, 30),
-        (15, 5), (15, 26), (14, 1), (14, 62), (14, 5), (14, 58), (14, 9), (14, 54),
+        (18, 1),
+        (18, 2),
+        (17, 1),
+        (17, 6),
+        (16, 1),
+        (16, 14),
+        (15, 1),
+        (15, 30),
+        (15, 5),
+        (15, 26),
+        (14, 1),
+        (14, 62),
+        (14, 5),
+        (14, 58),
+        (14, 9),
+        (14, 54),
     ];
 
     run(

@@ -24,9 +24,27 @@ fn sweep(q_records: usize, rates: &[f64], duration: f64) {
     let mut crossover_seen = false;
     for &rate in rates {
         let mut rng = StdRng::seed_from_u64(rate as u64 + 7);
-        let emb = run_load(System::Emb, rate, 10.0, q_records, duration, &sys, &cost, &mut rng);
+        let emb = run_load(
+            System::Emb,
+            rate,
+            10.0,
+            q_records,
+            duration,
+            &sys,
+            &cost,
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(rate as u64 + 7);
-        let bas = run_load(System::Bas, rate, 10.0, q_records, duration, &sys, &cost, &mut rng);
+        let bas = run_load(
+            System::Bas,
+            rate,
+            10.0,
+            q_records,
+            duration,
+            &sys,
+            &cost,
+            &mut rng,
+        );
         println!(
             "{rate:>6.0} | {:>10.1}ms {:>10.1}ms | {:>10.1}ms {:>10.1}ms",
             emb.query.mean_response * 1e3,
@@ -62,7 +80,9 @@ fn sweep(q_records: usize, rates: &[f64], duration: f64) {
     for (system, name) in [(System::Emb, "EMB-"), (System::Bas, "BAS")] {
         for rate in [rates[1], rates[rates.len() - 2]] {
             let mut rng = StdRng::seed_from_u64(rate as u64 + 7);
-            let pt = run_load(system, rate, 10.0, q_records, duration, &sys, &cost, &mut rng);
+            let pt = run_load(
+                system, rate, 10.0, q_records, duration, &sys, &cost, &mut rng,
+            );
             println!(
                 "{name:<10} {rate:>6.0} | {:>9.1}m {:>11.1}m {:>11.1}m",
                 pt.query.mean_lock_wait * 1e3,
@@ -85,7 +105,11 @@ fn main() {
         "Figure 7",
         "EMB- vs BAS, point queries (sf = 1e-6), Upd% = 10",
     );
-    let duration = if authdb_bench::full_scale() { 120.0 } else { 40.0 };
+    let duration = if authdb_bench::full_scale() {
+        120.0
+    } else {
+        40.0
+    };
     sweep(1, &[10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0], duration);
     println!("\nPaper shape: EMB- saturates near 50 jobs/s; BAS scales to 120 jobs/s.");
 }

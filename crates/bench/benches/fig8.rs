@@ -54,8 +54,7 @@ fn run_cell(n: usize, rho_seconds: f64, rho_prime_ratio: u64, upd_per_sec: f64) 
     for period in 0..(warm_periods + measure_periods) {
         da.advance_clock(rho_ticks);
         // Poisson-ish update count for the period.
-        let k = upd_per_period.floor() as usize
-            + usize::from(rng.gen_bool(upd_per_period.fract()));
+        let k = upd_per_period.floor() as usize + usize::from(rng.gen_bool(upd_per_period.fract()));
         for _ in 0..k {
             let rid = rng.gen_range(0..n as u64);
             if da.record(rid).is_some() {
@@ -85,7 +84,10 @@ fn run_cell(n: usize, rho_seconds: f64, rho_prime_ratio: u64, upd_per_sec: f64) 
 }
 
 fn main() {
-    banner("Figure 8", "Compressed update summaries vs renewal age rho'");
+    banner(
+        "Figure 8",
+        "Compressed update summaries vs renewal age rho'",
+    );
     let n = env_n().min(200_000); // bitmap scale; summary sizes scale with updates, not N
     let upd_per_sec = 5.0; // 50 jobs/s x 10% updates (Table 2 defaults)
     println!("N = {n}, update rate = {upd_per_sec}/s\n");
@@ -94,7 +96,10 @@ fn main() {
         "{:>5} {:>8} | {:>14} | {:>12} | {:>14}",
         "rho", "rho'/rho", "bitmap/period", "avg sig age", "total summary"
     );
-    println!("{:->5}-{:->8}-+-{:->14}-+-{:->12}-+-{:->14}", "", "", "", "", "");
+    println!(
+        "{:->5}-{:->8}-+-{:->14}-+-{:->12}-+-{:->14}",
+        "", "", "", "", ""
+    );
     csv_begin("rho_s,rho_prime_ratio,bitmap_bytes,avg_age_s,total_bytes");
     let mut per_rho: Vec<(f64, Vec<Point>)> = Vec::new();
     for rho_seconds in [0.5, 1.0] {
@@ -122,11 +127,15 @@ fn main() {
     // Shape checks: bitmaps shrink and ages grow as rho' relaxes.
     for (rho, points) in &per_rho {
         assert!(
-            points.windows(2).all(|w| w[1].bitmap_bytes <= w[0].bitmap_bytes * 1.1),
+            points
+                .windows(2)
+                .all(|w| w[1].bitmap_bytes <= w[0].bitmap_bytes * 1.1),
             "rho={rho}: bitmap size must decline as rho' grows"
         );
         assert!(
-            points.windows(2).all(|w| w[1].avg_age_seconds >= w[0].avg_age_seconds * 0.9),
+            points
+                .windows(2)
+                .all(|w| w[1].avg_age_seconds >= w[0].avg_age_seconds * 0.9),
             "rho={rho}: signature age must grow with rho'"
         );
         let _ = points.last().map(|p| {

@@ -17,7 +17,11 @@ fn main() {
     );
     let sys = SystemModel::paper_defaults();
     let cost = CostModel::pinned();
-    let duration = if authdb_bench::full_scale() { 120.0 } else { 40.0 };
+    let duration = if authdb_bench::full_scale() {
+        120.0
+    } else {
+        40.0
+    };
     let rates = [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0];
 
     println!(
@@ -30,9 +34,27 @@ fn main() {
     let mut bas_at_max = 0.0;
     for &rate in &rates {
         let mut rng = StdRng::seed_from_u64(rate as u64 + 11);
-        let emb = run_load(System::Emb, rate, 10.0, 1000, duration, &sys, &cost, &mut rng);
+        let emb = run_load(
+            System::Emb,
+            rate,
+            10.0,
+            1000,
+            duration,
+            &sys,
+            &cost,
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(rate as u64 + 11);
-        let bas = run_load(System::Bas, rate, 10.0, 1000, duration, &sys, &cost, &mut rng);
+        let bas = run_load(
+            System::Bas,
+            rate,
+            10.0,
+            1000,
+            duration,
+            &sys,
+            &cost,
+            &mut rng,
+        );
         println!(
             "{rate:>6.0} | {:>10.1}ms {:>10.1}ms | {:>10.1}ms {:>10.1}ms",
             emb.query.mean_response * 1e3,

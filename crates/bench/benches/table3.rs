@@ -20,7 +20,13 @@ struct Row {
     measured: f64,
 }
 
-fn measure_scheme(kind: SchemeKind, rng: &mut StdRng, rows: &mut Vec<Row>, names: [&'static str; 4], paper: [&'static str; 4]) {
+fn measure_scheme(
+    kind: SchemeKind,
+    rng: &mut StdRng,
+    rows: &mut Vec<Row>,
+    names: [&'static str; 4],
+    paper: [&'static str; 4],
+) {
     let kp = Keypair::generate(kind, rng);
     let pp = kp.public_params();
     let msgs: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
@@ -69,7 +75,10 @@ fn measure_scheme(kind: SchemeKind, rng: &mut StdRng, rows: &mut Vec<Row>, names
 }
 
 fn main() {
-    banner("Table 3", "Costs of Cryptographic Primitives (paper 'Current' vs ours)");
+    banner(
+        "Table 3",
+        "Costs of Cryptographic Primitives (paper 'Current' vs ours)",
+    );
     let mut rng = StdRng::seed_from_u64(3);
     let mut rows = Vec::new();
 
@@ -131,11 +140,19 @@ fn main() {
         });
     }
 
-    println!("\n{:<36} | {:>12} | {:>12}", "Operation", "Paper (2009)", "Measured");
+    println!(
+        "\n{:<36} | {:>12} | {:>12}",
+        "Operation", "Paper (2009)", "Measured"
+    );
     println!("{:-<36}-+-{:->12}-+-{:->12}", "", "", "");
     csv_begin("operation,paper,measured_seconds");
     for r in &rows {
-        println!("{:<36} | {:>12} | {:>12}", r.name, r.paper, fmt_time(r.measured));
+        println!(
+            "{:<36} | {:>12} | {:>12}",
+            r.name,
+            r.paper,
+            fmt_time(r.measured)
+        );
         println!("\"{}\",\"{}\",{:e}", r.name, r.paper, r.measured);
     }
     csv_end();
@@ -154,5 +171,7 @@ fn main() {
         get("SHA-1, 512-byte message") < get("BAS signing"),
         "hashing must be orders cheaper than signing"
     );
-    println!("\nShape checks passed: BAS verify > BAS sign; RSA verify << BAS verify; hash << sign.");
+    println!(
+        "\nShape checks passed: BAS verify > BAS sign; RSA verify << BAS verify; hash << sign."
+    );
 }

@@ -27,7 +27,10 @@ struct Cell {
 }
 
 fn main() {
-    banner("Table 4", "Standalone queries & updates: EMB- vs BAS (real crypto)");
+    banner(
+        "Table 4",
+        "Standalone queries & updates: EMB- vs BAS (real crypto)",
+    );
     let n = env_n();
     let jobs = env_jobs();
     let schema = Schema::new(4, 512);
@@ -64,39 +67,40 @@ fn main() {
     let verifier = Verifier::new(da.public_params(), schema, 1);
     let pp = da.public_params();
 
-    let bas_cell = |qs: &mut QueryServer, da: &mut DataAggregator, span: usize, rng: &mut StdRng| {
-        let mut query = 0.0;
-        let mut verify = 0.0;
-        let mut update = 0.0;
-        let mut vo = 0;
-        for _ in 0..reps {
-            let lo = rng.gen_range(0..(n - span)) as i64;
-            let hi = lo + span as i64 - 1;
-            let t = Instant::now();
-            let ans = qs.select_range(lo, hi);
-            query += t.elapsed().as_secs_f64();
-            vo = ans.vo_size(&pp);
-            let t = Instant::now();
-            verifier
-                .verify_selection(lo, hi, &ans, da.now(), true)
-                .expect("honest answer verifies");
-            verify += t.elapsed().as_secs_f64();
+    let bas_cell =
+        |qs: &mut QueryServer, da: &mut DataAggregator, span: usize, rng: &mut StdRng| {
+            let mut query = 0.0;
+            let mut verify = 0.0;
+            let mut update = 0.0;
+            let mut vo = 0;
+            for _ in 0..reps {
+                let lo = rng.gen_range(0..(n - span)) as i64;
+                let hi = lo + span as i64 - 1;
+                let t = Instant::now();
+                let ans = qs.select_range(lo, hi);
+                query += t.elapsed().as_secs_f64();
+                vo = ans.vo_size(&pp);
+                let t = Instant::now();
+                verifier
+                    .verify_selection(lo, hi, &ans, da.now(), true)
+                    .expect("honest answer verifies");
+                verify += t.elapsed().as_secs_f64();
 
-            let rid = rng.gen_range(0..n as u64);
-            let new_val = rng.gen_range(0..1_000_000);
-            let t = Instant::now();
-            for m in da.update_record(rid, vec![rid as i64, new_val, 0, 0]) {
-                qs.apply(&m);
+                let rid = rng.gen_range(0..n as u64);
+                let new_val = rng.gen_range(0..1_000_000);
+                let t = Instant::now();
+                for m in da.update_record(rid, vec![rid as i64, new_val, 0, 0]) {
+                    qs.apply(&m);
+                }
+                update += t.elapsed().as_secs_f64();
             }
-            update += t.elapsed().as_secs_f64();
-        }
-        Cell {
-            query: query / reps as f64,
-            update: update / reps as f64,
-            vo,
-            verify: verify / reps as f64,
-        }
-    };
+            Cell {
+                query: query / reps as f64,
+                update: update / reps as f64,
+                vo,
+                verify: verify / reps as f64,
+            }
+        };
     let span_point = 1usize;
     let span_range = (n / 1000).max(2);
     let bas_point = bas_cell(&mut qs, &mut da, span_point, &mut rng);
@@ -109,39 +113,45 @@ fn main() {
     let epp = kp.public_params();
     let mut eda = EmbAggregator::new(schema, DigestKind::Sha1, kp, 16384, 2.0 / 3.0);
     let (records, root) = eda.bootstrap(rows);
-    let mut eserver = EmbServer::from_bootstrap(schema, DigestKind::Sha1, &records, root, 16384, 2.0 / 3.0);
+    let mut eserver =
+        EmbServer::from_bootstrap(schema, DigestKind::Sha1, &records, root, 16384, 2.0 / 3.0);
     let everifier = EmbVerifier::new(epp.clone(), schema, DigestKind::Sha1);
 
-    let emb_cell = |server: &mut EmbServer, da: &mut EmbAggregator, span: usize, rng: &mut StdRng| {
-        let mut query = 0.0;
-        let mut verify = 0.0;
-        let mut update = 0.0;
-        let mut vo = 0;
-        for _ in 0..reps {
-            let lo = rng.gen_range(0..(n - span)) as i64;
-            let hi = lo + span as i64 - 1;
-            let t = Instant::now();
-            let ans = server.range_query(lo, hi);
-            query += t.elapsed().as_secs_f64();
-            vo = ans.vo_size(&epp);
-            let t = Instant::now();
-            everifier.verify(lo, hi, &ans).expect("honest answer verifies");
-            verify += t.elapsed().as_secs_f64();
+    let emb_cell =
+        |server: &mut EmbServer, da: &mut EmbAggregator, span: usize, rng: &mut StdRng| {
+            let mut query = 0.0;
+            let mut verify = 0.0;
+            let mut update = 0.0;
+            let mut vo = 0;
+            for _ in 0..reps {
+                let lo = rng.gen_range(0..(n - span)) as i64;
+                let hi = lo + span as i64 - 1;
+                let t = Instant::now();
+                let ans = server.range_query(lo, hi);
+                query += t.elapsed().as_secs_f64();
+                vo = ans.vo_size(&epp);
+                let t = Instant::now();
+                everifier
+                    .verify(lo, hi, &ans)
+                    .expect("honest answer verifies");
+                verify += t.elapsed().as_secs_f64();
 
-            let rid = rng.gen_range(0..n as u64);
-            let new_val = rng.gen_range(0..1_000_000);
-            let t = Instant::now();
-            let up = da.update_record(rid, vec![rid as i64, new_val, 0, 0]).unwrap();
-            server.apply(&up);
-            update += t.elapsed().as_secs_f64();
-        }
-        Cell {
-            query: query / reps as f64,
-            update: update / reps as f64,
-            vo,
-            verify: verify / reps as f64,
-        }
-    };
+                let rid = rng.gen_range(0..n as u64);
+                let new_val = rng.gen_range(0..1_000_000);
+                let t = Instant::now();
+                let up = da
+                    .update_record(rid, vec![rid as i64, new_val, 0, 0])
+                    .unwrap();
+                server.apply(&up);
+                update += t.elapsed().as_secs_f64();
+            }
+            Cell {
+                query: query / reps as f64,
+                update: update / reps as f64,
+                vo,
+                verify: verify / reps as f64,
+            }
+        };
     let emb_point = emb_cell(&mut eserver, &mut eda, span_point, &mut rng);
     let emb_range = emb_cell(&mut eserver, &mut eda, span_range, &mut rng);
 
@@ -150,10 +160,30 @@ fn main() {
         println!("\n{label}");
         println!("{:<22} | {:>12} | {:>12}", "operation", "EMB-", "BAS");
         println!("{:-<22}-+-{:->12}-+-{:->12}", "", "", "");
-        println!("{:<22} | {:>12} | {:>12}", "Query", fmt_time(emb.query), fmt_time(bas.query));
-        println!("{:<22} | {:>12} | {:>12}", "Update", fmt_time(emb.update), fmt_time(bas.update));
-        println!("{:<22} | {:>12} | {:>12}", "VO size", fmt_bytes(emb.vo), fmt_bytes(bas.vo));
-        println!("{:<22} | {:>12} | {:>12}", "Verification", fmt_time(emb.verify), fmt_time(bas.verify));
+        println!(
+            "{:<22} | {:>12} | {:>12}",
+            "Query",
+            fmt_time(emb.query),
+            fmt_time(bas.query)
+        );
+        println!(
+            "{:<22} | {:>12} | {:>12}",
+            "Update",
+            fmt_time(emb.update),
+            fmt_time(bas.update)
+        );
+        println!(
+            "{:<22} | {:>12} | {:>12}",
+            "VO size",
+            fmt_bytes(emb.vo),
+            fmt_bytes(bas.vo)
+        );
+        println!(
+            "{:<22} | {:>12} | {:>12}",
+            "Verification",
+            fmt_time(emb.verify),
+            fmt_time(bas.verify)
+        );
     };
     print_block(
         &format!("sf = 1e-6 ({span_point} record)  [paper: EMB- VO 440 B, BAS VO 20 B]"),
@@ -173,7 +203,10 @@ fn main() {
         ("1e-3", "emb", &emb_range),
         ("1e-3", "bas", &bas_range),
     ] {
-        println!("{sel},{sysname},{},{},{},{}", c.query, c.update, c.vo, c.verify);
+        println!(
+            "{sel},{sysname},{},{},{},{}",
+            c.query, c.update, c.vo, c.verify
+        );
     }
     csv_end();
 

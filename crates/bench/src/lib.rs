@@ -36,7 +36,9 @@ pub fn env_jobs() -> usize {
 
 /// Whether to run at the paper's full scale.
 pub fn full_scale() -> bool {
-    std::env::var("AUTHDB_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("AUTHDB_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Print a header banner for a bench.

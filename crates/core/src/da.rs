@@ -235,9 +235,10 @@ impl DataAggregator {
 
     fn sign_record(&self, record: &Record, left_key: i64, right_key: i64) -> Signature {
         match self.cfg.mode {
-            SigningMode::Chained => self
-                .keypair
-                .sign(&record.chain_message(&self.cfg.schema, left_key, right_key)),
+            SigningMode::Chained => {
+                self.keypair
+                    .sign(&record.chain_message(&self.cfg.schema, left_key, right_key))
+            }
             SigningMode::PerAttribute => {
                 let pp = self.keypair.public_params();
                 let mut agg = pp.identity();
@@ -269,12 +270,18 @@ impl DataAggregator {
         let left = if pos > 0 {
             scan.matches[pos - 1].key
         } else {
-            scan.left_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_NEG_INF)
+            scan.left_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(KEY_NEG_INF)
         };
         let right = if pos + 1 < scan.matches.len() {
             scan.matches[pos + 1].key
         } else {
-            scan.right_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_POS_INF)
+            scan.right_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(KEY_POS_INF)
         };
         (left, right)
     }
@@ -381,7 +388,10 @@ impl DataAggregator {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("signer thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("signer thread"))
+                    .collect()
             });
             for chunk in results {
                 for (idx, sig, attrs) in chunk {
@@ -390,7 +400,10 @@ impl DataAggregator {
                 }
             }
         }
-        let sigs: Vec<Signature> = sigs_by_rid.into_iter().map(|s| s.expect("signed")).collect();
+        let sigs: Vec<Signature> = sigs_by_rid
+            .into_iter()
+            .map(|s| s.expect("signed"))
+            .collect();
 
         // Materialize storage.
         for rec in &records {
@@ -475,11 +488,8 @@ impl DataAggregator {
         self.cert_ts.push(self.clock);
         // Insert a placeholder entry so neighbour search sees the record.
         let key = record.key(&schema);
-        self.tree.insert(
-            key,
-            rid,
-            vec![0u8; self.tree.config().payload_len],
-        );
+        self.tree
+            .insert(key, rid, vec![0u8; self.tree.config().payload_len]);
         let mut msgs = vec![self.certify(&record, UpdateKind::Insert)];
         if self.cfg.mode == SigningMode::Chained {
             let (left, right) = self.neighbor_entries(key, rid);
@@ -750,14 +760,20 @@ mod tests {
         let kinds: Vec<UpdateKind> = msgs.iter().map(|m| m.kind).collect();
         assert_eq!(kinds[0], UpdateKind::Insert);
         assert_eq!(
-            kinds.iter().filter(|k| **k == UpdateKind::Recertify).count(),
+            kinds
+                .iter()
+                .filter(|k| **k == UpdateKind::Recertify)
+                .count(),
             2,
             "both neighbours re-chained"
         );
         // New record verifies against its neighbours.
         let pp = da.public_params();
         let rec = &msgs[0].record;
-        assert!(pp.verify(&rec.chain_message(&da.cfg.schema, 250, 260), &msgs[0].signature));
+        assert!(pp.verify(
+            &rec.chain_message(&da.cfg.schema, 250, 260),
+            &msgs[0].signature
+        ));
     }
 
     #[test]
@@ -849,7 +865,9 @@ mod tests {
         // the modify plus 29 page-mate renewals.
         assert_eq!(msgs.len(), 30);
         assert_eq!(
-            msgs.iter().filter(|m| m.kind == UpdateKind::Recertify).count(),
+            msgs.iter()
+                .filter(|m| m.kind == UpdateKind::Recertify)
+                .count(),
             29
         );
     }
@@ -882,7 +900,9 @@ mod tests {
             }
         }
         // Record signature is the aggregate of its attribute signatures.
-        let msgs: Vec<Vec<u8>> = (0..2).map(|i| boot.records[3].attribute_message(i)).collect();
+        let msgs: Vec<Vec<u8>> = (0..2)
+            .map(|i| boot.records[3].attribute_message(i))
+            .collect();
         let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
         assert!(pp.verify_aggregate(&refs, &boot.sigs[3]));
     }

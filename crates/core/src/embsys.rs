@@ -204,9 +204,7 @@ impl EmbAggregator {
 
     fn sign_root(&self) -> SignedRoot {
         let digest = self.store.tree.root_digest();
-        let signature = self
-            .keypair
-            .sign(&SignedRoot::message(&digest, self.clock));
+        let signature = self.keypair.sign(&SignedRoot::message(&digest, self.clock));
         SignedRoot {
             digest,
             ts: self.clock,
@@ -469,7 +467,9 @@ mod tests {
         let up = da.update_record(150, vec![1500, 777]).unwrap();
         server.apply(&up);
         let ans = server.range_query(1400, 1600);
-        verifier.verify(1400, 1600, &ans).expect("valid after update");
+        verifier
+            .verify(1400, 1600, &ans)
+            .expect("valid after update");
         let rec = ans.matches().iter().find(|r| r.rid == 150).unwrap();
         assert_eq!(rec.attrs[1], 777);
     }

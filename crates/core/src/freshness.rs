@@ -198,8 +198,8 @@ mod tests {
     fn unmarked_record_is_fresh() {
         let kp = keypair();
         let sums = vec![
-            summary(&kp, 0, 0, 10, &[7]),  // period containing the update
-            summary(&kp, 1, 10, 20, &[]),  // later periods leave it unmarked
+            summary(&kp, 0, 0, 10, &[7]), // period containing the update
+            summary(&kp, 1, 10, 20, &[]), // later periods leave it unmarked
             summary(&kp, 2, 20, 30, &[99]),
         ];
         let f = check_freshness(7, 5, &sums, 10, 31);

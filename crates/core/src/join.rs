@@ -233,11 +233,7 @@ pub fn execute_join(
     method: JoinMethod,
 ) -> JoinAnswer {
     let pp = s_qs.public_params().clone();
-    let mut values: Vec<i64> = r_answer
-        .records
-        .iter()
-        .map(|r| r.attrs[attr_a])
-        .collect();
+    let mut values: Vec<i64> = r_answer.records.iter().map(|r| r.attrs[attr_a]).collect();
     values.sort_unstable();
     values.dedup();
 
@@ -386,8 +382,8 @@ pub fn verify_join(
                 let Some(g) = ans.gap_pool.get(*idx) else {
                     return Err(VerifyError::BadGapProof);
                 };
-                let brackets = (g.own_key < *v && g.right_key > *v)
-                    || (g.own_key > *v && g.left_key < *v);
+                let brackets =
+                    (g.own_key < *v && g.right_key > *v) || (g.own_key > *v && g.left_key < *v);
                 if !brackets {
                     return Err(VerifyError::BadGapProof);
                 }
@@ -584,7 +580,12 @@ mod tests {
         (ans, r_v, s_v, Schema::new(2, 64))
     }
 
-    fn verify(ans: &JoinAnswer, r_v: &Verifier, s_v: &Verifier, schema: &Schema) -> Result<(), VerifyError> {
+    fn verify(
+        ans: &JoinAnswer,
+        r_v: &Verifier,
+        s_v: &Verifier,
+        schema: &Schema,
+    ) -> Result<(), VerifyError> {
         verify_join(
             r_v,
             s_v.public_params(),
@@ -643,7 +644,8 @@ mod tests {
         let part = ans.partitions.first().cloned();
         match part {
             Some(_) => {
-                ans.absences.push((victim.value, AbsenceProof::FilterNegative { idx: 0 }));
+                ans.absences
+                    .push((victim.value, AbsenceProof::FilterNegative { idx: 0 }));
                 let r = verify(&ans, &r_v, &s_v, &schema);
                 assert!(r.is_err(), "filter positive or aggregate must catch it");
             }
@@ -664,7 +666,10 @@ mod tests {
         // certification signature no longer matches.
         let p = &mut ans.partitions[0];
         p.filter = BloomFilter::new(p.filter.bit_len(), p.filter.hash_count());
-        assert_eq!(verify(&ans, &r_v, &s_v, &schema), Err(VerifyError::BadAggregate));
+        assert_eq!(
+            verify(&ans, &r_v, &s_v, &schema),
+            Err(VerifyError::BadAggregate)
+        );
     }
 
     #[test]

@@ -107,12 +107,7 @@ impl LockManager {
                 Self::grant(state, txn, mode);
                 return true;
             }
-            if self
-                .inner
-                .cond
-                .wait_until(&mut table, deadline)
-                .timed_out()
-            {
+            if self.inner.cond.wait_until(&mut table, deadline).timed_out() {
                 return false;
             }
         }

@@ -11,6 +11,12 @@
 //!   the relevant attribute signatures;
 //! * empty answers carry a **gap proof**: one chained signature bracketing
 //!   the queried range.
+//!
+//! The server's [`PublicParams`] replica shares the DA public key's
+//! prepared pairing lines with every other holder of the params (the
+//! preparation travels inside the key by `Arc`), so any server-side
+//! signature checks and all client verifications of this server's answers
+//! run against an already-warm pairing cache.
 
 use authdb_crypto::sha256::Digest;
 use authdb_crypto::signer::{PublicParams, Signature};
@@ -226,8 +232,11 @@ impl QueryServer {
                     self.tree
                         .insert(new_key, rid, msg.signature.to_bytes_padded(payload_len));
                 } else {
-                    self.tree
-                        .update_payload(new_key, rid, msg.signature.to_bytes_padded(payload_len));
+                    self.tree.update_payload(
+                        new_key,
+                        rid,
+                        msg.signature.to_bytes_padded(payload_len),
+                    );
                 }
             }
             UpdateKind::Delete => {
@@ -270,7 +279,11 @@ impl QueryServer {
         );
         self.stats.queries += 1;
         let scan = self.tree.range(lo, hi);
-        let left_key = scan.left_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_NEG_INF);
+        let left_key = scan
+            .left_boundary
+            .as_ref()
+            .map(|e| e.key)
+            .unwrap_or(KEY_NEG_INF);
         let right_key = scan
             .right_boundary
             .as_ref()
@@ -301,7 +314,11 @@ impl QueryServer {
             };
         }
 
-        let records: Vec<Record> = scan.matches.iter().map(|e| self.read_record(e.rid)).collect();
+        let records: Vec<Record> = scan
+            .matches
+            .iter()
+            .map(|e| self.read_record(e.rid))
+            .collect();
         let mut agg = self.pp.identity();
         for e in &scan.matches {
             agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
@@ -329,12 +346,18 @@ impl QueryServer {
         let left = if pos > 0 {
             scan.matches[pos - 1].key
         } else {
-            scan.left_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_NEG_INF)
+            scan.left_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(KEY_NEG_INF)
         };
         let right = if pos + 1 < scan.matches.len() {
             scan.matches[pos + 1].key
         } else {
-            scan.right_boundary.as_ref().map(|e| e.key).unwrap_or(KEY_POS_INF)
+            scan.right_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(KEY_POS_INF)
         };
         (left, right)
     }

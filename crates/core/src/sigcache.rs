@@ -233,7 +233,8 @@ pub fn select_cache(analysis: &SigTreeAnalysis, max_nodes: usize) -> CacheSelect
         }
         let p_id = analysis.p_node(id.level, id.j);
         let candidate_utility = p_id * s_id;
-        let curr_cost = analysis.total_cost() - (cached_utility + delta_utility + candidate_utility);
+        let curr_cost =
+            analysis.total_cost() - (cached_utility + delta_utility + candidate_utility);
         if curr_cost > prev_cost {
             // Revert (Algorithm 1 lines 14-16).
             for (node, old) in touched {
@@ -386,7 +387,14 @@ impl SigCache {
             level: self.n.trailing_zeros() as usize,
             j: 0,
         };
-        self.cover(leaves, root, lo, hi.min(leaves.len().saturating_sub(1)), &mut acc, &mut used_cache);
+        self.cover(
+            leaves,
+            root,
+            lo,
+            hi.min(leaves.len().saturating_sub(1)),
+            &mut acc,
+            &mut used_cache,
+        );
         if used_cache {
             self.stats.hits += 1;
         } else {
@@ -627,8 +635,14 @@ mod tests {
         let third_highest = analysis.root_level() - 2;
         let count = n >> third_highest;
         let expected_pair = [
-            NodeId { level: third_highest, j: 1 },
-            NodeId { level: third_highest, j: count - 2 },
+            NodeId {
+                level: third_highest,
+                j: 1,
+            },
+            NodeId {
+                level: third_highest,
+                j: count - 2,
+            },
         ];
         assert!(
             expected_pair.iter().all(|e| sel.chosen.contains(e)),
@@ -661,10 +675,17 @@ mod tests {
     }
 
     fn leaves(kp: &Keypair, n: usize) -> Vec<Signature> {
-        (0..n).map(|i| kp.sign(format!("leaf {i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| kp.sign(format!("leaf {i}").as_bytes()))
+            .collect()
     }
 
-    fn reference_aggregate(pp: &PublicParams, leaves: &[Signature], lo: usize, hi: usize) -> Signature {
+    fn reference_aggregate(
+        pp: &PublicParams,
+        leaves: &[Signature],
+        lo: usize,
+        hi: usize,
+    ) -> Signature {
         let mut acc = pp.identity();
         for sig in &leaves[lo..=hi] {
             acc = pp.aggregate(&acc, sig);
@@ -685,7 +706,11 @@ mod tests {
         let mut cache = SigCache::build(pp.clone(), &ls, &selection, RefreshStrategy::Eager);
         for (lo, hi) in [(0, 63), (16, 31), (5, 50), (37, 42), (0, 0)] {
             let (sig, ops) = cache.aggregate_range(&ls, lo, hi);
-            assert_eq!(sig, reference_aggregate(&pp, &ls, lo, hi), "range {lo}..{hi}");
+            assert_eq!(
+                sig,
+                reference_aggregate(&pp, &ls, lo, hi),
+                "range {lo}..{hi}"
+            );
             assert!(ops >= 1);
         }
     }
@@ -700,7 +725,10 @@ mod tests {
         let mut warm = SigCache::build(pp, &ls, &selection, RefreshStrategy::Eager);
         let (_, cold_ops) = cold.aggregate_range(&ls, 0, 255);
         let (_, warm_ops) = warm.aggregate_range(&ls, 0, 255);
-        assert!(warm_ops * 4 < cold_ops, "warm {warm_ops} vs cold {cold_ops}");
+        assert!(
+            warm_ops * 4 < cold_ops,
+            "warm {warm_ops} vs cold {cold_ops}"
+        );
     }
 
     #[test]
@@ -773,7 +801,12 @@ mod tests {
         let kp = keypair();
         let pp = kp.public_params();
         let ls = leaves(&kp, 100); // padded to 128
-        let mut cache = SigCache::build(pp.clone(), &ls, &[NodeId { level: 5, j: 2 }], RefreshStrategy::Eager);
+        let mut cache = SigCache::build(
+            pp.clone(),
+            &ls,
+            &[NodeId { level: 5, j: 2 }],
+            RefreshStrategy::Eager,
+        );
         let (sig, _) = cache.aggregate_range(&ls, 90, 99);
         assert_eq!(sig, reference_aggregate(&pp, &ls, 90, 99));
         let (sig2, _) = cache.aggregate_range(&ls, 60, 95);

@@ -9,6 +9,13 @@
 //!   qualifying record can be omitted without breaking the aggregate;
 //! * **freshness** — each record passes the bitmap-summary check of
 //!   Section 3.1 (after the summaries' own signatures are verified).
+//!
+//! Under the BAS scheme the [`Verifier`]'s [`PublicParams`] carry the DA
+//! key's precomputed pairing lines (built once at key generation, shared
+//! by reference), so each `verify_*` call costs one multi-Miller-loop and
+//! one final exponentiation — per-query verification amortizes the key
+//! preparation to zero. Construct one `Verifier` and reuse it across
+//! queries; cloning it (or the params) keeps sharing the same cache.
 
 use authdb_crypto::signer::PublicParams;
 
@@ -237,10 +244,7 @@ mod tests {
         }
     }
 
-    fn system(
-        n: i64,
-        mode: SigningMode,
-    ) -> (DataAggregator, QueryServer, Verifier) {
+    fn system(n: i64, mode: SigningMode) -> (DataAggregator, QueryServer, Verifier) {
         let mut rng = StdRng::seed_from_u64(21);
         let mut da = DataAggregator::new(cfg(mode), &mut rng);
         let boot = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);

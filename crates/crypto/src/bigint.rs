@@ -39,7 +39,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -683,7 +685,7 @@ impl Ord for BigUint {
 /// Montgomery multiplication context for an odd modulus.
 pub struct Montgomery {
     n: Vec<u64>,
-    n0_inv: u64, // -n^{-1} mod 2^64
+    n0_inv: u64,  // -n^{-1} mod 2^64
     r2: Vec<u64>, // R^2 mod n, R = 2^(64*k)
     k: usize,
     modulus: BigUint,
@@ -718,10 +720,25 @@ impl Montgomery {
     }
 
     /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
-    #[allow(clippy::needless_range_loop)] // limb-loop indices mirror the CIOS paper
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
+        self.mont_mul_into(a, b, &mut out, &mut scratch);
+        out
+    }
+
+    /// CIOS Montgomery multiplication writing into caller-owned buffers:
+    /// `out` receives `a * b * R^{-1} mod n` (`k` limbs) and `scratch`
+    /// (`k + 2` limbs) is working space. Hot loops ([`Montgomery::pow`])
+    /// reuse both across iterations instead of allocating per product;
+    /// `out` must not alias `a` or `b`.
+    #[allow(clippy::needless_range_loop)] // limb-loop indices mirror the CIOS paper
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], scratch: &mut [u64]) {
         let k = self.k;
-        let mut t = vec![0u64; k + 2];
+        debug_assert_eq!(out.len(), k);
+        debug_assert_eq!(scratch.len(), k + 2);
+        let t = scratch;
+        t.fill(0);
         for i in 0..k {
             // t += a[i] * b
             let mut carry = 0u128;
@@ -748,13 +765,15 @@ impl Montgomery {
             t[k] = s2 as u64;
             t[k + 1] = (s2 >> 64) as u64;
         }
-        // Conditional subtraction of n.
-        let mut result = t[..k].to_vec();
+        // Conditional subtraction of n. When the product overflowed into
+        // t[k], the k-limb subtraction legitimately borrows: the borrow
+        // cancels against the overflow limb (t < 2n < 2·2^(64k)).
+        out.copy_from_slice(&t[..k]);
         let overflow = t[k] != 0;
-        if overflow || ge(&result, &self.n) {
-            sub_in_place(&mut result, &self.n);
+        if overflow || ge(out, &self.n) {
+            let borrow = sub_in_place(out, &self.n);
+            debug_assert_eq!(borrow != 0, overflow, "CIOS reduction invariant");
         }
-        result
     }
 
     fn to_mont(&self, a: &BigUint) -> Vec<u64> {
@@ -774,17 +793,25 @@ impl Montgomery {
     }
 
     /// `base^exp mod n` (left-to-right square-and-multiply).
+    ///
+    /// The square/multiply loop ping-pongs between two preallocated limb
+    /// buffers and one shared scratch buffer, so a w-bit exponent costs
+    /// zero allocations after setup instead of ~1.5w `Vec`s.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem(&self.modulus);
         }
         let base_m = self.to_mont(base);
         let mut acc = base_m.clone();
+        let mut tmp = vec![0u64; self.k];
+        let mut scratch = vec![0u64; self.k + 2];
         let nbits = exp.bits();
         for i in (0..nbits - 1).rev() {
-            acc = self.mont_mul(&acc, &acc);
+            self.mont_mul_into(&acc, &acc, &mut tmp, &mut scratch);
+            std::mem::swap(&mut acc, &mut tmp);
             if exp.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+                self.mont_mul_into(&acc, &base_m, &mut tmp, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
             }
         }
         self.from_mont(&acc)
@@ -811,7 +838,9 @@ fn ge(a: &[u64], b: &[u64]) -> bool {
     true
 }
 
-fn sub_in_place(a: &mut [u64], b: &[u64]) {
+/// `a -= b` over equal-length limb slices; returns the final borrow
+/// (nonzero iff `a < b`, in which case `a` wraps modulo `2^(64·len)`).
+fn sub_in_place(a: &mut [u64], b: &[u64]) -> u64 {
     let mut borrow = 0u64;
     for (ai, &bi) in a.iter_mut().zip(b.iter()) {
         let (d1, b1) = ai.overflowing_sub(bi);
@@ -819,7 +848,7 @@ fn sub_in_place(a: &mut [u64], b: &[u64]) {
         *ai = d2;
         borrow = (b1 as u64) + (b2 as u64);
     }
-    debug_assert_eq!(borrow, 0);
+    borrow
 }
 
 #[cfg(test)]
@@ -889,10 +918,9 @@ mod tests {
 
     #[test]
     fn modexp_large_odd_modulus() {
-        let m = BigUint::from_hex(
-            "c90102faa48f18b5eac1f76bb88da5f6e53af8f93d1b44e1a2c0810b2469adb1",
-        )
-        .unwrap();
+        let m =
+            BigUint::from_hex("c90102faa48f18b5eac1f76bb88da5f6e53af8f93d1b44e1a2c0810b2469adb1")
+                .unwrap();
         let base = BigUint::from_u64(7);
         let exp = BigUint::from_u64(65537);
         let fast = base.modexp(&exp, &m);
@@ -977,9 +1005,35 @@ mod tests {
     }
 
     #[test]
+    fn montgomery_reduction_overflow_path() {
+        // A modulus just under a limb boundary makes the CIOS intermediate
+        // spill into the extra limb, so the conditional subtraction must
+        // borrow against the overflow (regression: the borrow used to trip
+        // a debug assertion during 1024-bit RSA keygen).
+        let n = BigUint::one().shl(256).sub(&BigUint::from_u64(189));
+        assert!(n.is_odd());
+        let mont = Montgomery::new(&n);
+        let a = n.sub(&BigUint::from_u64(1));
+        let b = n.sub(&BigUint::from_u64(2));
+        assert_eq!(mont.mul(&a, &b), a.mul(&b).rem(&n));
+        // And a sweep of near-modulus operands.
+        for da in 1u64..20 {
+            for db in 1u64..20 {
+                let a = n.sub(&BigUint::from_u64(da));
+                let b = n.sub(&BigUint::from_u64(db));
+                assert_eq!(mont.mul(&a, &b), a.mul(&b).rem(&n));
+            }
+        }
+    }
+
+    #[test]
     fn montgomery_mul_matches_plain() {
         let m = BigUint::from_dec("987654321987654321987654321987654321987").unwrap();
-        let m = if m.is_odd() { m } else { m.add(&BigUint::one()) };
+        let m = if m.is_odd() {
+            m
+        } else {
+            m.add(&BigUint::one())
+        };
         let mont = Montgomery::new(&m);
         let a = BigUint::from_dec("123456789123456789123456789").unwrap();
         let b = BigUint::from_dec("424242424242424242424242424").unwrap();

@@ -11,8 +11,25 @@
 //!   Section 4.3's eager cache refresh relies on).
 //! * `verify_aggregate([m_i], σ): e(σ, g2) == e(Σ H(m_i), X)` — sound for a
 //!   single signer, which is exactly the paper's data-aggregator setting.
+//!
+//! Verification runs on the batched multi-pairing engine: both pairings of
+//! the check are rewritten as the product `e(σ, g2)·e(-ΣH(m_i), X) == 1`,
+//! evaluated with **one** Miller loop accumulation and **one** final
+//! exponentiation. The generator's Miller-loop lines are precomputed once
+//! per process and the public key's once per key ([`G2Prepared`]), shared
+//! by every clone of the key — so steady-state verification never pays
+//! G2 preparation again.
 
-use crate::bn254::{pairing, Fr, G1, G2};
+use std::sync::{Arc, OnceLock};
+
+use crate::bn254::pairing::{final_exponentiation, multi_miller_loop, G2Prepared};
+use crate::bn254::{Fr, G1, G2};
+
+/// The process-wide prepared G2 generator.
+fn prepared_generator() -> &'static G2Prepared {
+    static GEN: OnceLock<G2Prepared> = OnceLock::new();
+    GEN.get_or_init(|| G2Prepared::new(&G2::generator()))
+}
 
 /// BLS private key.
 #[derive(Clone)]
@@ -21,11 +38,32 @@ pub struct BlsPrivateKey {
     pk: BlsPublicKey,
 }
 
-/// BLS public key (a G2 point).
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// BLS public key: a G2 point plus its cached Miller-loop preparation
+/// (built once at key construction, shared across clones via `Arc`).
+#[derive(Clone)]
 pub struct BlsPublicKey {
     point: G2,
+    prepared: Arc<G2Prepared>,
 }
+
+impl std::fmt::Debug for BlsPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The preparation is a pure function of the point; dumping its
+        // ~190-entry line table would drown logs and assertion output.
+        f.debug_struct("BlsPublicKey")
+            .field("point", &self.point)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for BlsPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The preparation is a pure function of the point.
+        self.point == other.point
+    }
+}
+
+impl Eq for BlsPublicKey {}
 
 /// A BLS signature or aggregate thereof (a G1 point).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,9 +78,7 @@ impl BlsPrivateKey {
                 break k;
             }
         };
-        let pk = BlsPublicKey {
-            point: G2::generator().mul_fr(&sk),
-        };
+        let pk = BlsPublicKey::new(G2::generator().mul_fr(&sk));
         BlsPrivateKey { sk, pk }
     }
 
@@ -58,13 +94,34 @@ impl BlsPrivateKey {
 }
 
 impl BlsPublicKey {
-    /// Verify an individual signature.
+    /// Wrap a public-key point, precomputing its pairing lines.
+    pub fn new(point: G2) -> Self {
+        let prepared = Arc::new(G2Prepared::new(&point));
+        BlsPublicKey { point, prepared }
+    }
+
+    /// The underlying G2 point.
+    pub fn point(&self) -> &G2 {
+        &self.point
+    }
+
+    /// The cached Miller-loop preparation of this key.
+    pub fn prepared(&self) -> &G2Prepared {
+        &self.prepared
+    }
+
+    /// Verify an individual signature with a single multi-pairing:
+    /// `e(σ, g2)·e(-H(m), X) == 1`.
     pub fn verify(&self, msg: &[u8], sig: &BlsSignature) -> bool {
-        pairing(&sig.0, &G2::generator()) == pairing(&G1::hash_to_curve(msg), &self.point)
+        let sig_a = sig.0.to_affine();
+        let neg_hash = G1::hash_to_curve(msg).neg().to_affine();
+        let f = multi_miller_loop(&[(&sig_a, prepared_generator()), (&neg_hash, &self.prepared)]);
+        final_exponentiation(&f).is_one()
     }
 
     /// Verify an aggregate signature over `msgs` (single-signer condensed
-    /// verification: one hash-sum and two pairings regardless of batch size).
+    /// verification: one hash-sum and one multi-pairing regardless of
+    /// batch size).
     pub fn verify_aggregate(&self, msgs: &[&[u8]], agg: &BlsSignature) -> bool {
         let mut hash_sum = G1::infinity();
         for m in msgs {
@@ -74,7 +131,10 @@ impl BlsPublicKey {
             // Empty batch: only the identity aggregate verifies.
             return agg.0.is_infinity();
         }
-        pairing(&agg.0, &G2::generator()) == pairing(&hash_sum, &self.point)
+        let agg_a = agg.0.to_affine();
+        let neg_sum = hash_sum.neg().to_affine();
+        let f = multi_miller_loop(&[(&agg_a, prepared_generator()), (&neg_sum, &self.prepared)]);
+        final_exponentiation(&f).is_one()
     }
 }
 
@@ -130,9 +190,37 @@ mod tests {
     }
 
     #[test]
+    fn verify_matches_two_pairing_definition() {
+        // The multi-pairing check must agree with the textbook equation
+        // e(σ, g2) == e(H(m), X).
+        use crate::bn254::pairing;
+        let sk = key();
+        let sig = sk.sign(b"definitional check");
+        let lhs = pairing(&sig.0, &G2::generator());
+        let rhs = pairing(
+            &G1::hash_to_curve(b"definitional check"),
+            sk.public_key().point(),
+        );
+        assert_eq!(lhs, rhs);
+        assert!(sk.public_key().verify(b"definitional check", &sig));
+    }
+
+    #[test]
+    fn cloned_key_shares_preparation() {
+        let sk = key();
+        let pk = sk.public_key().clone();
+        assert!(std::ptr::eq(
+            pk.prepared() as *const _,
+            sk.public_key().prepared() as *const _
+        ));
+    }
+
+    #[test]
     fn aggregate_verifies() {
         let sk = key();
-        let msgs: Vec<Vec<u8>> = (0..5u32).map(|i| format!("tuple {i}").into_bytes()).collect();
+        let msgs: Vec<Vec<u8>> = (0..5u32)
+            .map(|i| format!("tuple {i}").into_bytes())
+            .collect();
         let sigs: Vec<BlsSignature> = msgs.iter().map(|m| sk.sign(m)).collect();
         let agg = aggregate(&sigs);
         let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
@@ -145,7 +233,9 @@ mod tests {
         let msgs = [&b"a"[..], b"b", b"c"];
         let sigs: Vec<BlsSignature> = msgs.iter().map(|m| sk.sign(m)).collect();
         let agg = aggregate(&sigs);
-        assert!(!sk.public_key().verify_aggregate(&[&b"a"[..], b"b", b"x"], &agg));
+        assert!(!sk
+            .public_key()
+            .verify_aggregate(&[&b"a"[..], b"b", b"x"], &agg));
         assert!(!sk.public_key().verify_aggregate(&[&b"a"[..], b"b"], &agg));
     }
 
@@ -157,7 +247,9 @@ mod tests {
         let s1 = sk.sign(m1);
         let s2 = sk.sign(m2);
         assert_eq!(s1.aggregate(&s2), s2.aggregate(&s1));
-        assert!(sk.public_key().verify_aggregate(&[m2, m1], &s1.aggregate(&s2)));
+        assert!(sk
+            .public_key()
+            .verify_aggregate(&[m2, m1], &s1.aggregate(&s2)));
     }
 
     #[test]
@@ -178,7 +270,9 @@ mod tests {
     #[test]
     fn empty_aggregate_is_identity_only() {
         let sk = key();
-        assert!(sk.public_key().verify_aggregate(&[], &BlsSignature::identity()));
+        assert!(sk
+            .public_key()
+            .verify_aggregate(&[], &BlsSignature::identity()));
         let nonidentity = sk.sign(b"x");
         assert!(!sk.public_key().verify_aggregate(&[], &nonidentity));
     }

@@ -33,10 +33,7 @@ impl Fp2 {
 
     /// Embed a base-field element.
     pub fn from_fp(c0: Fp) -> Self {
-        Fp2 {
-            c0,
-            c1: Fp::zero(),
-        }
+        Fp2 { c0, c1: Fp::zero() }
     }
 
     /// True iff zero.

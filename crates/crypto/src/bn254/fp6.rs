@@ -119,6 +119,30 @@ impl Fp6 {
         }
     }
 
+    /// Multiply by the sparse element `b0 + b1·v` (two low coefficients
+    /// only) — the Fp6 half of a Miller-loop line function.
+    pub fn mul_by_01(&self, b0: &Fp2, b1: &Fp2) -> Self {
+        // (c0 + c1 v + c2 v²)(b0 + b1 v)
+        //   = (c0·b0 + ξ·c2·b1) + (c0·b1 + c1·b0) v + (c1·b1 + c2·b0) v²
+        let a0 = self.c0.mul(b0);
+        let a1 = self.c1.mul(b0);
+        let a2 = self.c2.mul(b0);
+        Fp6 {
+            c0: a0.add(&self.c2.mul(b1).mul_by_nonresidue()),
+            c1: a1.add(&self.c0.mul(b1)),
+            c2: a2.add(&self.c1.mul(b1)),
+        }
+    }
+
+    /// Scale every coefficient by a base-field element.
+    pub fn mul_fp(&self, k: &super::fp::Fp) -> Self {
+        Fp6 {
+            c0: self.c0.mul_fp(k),
+            c1: self.c1.mul_fp(k),
+            c2: self.c2.mul_fp(k),
+        }
+    }
+
     /// Scale by an Fp2 element.
     pub fn mul_fp2(&self, k: &Fp2) -> Self {
         Fp6 {
@@ -134,7 +158,11 @@ impl Fp6 {
             .c0
             .square()
             .sub(&self.c1.mul(&self.c2).mul_by_nonresidue());
-        let c1 = self.c2.square().mul_by_nonresidue().sub(&self.c0.mul(&self.c1));
+        let c1 = self
+            .c2
+            .square()
+            .mul_by_nonresidue()
+            .sub(&self.c0.mul(&self.c1));
         let c2 = self.c1.square().sub(&self.c0.mul(&self.c2));
         let t = self
             .c0

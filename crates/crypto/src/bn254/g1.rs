@@ -83,7 +83,11 @@ impl G1 {
                 let x = Fp::from_bytes_be_reduce(&bytes[1..]);
                 let y2 = x.square().mul(&x).add(&Fp::from_u64(3));
                 let y = y2.sqrt()?;
-                let y = if (tag == 0x03) != y.is_odd() { y.neg() } else { y };
+                let y = if (tag == 0x03) != y.is_odd() {
+                    y.neg()
+                } else {
+                    y
+                };
                 let p = G1::from_affine_coords(x, y);
                 if p.to_affine().is_on_curve() {
                     Some(p)
@@ -155,8 +159,10 @@ mod tests {
         let g = G1::generator();
         let one = Fr::from_u64(1);
         assert_eq!(g.mul_fr(&one), g);
-        // r ≡ 0, so r+1 ≡ 1
-        let r_plus_1 = Fr::from_canonical(group_order_limbs()).add(&one);
+        // r ≡ 0, so r+1 ≡ 1. Build r+1 through the reducing constructor —
+        // r itself is not a canonical Fr value.
+        let r = crate::bigint::BigUint::from_limbs(group_order_limbs().to_vec());
+        let r_plus_1 = Fr::from_biguint(&r).add(&one);
         assert_eq!(g.mul_fr(&r_plus_1), g);
     }
 

@@ -89,7 +89,11 @@ impl G2 {
             let x = Fp2::new(Fp::from_bytes_be_reduce(&d0), Fp::from_bytes_be_reduce(&d1));
             let y2 = x.square().mul(&x).add(&G2Spec::b());
             if let Some(y) = y2.sqrt() {
-                let y = if (d0[0] & 1 == 1) != y.c0.is_odd() { y.neg() } else { y };
+                let y = if (d0[0] & 1 == 1) != y.c0.is_odd() {
+                    y.neg()
+                } else {
+                    y
+                };
                 let p = G2::from_affine_coords(x, y).mul_scalar(cofactor_limbs());
                 if !p.is_infinity() {
                     return p;
@@ -124,7 +128,11 @@ impl G2 {
                 );
                 let y2 = x.square().mul(&x).add(&G2Spec::b());
                 let y = y2.sqrt()?;
-                let y = if (tag == 0x03) != y.c0.is_odd() { y.neg() } else { y };
+                let y = if (tag == 0x03) != y.c0.is_odd() {
+                    y.neg()
+                } else {
+                    y
+                };
                 let p = G2::from_affine_coords(x, y);
                 if p.to_affine().is_on_curve() {
                     Some(p)

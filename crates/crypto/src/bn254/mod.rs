@@ -2,12 +2,30 @@
 //!
 //! The curve is `y^2 = x^3 + 3` over the 254-bit prime `p`, with `#E(Fp) = r`
 //! prime (cofactor 1). G2 lives on the sextic D-twist `y'^2 = x'^3 + 3/(9+u)`
-//! over Fp2. The pairing implemented is the reduced **Tate pairing**
-//! `e(P, Q) = f_{r,P}(psi(Q))^((p^12-1)/r)` with denominator elimination —
-//! deliberately the simplest correct construction (the Miller loop walks the
-//! 254-bit group order and needs no Frobenius-twisted correction steps). A
-//! 160-bit-security BN curve is exactly the "160-bit ECC" setting of the
-//! paper's Table 3.
+//! over Fp2. A 160-bit-security BN curve is exactly the "160-bit ECC"
+//! setting of the paper's Table 3.
+//!
+//! # The prepared-pairing pipeline
+//!
+//! The pairing is the reduced **ate pairing**
+//! `e(P, Q) = f_{T,psi(Q)}(P)^((p^12-1)/r)` with loop count `T = t - 1 =
+//! 6x²` (127 bits, half the group order) and denominator elimination.
+//! Verification workloads evaluate products of pairings against *fixed*
+//! G2 points (the generator and the signer's public key), so the engine is
+//! organized around three amortizations:
+//!
+//! 1. [`pairing::G2Prepared`] runs the Miller loop's twist arithmetic once
+//!    per G2 point and stores the line coefficients; each pairing against
+//!    the point is then inversion-free sparse folding.
+//! 2. [`pairing::multi_miller_loop`] accumulates any number of
+//!    `(G1, G2Prepared)` terms into one Fp12 value under a single shared
+//!    squaring chain.
+//! 3. [`pairing::final_exponentiation`] is paid once per *product* rather
+//!    than once per pairing, and its hard part walks a cached signed-NAF
+//!    exponent with Granger–Scott cyclotomic squarings.
+//!
+//! Scalar multiplication in G1/G2 uses width-4 wNAF with precomputed
+//! odd-multiple tables (see [`curve::Point::mul_scalar`]).
 
 pub mod curve;
 pub mod fp;
@@ -23,6 +41,6 @@ pub use fp::{Fp, Fr};
 pub use fp12::Fp12;
 pub use fp2::Fp2;
 pub use fp6::Fp6;
-pub use g1::{G1, G1Affine};
-pub use g2::{G2, G2Affine};
-pub use pairing::{pairing, pairing_affine};
+pub use g1::{G1Affine, G1};
+pub use g2::{G2Affine, G2};
+pub use pairing::{final_exponentiation, multi_miller_loop, pairing, pairing_affine, G2Prepared};

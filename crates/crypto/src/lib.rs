@@ -9,9 +9,13 @@
 //! * [`sha1`] / [`sha256`] — the one-way hashes (the paper's 160-bit digests
 //!   and the modern default, respectively).
 //! * [`rsa`] — RSA + Condensed-RSA signature aggregation (Table 3 baseline).
-//! * [`bn254`] — BN254 field tower, G1/G2, and a Tate pairing.
+//! * [`bn254`] — BN254 field tower, G1/G2 with wNAF scalar multiplication,
+//!   and a batched ate-pairing engine: `G2Prepared` line precomputation,
+//!   `multi_miller_loop` accumulation, and a shared cyclotomic final
+//!   exponentiation (see the [`bn254`] module docs for the pipeline).
 //! * [`bls`] — BLS signatures over BN254 with aggregation: the paper's
-//!   Bilinear Aggregate Signature ("BAS") scheme.
+//!   Bilinear Aggregate Signature ("BAS") scheme. Verification is a single
+//!   multi-pairing against the precomputed public key and generator.
 //! * [`merkle`] — Merkle hash tree primitives (Section 2.1).
 //! * [`signer`] — the pluggable aggregate-signature abstraction the rest of
 //!   the workspace consumes.

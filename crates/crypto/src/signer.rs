@@ -14,6 +14,13 @@
 //!
 //! The signing side is [`Keypair`]; the query server and clients hold
 //! [`PublicParams`], which can aggregate, subtract, and verify but not sign.
+//!
+//! For the BAS scheme, [`PublicParams`] carries the public key's cached
+//! pairing preparation (`G2Prepared` line coefficients, shared via `Arc`):
+//! cloning the params — e.g. handing them to the query server, a client
+//! verifier, and a bench harness — shares one preparation, and every
+//! `verify`/`verify_aggregate` call is a single multi-Miller-loop plus one
+//! final exponentiation against the prepared key and generator.
 
 use crate::bigint::BigUint;
 use crate::bls::{BlsPrivateKey, BlsPublicKey, BlsSignature};
@@ -86,7 +93,9 @@ enum KeypairInner {
 }
 
 /// Verification-side parameters (public key + scheme); cheap to clone and
-/// share with the query server and clients.
+/// share with the query server and clients. For BAS, clones share the
+/// key's precomputed Miller-loop lines, so repeated query verification
+/// never re-prepares the key.
 #[derive(Clone)]
 pub struct PublicParams {
     inner: PublicInner,
@@ -195,16 +204,18 @@ impl PublicParams {
             (PublicInner::Bas(_), Signature::Bas(a), Signature::Bas(s)) => {
                 Signature::Bas(a.aggregate(s))
             }
-            (PublicInner::CondensedRsa(pk), Signature::CondensedRsa(a), Signature::CondensedRsa(s)) => {
-                Signature::CondensedRsa(
-                    crate::rsa::condense_push(
-                        pk,
-                        &CondensedRsaSignature(a.clone()),
-                        &RsaSignature(s.clone()),
-                    )
-                    .0,
+            (
+                PublicInner::CondensedRsa(pk),
+                Signature::CondensedRsa(a),
+                Signature::CondensedRsa(s),
+            ) => Signature::CondensedRsa(
+                crate::rsa::condense_push(
+                    pk,
+                    &CondensedRsaSignature(a.clone()),
+                    &RsaSignature(s.clone()),
                 )
-            }
+                .0,
+            ),
             (PublicInner::Mock(_), Signature::Mock(a), Signature::Mock(s)) => {
                 Signature::Mock(xor32(a, s))
             }
@@ -229,7 +240,11 @@ impl PublicParams {
             (PublicInner::Bas(_), Signature::Bas(a), Signature::Bas(s)) => {
                 Signature::Bas(a.subtract(s))
             }
-            (PublicInner::CondensedRsa(pk), Signature::CondensedRsa(a), Signature::CondensedRsa(s)) => {
+            (
+                PublicInner::CondensedRsa(pk),
+                Signature::CondensedRsa(a),
+                Signature::CondensedRsa(s),
+            ) => {
                 let n = modulus_of(pk);
                 let inv = s.modinv(&n).expect("signature invertible mod n");
                 Signature::CondensedRsa(a.mul_mod(&inv, &n))
@@ -347,11 +362,7 @@ mod tests {
             let s2 = kp.sign(b"drop");
             let agg = pp.aggregate(&pp.aggregate(&pp.identity(), &s1), &s2);
             let reduced = pp.subtract(&agg, &s2);
-            assert!(
-                pp.verify_aggregate(&[b"keep"], &reduced),
-                "{:?}",
-                kp.kind()
-            );
+            assert!(pp.verify_aggregate(&[b"keep"], &reduced), "{:?}", kp.kind());
         }
     }
 

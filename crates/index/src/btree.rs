@@ -193,8 +193,7 @@ impl Node {
             for _ in 0..count {
                 let key = i64::from_le_bytes(buf[off..off + 8].try_into().expect("8"));
                 let rid = u64::from_le_bytes(buf[off + 8..off + 16].try_into().expect("8"));
-                let child =
-                    PageId::from_le_bytes(buf[off + 16..off + 20].try_into().expect("4"));
+                let child = PageId::from_le_bytes(buf[off + 16..off + 20].try_into().expect("4"));
                 let ann = buf[off + 20..off + step].to_vec();
                 node.internal.push(InternalEntry {
                     key,
@@ -330,7 +329,8 @@ impl<A: Annotator> BTree<A> {
     }
 
     fn read(&self, id: PageId) -> Node {
-        self.pool.with_page(id, |buf| Node::decode(buf, &self.config))
+        self.pool
+            .with_page(id, |buf| Node::decode(buf, &self.config))
     }
 
     fn write_node(&self, id: PageId, node: &Node) {

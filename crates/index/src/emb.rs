@@ -340,7 +340,11 @@ impl EmbTree {
     /// tuples' digests (in leaf order) and the VO. Returns `None` if the VO
     /// shape and the tuple count disagree; otherwise the recomputed root to
     /// compare against the owner's signed root.
-    pub fn root_from_vo(kind: DigestKind, vo: &EmbVo, tuple_digests: &[Vec<u8>]) -> Option<Vec<u8>> {
+    pub fn root_from_vo(
+        kind: DigestKind,
+        vo: &EmbVo,
+        tuple_digests: &[Vec<u8>],
+    ) -> Option<Vec<u8>> {
         let mut iter = tuple_digests.iter();
         let root = walk(kind, vo, &mut iter)?;
         if iter.next().is_some() {

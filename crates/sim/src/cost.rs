@@ -42,12 +42,12 @@ impl CostModel {
     /// default, so bench output is deterministic.
     pub fn pinned() -> Self {
         CostModel {
-            hash: 2.28e-6,          // Table 3: SHA, 512-byte message
-            ecc_add: 9.06e-6,       // Table 3: 1000-sig aggregation / 1000
-            bas_sign: 1.5e-3,       // Table 3: individual signing
-            bas_verify_base: 40.22e-3, // Table 3: individual verification
+            hash: 2.28e-6,               // Table 3: SHA, 512-byte message
+            ecc_add: 9.06e-6,            // Table 3: 1000-sig aggregation / 1000
+            bas_sign: 1.5e-3,            // Table 3: individual signing
+            bas_verify_base: 40.22e-3,   // Table 3: individual verification
             bas_verify_per_msg: 0.29e-3, // Table 3: (331ms - base) / 1000
-            page_io: 8e-3,          // 5400 rpm Hitachi-class random read
+            page_io: 8e-3,               // 5400 rpm Hitachi-class random read
             internal_hit: 0.98,
             leaf_hit: 0.5,
             lan_bps: 14.4e6 / 8.0,
@@ -78,9 +78,7 @@ impl CostModel {
         // Signing.
         let t = Instant::now();
         let reps = 20;
-        let sigs: Vec<_> = (0..reps)
-            .map(|i: u32| sk.sign(&i.to_be_bytes()))
-            .collect();
+        let sigs: Vec<_> = (0..reps).map(|i: u32| sk.sign(&i.to_be_bytes())).collect();
         model.bas_sign = t.elapsed().as_secs_f64() / reps as f64;
 
         // Aggregation (ECC additions).

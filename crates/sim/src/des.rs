@@ -472,7 +472,13 @@ mod tests {
                 )
             })
             .collect();
-        let res = run(SimConfig { cpu_cores: 4, disks: 1 }, specs);
+        let res = run(
+            SimConfig {
+                cpu_cores: 4,
+                disks: 1,
+            },
+            specs,
+        );
         for r in &res {
             assert!(r.response() < 0.0101, "all four run concurrently");
         }
@@ -491,7 +497,13 @@ mod tests {
                 ],
             )
         };
-        let res = run(SimConfig { cpu_cores: 8, disks: 1 }, vec![w(0.0), w(0.0)]);
+        let res = run(
+            SimConfig {
+                cpu_cores: 8,
+                disks: 1,
+            },
+            vec![w(0.0), w(0.0)],
+        );
         let mut finishes: Vec<f64> = res.iter().map(|r| r.finished).collect();
         finishes.sort_by(f64::total_cmp);
         assert!((finishes[0] - 0.010).abs() < 1e-9);
@@ -507,11 +519,7 @@ mod tests {
             txn(
                 at,
                 TxnKind::Query,
-                vec![
-                    Step::Lock(Mode::Shared),
-                    Step::Delay(0.010),
-                    Step::Unlock,
-                ],
+                vec![Step::Lock(Mode::Shared), Step::Delay(0.010), Step::Unlock],
             )
         };
         let res = run(SimConfig::default(), vec![r(0.0), r(0.0), r(0.0)]);
@@ -549,7 +557,10 @@ mod tests {
         let res = run(SimConfig::default(), specs);
         assert!((res[0].finished - 0.010).abs() < 1e-9);
         assert!((res[1].finished - 0.020).abs() < 1e-9, "writer next");
-        assert!((res[2].finished - 0.030).abs() < 1e-9, "reader after writer");
+        assert!(
+            (res[2].finished - 0.030).abs() < 1e-9,
+            "reader after writer"
+        );
     }
 
     #[test]

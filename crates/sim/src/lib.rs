@@ -18,5 +18,7 @@ pub mod des;
 pub mod models;
 
 pub use cost::CostModel;
-pub use des::{run, summarize, ClassStats, Mode, Res, SimConfig, Step, TxnKind, TxnResult, TxnSpec};
+pub use des::{
+    run, summarize, ClassStats, Mode, Res, SimConfig, Step, TxnKind, TxnResult, TxnSpec,
+};
 pub use models::{run_load, LoadPoint, System, SystemModel};

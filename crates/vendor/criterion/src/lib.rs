@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the timing-loop subset the workspace's micro-benchmarks use
+//! (`Criterion::benchmark_group`, `bench_function`, `Bencher::iter`/
+//! `iter_batched`, `criterion_group!`/`criterion_main!`, `black_box`).
+//! Instead of criterion's statistical machinery it runs a calibrated
+//! timing loop and prints `name  median  mean  (samples)` rows; good
+//! enough for relative comparisons on a quiet machine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collected timings for one benchmark.
+struct Samples {
+    per_iter: Vec<f64>, // seconds
+}
+
+impl Samples {
+    fn report(&mut self, name: &str) {
+        self.per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = self.per_iter.len();
+        let median = self.per_iter[n / 2];
+        let mean = self.per_iter.iter().sum::<f64>() / n as f64;
+        println!(
+            "bench {name:<40} median {:>12}  mean {:>12}  ({n} samples)",
+            fmt_secs(median),
+            fmt_secs(mean)
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured code.
+pub struct Bencher<'a> {
+    sample_count: usize,
+    samples: &'a mut Samples,
+}
+
+impl Bencher<'_> {
+    /// Measure `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~10 ms?
+        let t0 = Instant::now();
+        hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                hint::black_box(f());
+            }
+            self.samples
+                .per_iter
+                .push(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            self.samples.per_iter.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Samples {
+            per_iter: Vec::with_capacity(self.sample_count),
+        };
+        let mut b = Bencher {
+            sample_count: self.sample_count,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        samples.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Time a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn runs_groups() {
+        benches();
+    }
+}

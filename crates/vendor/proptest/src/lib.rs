@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`ProptestConfig`], [`any`], integer-range strategies, tuple strategies,
+//! and `prop::collection::{vec, btree_set}`. Each test case draws from a
+//! deterministic per-case RNG; on failure the case's seed and generated
+//! inputs are reported via the panic message. **No shrinking** — failures
+//! replay exactly but are not minimized.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A generator of random values (upstream proptest's `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Whole-domain strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Uniform strategy over `T`'s whole domain.
+pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut StdRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Rejection sampling over the bit width of the span.
+        let span = self.end - self.start;
+        let bits = 128 - span.leading_zeros();
+        loop {
+            let raw: u128 = rng.gen::<u128>() >> (128 - bits);
+            if raw < span {
+                return self.start + raw;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with random length in `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// Generate vectors whose elements come from `elem` and whose
+        /// length is uniform in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet`s with *up to* `size.end - 1` distinct
+        /// elements (duplicates collapse, as in upstream proptest).
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// Generate sets whose elements come from `elem`.
+        pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Derive the RNG for one test case: deterministic in (test name, case).
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37))
+}
+
+/// Run `cases` random executions of a test closure; panics (with the case
+/// index) on the first failure.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = case_rng(test_name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest {test_name}: case {case}/{} failed: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The proptest entry macro (no-shrinking subset): wraps each `fn` in a
+/// `#[test]` that runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__cfg, |__rng| {
+                    $( let $arg = $crate::Strategy::generate(&($strat), __rng); )*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name ( $( $arg in $strat ),* ) $body )*
+        }
+    };
+}
+
+/// `assert!` that reports through proptest's error channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through proptest's error channel.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through proptest's error channel.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in any::<u64>(), b in 0u64..1000) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0i64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn btree_set_sorted(s in prop::collection::btree_set(0u64..50, 0..20)) {
+            let v: Vec<u64> = s.iter().copied().collect();
+            let mut w = v.clone();
+            w.sort();
+            prop_assert_eq!(v, w);
+        }
+
+        #[test]
+        fn tuples_generate(t in (0u8..3, 0i64..200, 0u64..20)) {
+            prop_assert!(t.0 < 3 && t.1 < 200 && t.2 < 20);
+        }
+
+        #[test]
+        fn early_return_ok(n in 0usize..10) {
+            if n < 100 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_case_panics_with_case_index() {
+        super::run_cases("failing", &super::ProptestConfig::with_cases(4), |_| {
+            Err(super::TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = super::case_rng("t", 3);
+        let mut b = super::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

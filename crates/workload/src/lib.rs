@@ -258,8 +258,14 @@ mod tests {
         let mut r = rng();
         let n = 512;
         let sampler = cardinality::CardinalitySampler::new(&cardinality::uniform(n));
-        let mean: f64 = (0..20_000).map(|_| sampler.sample(&mut r) as f64).sum::<f64>() / 20_000.0;
-        assert!((mean - n as f64 / 2.0).abs() < n as f64 * 0.05, "mean {mean}");
+        let mean: f64 = (0..20_000)
+            .map(|_| sampler.sample(&mut r) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(
+            (mean - n as f64 / 2.0).abs() < n as f64 * 0.05,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -279,7 +285,10 @@ mod tests {
         for alpha in [0.1, 0.5, 0.9] {
             let rows = tpce::r_rows(5000, tpce::I_B, alpha, &mut r);
             let matched = rows.iter().filter(|row| b.contains(&row[1])).count() as f64 / 5000.0;
-            assert!((matched - alpha).abs() < 0.05, "alpha {alpha} got {matched}");
+            assert!(
+                (matched - alpha).abs() < 0.05,
+                "alpha {alpha} got {matched}"
+            );
         }
     }
 

@@ -53,7 +53,10 @@ fn main() {
     let r_verifier = Verifier::new(r_da.public_params(), schema, 1);
 
     // S = Holding: 10 positions per held security id.
-    println!("Certifying Holding (S): {} rows over {i_b} securities...", i_b * 10);
+    println!(
+        "Certifying Holding (S): {} rows over {i_b} securities...",
+        i_b * 10
+    );
     let mut s_da = DataAggregator::new(cfg, &mut rng);
     let s_boot = s_da.bootstrap(tpce::s_rows(i_b * 10, i_b), 4);
     let mut s_qs = QueryServer::from_bootstrap(
@@ -113,5 +116,7 @@ fn main() {
         );
     }
 
-    println!("\nBoth methods verified end-to-end; BF ships filters instead of per-value boundaries.");
+    println!(
+        "\nBoth methods verified end-to-end; BF ships filters instead of per-value boundaries."
+    );
 }

@@ -112,7 +112,5 @@ fn main() {
     // Old quiet symbols still verify cheaply thanks to active renewal: their
     // signatures were refreshed, so few summaries are needed.
     let (avg_age, max_age) = da.signature_age_stats();
-    println!(
-        "\nSignature ages after renewal: avg {avg_age:.1} s, max {max_age} s (rho' = 60 s)"
-    );
+    println!("\nSignature ages after renewal: avg {avg_age:.1} s, max {max_age} s (rho' = 60 s)");
 }

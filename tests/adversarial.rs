@@ -189,7 +189,8 @@ fn empty_range_cannot_hide_records() {
         forged.left_key = 145;
         forged.right_key = 205;
         assert!(
-            v.verify_selection(150, 200, &forged, da.now(), true).is_err(),
+            v.verify_selection(150, 200, &forged, da.now(), true)
+                .is_err(),
             "{scheme:?}"
         );
     }

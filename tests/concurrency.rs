@@ -52,7 +52,10 @@ fn record_level_locking_outscales_root_locking() {
                 });
             }
         });
-        assert_eq!(done.load(Ordering::Relaxed), (threads * updates_per_thread) as u64);
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            (threads * updates_per_thread) as u64
+        );
         start.elapsed()
     };
 

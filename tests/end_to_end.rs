@@ -11,11 +11,7 @@ use authdb::index::emb::DigestKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn bas_system(
-    n: i64,
-    scheme: SchemeKind,
-    seed: u64,
-) -> (DataAggregator, QueryServer, Verifier) {
+fn bas_system(n: i64, scheme: SchemeKind, seed: u64) -> (DataAggregator, QueryServer, Verifier) {
     let schema = Schema::new(3, 64);
     let cfg = DaConfig {
         schema,
@@ -48,7 +44,9 @@ fn lifecycle_with_real_bas() {
 
     // Initial range query verifies.
     let ans = qs.select_range(100, 160);
-    let rep = verifier.verify_selection(100, 160, &ans, da.now(), true).unwrap();
+    let rep = verifier
+        .verify_selection(100, 160, &ans, da.now(), true)
+        .unwrap();
     assert_eq!(rep.records, 31);
 
     // A burst of updates, an insert and a delete, plus a summary cycle.
@@ -72,7 +70,9 @@ fn lifecycle_with_real_bas() {
     // Everything still verifies; the updated value and the insert are
     // visible, the deleted record is gone.
     let ans = qs.select_range(100, 160);
-    let rep = verifier.verify_selection(100, 160, &ans, da.now(), true).unwrap();
+    let rep = verifier
+        .verify_selection(100, 160, &ans, da.now(), true)
+        .unwrap();
     assert_eq!(rep.records, 31); // 31 - deleted(140) + inserted(121)
     assert!(ans.records.iter().any(|r| r.attrs[2] == 9999));
     assert!(ans.records.iter().any(|r| r.attrs[0] == 121));
@@ -83,13 +83,17 @@ fn lifecycle_with_real_bas() {
 fn lifecycle_with_condensed_rsa() {
     let (mut da, mut qs, verifier) = bas_system(60, SchemeKind::CondensedRsa, 2);
     let ans = qs.select_range(20, 80);
-    verifier.verify_selection(20, 80, &ans, da.now(), true).unwrap();
+    verifier
+        .verify_selection(20, 80, &ans, da.now(), true)
+        .unwrap();
     da.advance_clock(1);
     for m in da.update_record(20, vec![40, 1, 2]) {
         qs.apply(&m);
     }
     let ans2 = qs.select_range(40, 40);
-    verifier.verify_selection(40, 40, &ans2, da.now(), true).unwrap();
+    verifier
+        .verify_selection(40, 40, &ans2, da.now(), true)
+        .unwrap();
     assert!(ans2.records.iter().any(|r| r.rid == 20 && r.attrs[2] == 2));
 }
 
@@ -105,7 +109,8 @@ fn emb_baseline_equivalent_answers() {
     let mut eda = EmbAggregator::new(schema, DigestKind::Sha256, kp, 2048, 2.0 / 3.0);
     let rows: Vec<Vec<i64>> = (0..300).map(|i| vec![i * 2, i, 1000 + i]).collect();
     let (records, root) = eda.bootstrap(rows);
-    let eserver = EmbServer::from_bootstrap(schema, DigestKind::Sha256, &records, root, 2048, 2.0 / 3.0);
+    let eserver =
+        EmbServer::from_bootstrap(schema, DigestKind::Sha256, &records, root, 2048, 2.0 / 3.0);
     let everifier = EmbVerifier::new(epp, schema, DigestKind::Sha256);
 
     for (lo, hi) in [(0, 100), (333, 444), (598, 598), (9, 9)] {
@@ -148,7 +153,8 @@ fn update_stream_keeps_both_systems_consistent() {
     let mut eda = EmbAggregator::new(schema, DigestKind::Sha1, kp, 2048, 2.0 / 3.0);
     let epp = eda.public_params();
     let (records, root) = eda.bootstrap((0..150).map(|i| vec![i, 0]).collect());
-    let mut eserver = EmbServer::from_bootstrap(schema, DigestKind::Sha1, &records, root, 2048, 2.0 / 3.0);
+    let mut eserver =
+        EmbServer::from_bootstrap(schema, DigestKind::Sha1, &records, root, 2048, 2.0 / 3.0);
     let everifier = EmbVerifier::new(epp, schema, DigestKind::Sha1);
 
     for step in 0..300 {
@@ -218,6 +224,11 @@ fn projection_end_to_end() {
     // Project two non-contiguous attributes: VO is still one signature.
     let ans = qs.project(5, 25, &[1, 3]);
     assert_eq!(ans.rows.len(), 21);
-    assert_eq!(ans.vo_size(&da.public_params()), da.public_params().wire_len());
-    verifier.verify_projection(&ans).expect("projection verifies");
+    assert_eq!(
+        ans.vo_size(&da.public_params()),
+        da.public_params().wire_len()
+    );
+    verifier
+        .verify_projection(&ans)
+        .expect("projection verifies");
 }

@@ -177,6 +177,53 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wnaf_scalar_mul_matches_double_and_add(limbs in prop::collection::vec(any::<u64>(), 1..6)) {
+        // The wNAF fast path must agree with the binary reference on
+        // random multi-limb scalars, in both pairing groups.
+        use authdb::crypto::bn254::{G1, G2};
+        let g1 = G1::generator();
+        let g2 = G2::generator();
+        prop_assert_eq!(g1.mul_scalar(&limbs), g1.mul_scalar_binary(&limbs));
+        prop_assert_eq!(g2.mul_scalar(&limbs), g2.mul_scalar_binary(&limbs));
+        prop_assert!(g1.mul_scalar(&[0, 0]).is_infinity());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn multi_pairing_equals_product_of_pairings(seed in any::<u64>(), k in 1usize..4) {
+        // One accumulated Miller loop + one shared final exponentiation
+        // must equal the product of independently reduced pairings.
+        use authdb::crypto::bn254::{
+            final_exponentiation, multi_miller_loop, pairing, Fp12, Fr, G2Prepared, G1, G2,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(G1, G2)> = (0..k)
+            .map(|_| {
+                (
+                    G1::generator().mul_fr(&Fr::random(&mut rng)),
+                    G2::generator().mul_fr(&Fr::random(&mut rng)),
+                )
+            })
+            .collect();
+        let affines: Vec<_> = pairs.iter().map(|(p, _)| p.to_affine()).collect();
+        let preps: Vec<G2Prepared> = pairs.iter().map(|(_, q)| G2Prepared::new(q)).collect();
+        let terms: Vec<_> = affines.iter().zip(preps.iter()).collect();
+        let batched = final_exponentiation(&multi_miller_loop(&terms));
+        let mut product = Fp12::one();
+        for (p, q) in &pairs {
+            product = product.mul(&pairing(p, q));
+        }
+        prop_assert_eq!(batched, product);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
