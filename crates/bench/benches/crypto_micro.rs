@@ -177,7 +177,7 @@ fn bench_multi_pairing(c: &mut Criterion) {
                 points
                     .iter()
                     .map(|pt| final_exponentiation(&multi_miller_loop(&[(pt, &prep)])))
-                    .count()
+                    .fold(0usize, |acc, f| acc + usize::from(f.is_one()))
             })
         });
     }
@@ -203,6 +203,41 @@ fn bench_bls(c: &mut Criterion) {
     g.bench_function("verify_aggregate_100", |b| {
         b.iter(|| pk.verify_aggregate(&refs, &agg))
     });
+    g.finish();
+}
+
+/// Batched aggregate verification: one random-linear-combination
+/// multi-pairing over K claims versus K independent aggregate checks.
+fn bench_bls_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let sk = BlsPrivateKey::generate(&mut rng);
+    let pk = sk.public_key().clone();
+    let mut g = c.benchmark_group("bas_batch");
+    g.sample_size(10);
+    for k in [4usize, 16] {
+        let data: Vec<(Vec<Vec<u8>>, authdb_crypto::bls::BlsSignature)> = (0..k)
+            .map(|i| {
+                let msgs: Vec<Vec<u8>> = (0..8u32)
+                    .map(|j| format!("claim {i} msg {j}").into_bytes())
+                    .collect();
+                let sigs: Vec<_> = msgs.iter().map(|m| sk.sign(m)).collect();
+                (msgs, authdb_crypto::bls::aggregate(&sigs))
+            })
+            .collect();
+        let claims: Vec<(&[Vec<u8>], &authdb_crypto::bls::BlsSignature)> =
+            data.iter().map(|(m, s)| (m.as_slice(), s)).collect();
+        g.bench_function(format!("verify_aggregate_x{k}_sequential"), |b| {
+            b.iter(|| {
+                data.iter().all(|(msgs, agg)| {
+                    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                    pk.verify_aggregate(&refs, agg)
+                })
+            })
+        });
+        g.bench_function(format!("verify_aggregate_batch_{k}"), |b| {
+            b.iter(|| pk.verify_aggregate_batch(&claims, &mut rng))
+        });
+    }
     g.finish();
 }
 
@@ -234,6 +269,7 @@ criterion_group!(
     bench_bn254,
     bench_multi_pairing,
     bench_bls,
+    bench_bls_batch,
     bench_rsa
 );
 criterion_main!(benches);

@@ -125,7 +125,7 @@ fn one_join(
             &ans,
         )
         .expect("join verifies");
-        sizes[i] = ans.paper_vo_size(4);
+        sizes[i] = ans.paper_vo_size(&bed.schema, 4);
     }
     (sizes[0], sizes[1])
 }

@@ -1,0 +1,495 @@
+//! Adversarial-server conformance subsystem.
+//!
+//! The verifier's security argument is only as good as the attacks it has
+//! actually been run against. This module makes the adversary a first-class
+//! component: a [`MaliciousServer`] wraps an honest [`QueryServer`] and
+//! applies one strategy from a catalog of [`Tamper`]s to every answer it
+//! ships — dropping, injecting, and reordering records, substituting stale
+//! versions, widening boundary keys, forging and replaying gap proofs,
+//! withholding and reordering summaries, truncating bitmaps, and replaying
+//! empty-table proofs. Each strategy declares which [`VerifyError`] the
+//! verifier must reject it with, and [`run_catalog`] drives a scripted
+//! scenario per strategy, checking both that the tampered answer is
+//! rejected *with the expected error* and that the honest answer to the
+//! same query still verifies.
+//!
+//! The catalog runs in the unit-test suite (fast, `Mock` scheme) and in the
+//! `fig_adv` bench scenario (also under real BAS crypto), so every future
+//! verifier change is regression-checked against the full attack surface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use authdb_crypto::signer::SchemeKind;
+
+use crate::da::{DaConfig, DataAggregator, SigningMode};
+use crate::qs::{ProjectionAnswer, QueryServer, SelectionAnswer};
+use crate::record::{Schema, KEY_NEG_INF, KEY_POS_INF};
+use crate::verify::{Verifier, VerifyError, VerifyReport};
+
+/// One way a malicious query server can doctor an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tamper {
+    /// Silently drop a qualifying record from the middle of the result.
+    DropRecord,
+    /// Inject a fabricated (unsigned) record into the result.
+    InjectRecord,
+    /// Swap two records to hide a chain splice.
+    ReorderRecords,
+    /// Replay a superseded answer captured before an update, attaching the
+    /// currently published summaries.
+    StaleVersion,
+    /// Widen a boundary key beyond what the chain certifies.
+    WidenBoundary,
+    /// Truncate the result tail and move the right boundary inward.
+    TruncateTail,
+    /// Widen a gap proof's certified neighbour key.
+    ForgeGapKeys,
+    /// Replay a genuine gap proof against a range it does not bracket
+    /// (forging the answer's boundary keys so only the gap check can see).
+    ReplayGapElsewhere,
+    /// Serve a gap proof whose bracketing record has been superseded.
+    StaleGapRecord,
+    /// Withhold every summary after an early one, hiding later updates.
+    WithholdSummarySuffix,
+    /// Serve a stale answer with only a clean, contiguous, *recent* suffix
+    /// of summaries — the exposing summary hidden in the withheld prefix.
+    WithholdSummaryPrefix,
+    /// Present the summaries out of order / with a broken seq chain.
+    ReorderSummaries,
+    /// Truncate a summary's compressed bitmap.
+    TruncateBitmap,
+    /// Replay an empty-table proof from before an insertion.
+    ReplayVacancy,
+    /// Flip one projected value.
+    ForgeProjectionValue,
+    /// Replay a superseded projection with current summaries.
+    StaleProjection,
+}
+
+impl Tamper {
+    /// Every strategy, in catalog order.
+    pub const CATALOG: [Tamper; 16] = [
+        Tamper::DropRecord,
+        Tamper::InjectRecord,
+        Tamper::ReorderRecords,
+        Tamper::StaleVersion,
+        Tamper::WidenBoundary,
+        Tamper::TruncateTail,
+        Tamper::ForgeGapKeys,
+        Tamper::ReplayGapElsewhere,
+        Tamper::StaleGapRecord,
+        Tamper::WithholdSummarySuffix,
+        Tamper::WithholdSummaryPrefix,
+        Tamper::ReorderSummaries,
+        Tamper::TruncateBitmap,
+        Tamper::ReplayVacancy,
+        Tamper::ForgeProjectionValue,
+        Tamper::StaleProjection,
+    ];
+
+    /// Short printable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tamper::DropRecord => "drop-record",
+            Tamper::InjectRecord => "inject-record",
+            Tamper::ReorderRecords => "reorder-records",
+            Tamper::StaleVersion => "stale-version",
+            Tamper::WidenBoundary => "widen-boundary",
+            Tamper::TruncateTail => "truncate-tail",
+            Tamper::ForgeGapKeys => "forge-gap-keys",
+            Tamper::ReplayGapElsewhere => "replay-gap-elsewhere",
+            Tamper::StaleGapRecord => "stale-gap-record",
+            Tamper::WithholdSummarySuffix => "withhold-summary-suffix",
+            Tamper::WithholdSummaryPrefix => "withhold-summary-prefix",
+            Tamper::ReorderSummaries => "reorder-summaries",
+            Tamper::TruncateBitmap => "truncate-bitmap",
+            Tamper::ReplayVacancy => "replay-vacancy",
+            Tamper::ForgeProjectionValue => "forge-projection-value",
+            Tamper::StaleProjection => "stale-projection",
+        }
+    }
+
+    /// Whether `err` is the rejection this strategy must produce.
+    pub fn expects(self, err: &VerifyError) -> bool {
+        use VerifyError::*;
+        match self {
+            Tamper::DropRecord
+            | Tamper::InjectRecord
+            | Tamper::WidenBoundary
+            | Tamper::ForgeGapKeys
+            | Tamper::ForgeProjectionValue => matches!(err, BadAggregate),
+            Tamper::ReorderRecords => matches!(err, Unsorted),
+            Tamper::TruncateTail => matches!(err, BadBoundary),
+            Tamper::ReplayGapElsewhere => matches!(err, BadGapProof),
+            Tamper::StaleVersion | Tamper::StaleGapRecord | Tamper::StaleProjection => {
+                matches!(err, Stale { .. })
+            }
+            Tamper::WithholdSummarySuffix
+            | Tamper::WithholdSummaryPrefix
+            | Tamper::ReorderSummaries => {
+                matches!(err, FreshnessIndeterminate { .. })
+            }
+            Tamper::TruncateBitmap => matches!(err, BadSummarySignature { .. }),
+            Tamper::ReplayVacancy => matches!(err, StaleVacancy { .. }),
+        }
+    }
+
+    /// Whether the strategy tampers with projection answers (the rest work
+    /// on selections).
+    pub fn targets_projection(self) -> bool {
+        matches!(self, Tamper::ForgeProjectionValue | Tamper::StaleProjection)
+    }
+}
+
+/// A query server under adversarial control: forwards the DA's updates and
+/// summaries honestly (it must, to keep its replica usable) but doctors
+/// every answer according to its [`Tamper`] strategy. Replay strategies
+/// additionally hoard earlier honest answers via [`MaliciousServer::capture_selection`] /
+/// [`MaliciousServer::capture_projection`].
+pub struct MaliciousServer {
+    inner: QueryServer,
+    tamper: Tamper,
+    schema: Schema,
+    captured_selection: Option<SelectionAnswer>,
+    captured_projection: Option<ProjectionAnswer>,
+}
+
+impl MaliciousServer {
+    /// Put `inner` under adversarial control with one tamper strategy.
+    pub fn new(inner: QueryServer, schema: Schema, tamper: Tamper) -> Self {
+        MaliciousServer {
+            inner,
+            tamper,
+            schema,
+            captured_selection: None,
+            captured_projection: None,
+        }
+    }
+
+    /// The active strategy.
+    pub fn tamper(&self) -> Tamper {
+        self.tamper
+    }
+
+    /// The wrapped honest server.
+    pub fn inner_mut(&mut self) -> &mut QueryServer {
+        &mut self.inner
+    }
+
+    /// Record the honest answer to `lo..=hi` now, for later replay.
+    pub fn capture_selection(&mut self, lo: i64, hi: i64) {
+        self.captured_selection = Some(self.inner.select_range(lo, hi));
+    }
+
+    /// Record the honest projection now, for later replay.
+    pub fn capture_projection(&mut self, lo: i64, hi: i64, attrs: &[usize]) {
+        self.captured_projection = Some(self.inner.project(lo, hi, attrs));
+    }
+
+    /// Answer a range selection, doctored per the active strategy.
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> SelectionAnswer {
+        let mut ans = match self.tamper {
+            Tamper::StaleVersion
+            | Tamper::StaleGapRecord
+            | Tamper::ReplayGapElsewhere
+            | Tamper::ReplayVacancy
+            | Tamper::WithholdSummaryPrefix => {
+                // Replays ship a hoarded answer; the client fetches the
+                // current summaries independently, so the attacker cannot
+                // avoid attaching them.
+                let mut a = self
+                    .captured_selection
+                    .clone()
+                    .expect("capture_selection before replay");
+                a.summaries = self.inner.summaries().to_vec();
+                a
+            }
+            _ => self.inner.select_range(lo, hi),
+        };
+        match self.tamper {
+            Tamper::DropRecord => {
+                let mid = ans.records.len() / 2;
+                ans.records.remove(mid);
+            }
+            Tamper::InjectRecord => {
+                // Fabricate a record with an in-range key (a duplicate of
+                // an existing one, so ordering still holds).
+                let mut forged = ans.records[0].clone();
+                forged.attrs[1] = forged.attrs[1].wrapping_add(1);
+                ans.records.insert(1, forged);
+            }
+            Tamper::ReorderRecords => ans.records.swap(0, 1),
+            Tamper::WidenBoundary => {
+                ans.left_key = ans.left_key.saturating_sub(5);
+            }
+            Tamper::TruncateTail => {
+                let keep = ans.records.len() / 2;
+                ans.records.truncate(keep);
+                let last_key = ans.records.last().expect("nonempty").key(&self.schema);
+                ans.right_key = last_key.saturating_add(1);
+            }
+            Tamper::ForgeGapKeys => {
+                let g = ans.gap.as_mut().expect("gap answer");
+                g.right_key = g.right_key.saturating_add(1_000);
+            }
+            Tamper::ReplayGapElsewhere => {
+                // Forge the answer-level boundary keys so only the gap
+                // bracketing check can catch the replay.
+                ans.left_key = KEY_NEG_INF;
+                ans.right_key = KEY_POS_INF;
+            }
+            Tamper::WithholdSummarySuffix => ans.summaries.truncate(1),
+            Tamper::WithholdSummaryPrefix => {
+                // Keep only the newest summary: contiguous and recent, but
+                // the exposing summary is gone from the middle of history.
+                let n = ans.summaries.len();
+                ans.summaries.drain(..n - 1);
+            }
+            Tamper::ReorderSummaries => ans.summaries.swap(0, 1),
+            Tamper::TruncateBitmap => {
+                let s = ans.summaries.last_mut().expect("summaries present");
+                let half = s.compressed.len() / 2;
+                s.compressed.truncate(half);
+            }
+            Tamper::StaleVersion | Tamper::StaleGapRecord | Tamper::ReplayVacancy => {}
+            Tamper::ForgeProjectionValue | Tamper::StaleProjection => {
+                unreachable!("projection tampers do not answer selections")
+            }
+        }
+        ans
+    }
+
+    /// Answer a projection, doctored per the active strategy.
+    pub fn project(&mut self, lo: i64, hi: i64, attrs: &[usize]) -> ProjectionAnswer {
+        match self.tamper {
+            Tamper::ForgeProjectionValue => {
+                let mut ans = self.inner.project(lo, hi, attrs);
+                ans.rows[0].values[0].1 ^= 1;
+                ans
+            }
+            Tamper::StaleProjection => {
+                let mut a = self
+                    .captured_projection
+                    .clone()
+                    .expect("capture_projection before replay");
+                a.summaries = self.inner.summaries().to_vec();
+                a
+            }
+            _ => self.inner.project(lo, hi, attrs),
+        }
+    }
+}
+
+/// Outcome of one catalog entry.
+pub struct Conformance {
+    /// The strategy exercised.
+    pub tamper: Tamper,
+    /// Whether the honest answer to the same query verified.
+    pub honest_ok: bool,
+    /// What the verifier said about the tampered answer.
+    pub outcome: Result<VerifyReport, VerifyError>,
+}
+
+impl Conformance {
+    /// Tampered answer rejected with the expected error AND honest answer
+    /// accepted.
+    pub fn ok(&self) -> bool {
+        self.honest_ok
+            && match &self.outcome {
+                Ok(_) => false,
+                Err(e) => self.tamper.expects(e),
+            }
+    }
+}
+
+fn cfg(scheme: SchemeKind, mode: SigningMode) -> DaConfig {
+    DaConfig {
+        schema: Schema::new(2, 64),
+        scheme,
+        mode,
+        rho: 10,
+        rho_prime: 10_000,
+        buffer_pages: 256,
+        fill: 2.0 / 3.0,
+    }
+}
+
+fn system(
+    scheme: SchemeKind,
+    mode: SigningMode,
+    n: i64,
+    tamper: Tamper,
+) -> (DataAggregator, MaliciousServer, Verifier) {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut da = DataAggregator::new(cfg(scheme, mode), &mut rng);
+    let boot = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
+    let qs = QueryServer::from_bootstrap(
+        da.public_params(),
+        da.config().schema,
+        mode,
+        &boot,
+        256,
+        2.0 / 3.0,
+    );
+    let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+    let mal = MaliciousServer::new(qs, da.config().schema, tamper);
+    (da, mal, v)
+}
+
+/// Drive the shared three-period timeline: summary at t=12, an update to
+/// rid 23 (key 230) at t=14, summaries at t=24 and t=34.
+fn run_timeline(da: &mut DataAggregator, mal: &mut MaliciousServer) {
+    da.advance_clock(12);
+    let (s1, _) = da.maybe_publish_summary().expect("period 0 closes");
+    mal.inner_mut().add_summary(s1);
+    da.advance_clock(2);
+    for m in da.update_record(23, vec![230, 777]) {
+        mal.inner_mut().apply(&m);
+    }
+    da.advance_clock(10);
+    let (s2, _) = da.maybe_publish_summary().expect("period 1 closes");
+    mal.inner_mut().add_summary(s2);
+    da.advance_clock(10);
+    let (s3, _) = da.maybe_publish_summary().expect("period 2 closes");
+    mal.inner_mut().add_summary(s3);
+}
+
+/// Run one selection-catalog scenario.
+fn selection_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
+    let (mut da, mut mal, v) = system(scheme, SigningMode::Chained, 40, tamper);
+    // The query each strategy answers (and is judged against).
+    let (lo, hi) = match tamper {
+        Tamper::ForgeGapKeys => (101, 109),
+        Tamper::ReplayGapElsewhere | Tamper::StaleGapRecord => (231, 239),
+        _ => (100, 300),
+    };
+    // Replays capture their victim answer before the update lands.
+    match tamper {
+        Tamper::StaleVersion | Tamper::WithholdSummaryPrefix => mal.capture_selection(100, 300),
+        Tamper::StaleGapRecord => mal.capture_selection(231, 239),
+        Tamper::ReplayGapElsewhere => mal.capture_selection(101, 109),
+        _ => {}
+    }
+    run_timeline(&mut da, &mut mal);
+    let now = da.now();
+    let tampered = mal.select_range(lo, hi);
+    let outcome = v.verify_selection(lo, hi, &tampered, now, true);
+    let honest = mal.inner_mut().select_range(lo, hi);
+    let honest_ok = v.verify_selection(lo, hi, &honest, now, true).is_ok();
+    Conformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run the empty-table replay scenario.
+fn vacancy_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
+    let (mut da, mut mal, v) = system(scheme, SigningMode::Chained, 0, tamper);
+    // Hoard the pre-insert vacancy answer...
+    mal.capture_selection(0, 100);
+    // ...then the world moves on: an insert lands and is summarized.
+    da.advance_clock(3);
+    for m in da.insert(vec![50, 1]) {
+        mal.inner_mut().apply(&m);
+    }
+    da.advance_clock(9);
+    let (s1, _) = da.maybe_publish_summary().expect("period closes");
+    mal.inner_mut().add_summary(s1);
+    let now = da.now();
+    let tampered = mal.select_range(0, 100);
+    let outcome = v.verify_selection(0, 100, &tampered, now, true);
+    let honest = mal.inner_mut().select_range(0, 100);
+    let honest_ok = v.verify_selection(0, 100, &honest, now, true).is_ok();
+    Conformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run one projection-catalog scenario.
+fn projection_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
+    let (mut da, mut mal, v) = system(scheme, SigningMode::PerAttribute, 40, tamper);
+    if tamper == Tamper::StaleProjection {
+        mal.capture_projection(100, 300, &[0, 1]);
+    }
+    run_timeline(&mut da, &mut mal);
+    let now = da.now();
+    let tampered = mal.project(100, 300, &[0, 1]);
+    let outcome = v.verify_projection(&tampered, now, true);
+    let honest = mal.inner_mut().project(100, 300, &[0, 1]);
+    let honest_ok = v.verify_projection(&honest, now, true).is_ok();
+    Conformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run every catalog strategy under `scheme`, returning one outcome per
+/// strategy. Used by the unit-test conformance suite and the `fig_adv`
+/// bench scenario.
+pub fn run_catalog(scheme: SchemeKind) -> Vec<Conformance> {
+    Tamper::CATALOG
+        .iter()
+        .map(|&t| {
+            if t.targets_projection() {
+                projection_scenario(scheme, t)
+            } else if t == Tamper::ReplayVacancy {
+                vacancy_scenario(scheme, t)
+            } else {
+                selection_scenario(scheme, t)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_rejects_every_tamper_mock() {
+        for c in run_catalog(SchemeKind::Mock) {
+            assert!(
+                c.honest_ok,
+                "{}: honest answer must verify",
+                c.tamper.name()
+            );
+            match &c.outcome {
+                Ok(_) => panic!("{}: tampered answer verified", c.tamper.name()),
+                Err(e) => assert!(
+                    c.tamper.expects(e),
+                    "{}: rejected with unexpected error {:?}",
+                    c.tamper.name(),
+                    e
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<&str> = Tamper::CATALOG.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Tamper::CATALOG.len());
+    }
+
+    #[test]
+    fn spot_check_with_bas_scheme() {
+        // Full crypto for a representative slice of the catalog: content
+        // forgery, staleness, and summary withholding.
+        for t in [
+            Tamper::InjectRecord,
+            Tamper::StaleVersion,
+            Tamper::WithholdSummarySuffix,
+            Tamper::WithholdSummaryPrefix,
+        ] {
+            let c = selection_scenario(SchemeKind::Bas, t);
+            assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
+        }
+    }
+}

@@ -21,7 +21,7 @@ use authdb_index::btree::LeafEntry;
 use authdb_index::{new_asign, ASignTree};
 use authdb_storage::{BufferPool, Disk, HeapFile};
 
-use crate::freshness::UpdateSummary;
+use crate::freshness::{EmptyTableProof, UpdateSummary};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
 
 /// What the per-record signature binds (Section 3.2: "what exactly sn is
@@ -98,6 +98,9 @@ pub struct UpdateMsg {
     pub attr_sigs: Vec<Signature>,
     /// The record's previous key if the indexed attribute changed.
     pub old_key: Option<i64>,
+    /// Fresh empty-table proof, present only on a delete that emptied the
+    /// relation.
+    pub vacancy: Option<EmptyTableProof>,
 }
 
 /// Initial database snapshot shipped to a query server.
@@ -108,6 +111,8 @@ pub struct Bootstrap {
     pub sigs: Vec<Signature>,
     /// Per-attribute signatures in rid order (PerAttribute mode).
     pub attr_sigs: Vec<Vec<Signature>>,
+    /// Empty-table proof when the bootstrap holds zero records.
+    pub vacancy: Option<EmptyTableProof>,
 }
 
 /// The Data Aggregator.
@@ -131,6 +136,8 @@ pub struct DataAggregator {
     recert_next: Vec<u64>,
     /// Background renewal scan position.
     renewal_cursor: u64,
+    /// Standing empty-table proof (present only while the table is empty).
+    empty_proof: Option<EmptyTableProof>,
 }
 
 impl DataAggregator {
@@ -161,7 +168,13 @@ impl DataAggregator {
             current_updates: HashMap::new(),
             recert_next: Vec::new(),
             renewal_cursor: 0,
+            empty_proof: None,
         }
+    }
+
+    /// The standing empty-table proof, if the relation is currently empty.
+    pub fn empty_table_proof(&self) -> Option<&EmptyTableProof> {
+        self.empty_proof.as_ref()
     }
 
     /// Verification parameters for distribution to servers and users.
@@ -422,11 +435,21 @@ impl DataAggregator {
         self.cert_ts = vec![ts; n];
         self.sigs = sigs.clone();
         self.attr_sigs = attr_by_rid.clone();
+        // A bootstrap of zero records still needs an authenticated answer
+        // for every query: certify the vacancy.
+        let vacancy = if records.is_empty() {
+            let proof = EmptyTableProof::create(&self.keypair, ts);
+            self.empty_proof = Some(proof.clone());
+            Some(proof)
+        } else {
+            None
+        };
 
         Bootstrap {
             records,
             sigs,
             attr_sigs: attr_by_rid,
+            vacancy,
         }
     }
 
@@ -461,6 +484,7 @@ impl DataAggregator {
             signature: sig,
             attr_sigs,
             old_key: None,
+            vacancy: None,
         }
     }
 
@@ -483,6 +507,8 @@ impl DataAggregator {
         };
         let rid = self.heap.append(&record.to_bytes(&schema));
         debug_assert_eq!(rid, record.rid);
+        // The relation is no longer empty.
+        self.empty_proof = None;
         self.sigs.push(self.keypair.public_params().identity());
         self.attr_sigs.push(Vec::new());
         self.cert_ts.push(self.clock);
@@ -570,12 +596,22 @@ impl DataAggregator {
         self.tree.delete(key, rid);
         self.heap.delete(rid);
         self.mark_updated(rid);
+        // If this delete emptied the relation, certify the vacancy so
+        // servers can keep answering with an authenticated proof.
+        let vacancy = if self.heap.live_count() == 0 {
+            let proof = EmptyTableProof::create(&self.keypair, self.cert_clock());
+            self.empty_proof = Some(proof.clone());
+            Some(proof)
+        } else {
+            None
+        };
         let mut msgs = vec![UpdateMsg {
             kind: UpdateKind::Delete,
             record,
             signature: self.keypair.public_params().identity(),
             attr_sigs: Vec::new(),
             old_key: None,
+            vacancy,
         }];
         for e in neighbors.into_iter().flatten() {
             if let Some(m) = self.recertify(e.rid) {

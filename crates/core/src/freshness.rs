@@ -16,8 +16,20 @@
 //! A record updated several times within one period is re-certified in the
 //! following period, which bounds its staleness by 2ρ (the "multiple
 //! updates" rule).
+//!
+//! Crucially, the client also demands **recency of the latest summary
+//! itself**: if the newest attached summary is older than 2ρ, the check
+//! returns [`Freshness::Indeterminate`] instead of trusting the window the
+//! server chose to reveal. Without this gate a malicious server could
+//! withhold every summary published after a record's last certification and
+//! make an arbitrarily stale version look fresh.
+//!
+//! The same machinery covers the degenerate empty relation: the DA mints an
+//! [`EmptyTableProof`] whenever the table becomes (or bootstraps) empty, and
+//! [`check_vacancy`] treats *any* post-proof marking as evidence the claim
+//! is out of date — an empty table can only change by insertion.
 
-use authdb_crypto::signer::{PublicParams, Signature};
+use authdb_crypto::signer::{Keypair, PublicParams, Signature};
 use authdb_filters::bitmap::{compress, decompress, Bitmap};
 
 use crate::record::Tick;
@@ -87,6 +99,42 @@ impl UpdateSummary {
     }
 }
 
+/// Certified claim that the relation held **zero records** at `ts`: the
+/// record chain of Section 3.3 degenerated to the single gap `(−∞, +∞)`.
+/// Minted by the DA at an empty bootstrap and re-minted whenever a delete
+/// empties the table; superseded by any later insertion, which the client
+/// detects through the update summaries ([`check_vacancy`]).
+#[derive(Clone, Debug)]
+pub struct EmptyTableProof {
+    /// When the DA certified the relation empty.
+    pub ts: Tick,
+    /// DA signature over [`EmptyTableProof::message`].
+    pub signature: Signature,
+}
+
+impl EmptyTableProof {
+    /// The canonical signing message.
+    pub fn message(ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(20);
+        msg.extend_from_slice(b"empty-table:");
+        msg.extend_from_slice(&ts.to_be_bytes());
+        msg
+    }
+
+    /// Sign a vacancy claim as of `ts`.
+    pub fn create(keypair: &Keypair, ts: Tick) -> Self {
+        EmptyTableProof {
+            ts,
+            signature: keypair.sign(&Self::message(ts)),
+        }
+    }
+
+    /// Verify the DA's signature.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(&Self::message(self.ts), &self.signature)
+    }
+}
+
 /// Outcome of a freshness check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Freshness {
@@ -106,6 +154,12 @@ pub enum Freshness {
 /// `summaries` must be sorted by `seq`, signature-verified by the caller,
 /// and cover every period from the one containing `record_ts` through the
 /// latest; `rho` is the publication period and `now` the client's clock.
+/// The latest summary must itself be recent (younger than 2ρ), otherwise
+/// the server may be withholding the summaries that would expose a newer
+/// version and the check is [`Freshness::Indeterminate`].
+///
+/// To check many records against one attached set, decode the bitmaps once
+/// via [`DecodedSummaries`] instead of calling this in a loop.
 pub fn check_freshness(
     rid: u64,
     record_ts: Tick,
@@ -113,47 +167,131 @@ pub fn check_freshness(
     rho: Tick,
     now: Tick,
 ) -> Freshness {
+    check_marks(record_ts, summaries, rho, now, |i| {
+        summaries[i].bitmap().map(|b| b.get(rid as usize))
+    })
+}
+
+/// Check an [`EmptyTableProof`]'s currency against verified summaries.
+///
+/// While the table is empty no record can be modified or deleted, so *any*
+/// marking in a period that started at or after the proof's `ts` proves an
+/// insertion happened and the vacancy claim is out of date. The same
+/// anchoring, contiguity, and 2ρ-recency rules as [`check_freshness`]
+/// apply.
+pub fn check_vacancy(
+    proof_ts: Tick,
+    summaries: &[UpdateSummary],
+    rho: Tick,
+    now: Tick,
+) -> Freshness {
+    check_marks(proof_ts, summaries, rho, now, |i| {
+        summaries[i].bitmap().map(|b| b.ones() > 0)
+    })
+}
+
+/// An attached summary set with every bitmap decompressed **once**, for
+/// checking many records of the same answer: per-record checks then cost
+/// O(bitmap lookups) instead of re-decompressing each summary per record.
+pub struct DecodedSummaries<'a> {
+    summaries: &'a [UpdateSummary],
+    bitmaps: Vec<Option<Bitmap>>,
+}
+
+impl<'a> DecodedSummaries<'a> {
+    /// Decode all bitmaps up front (`None` entries are malformed payloads,
+    /// surfaced as [`Freshness::Indeterminate`] when a check needs them).
+    pub fn new(summaries: &'a [UpdateSummary]) -> Self {
+        DecodedSummaries {
+            summaries,
+            bitmaps: summaries.iter().map(|s| s.bitmap()).collect(),
+        }
+    }
+
+    /// [`check_freshness`] against the pre-decoded bitmaps.
+    pub fn check_freshness(&self, rid: u64, record_ts: Tick, rho: Tick, now: Tick) -> Freshness {
+        check_marks(record_ts, self.summaries, rho, now, |i| {
+            self.bitmaps[i].as_ref().map(|b| b.get(rid as usize))
+        })
+    }
+
+    /// [`check_vacancy`] against the pre-decoded bitmaps.
+    pub fn check_vacancy(&self, proof_ts: Tick, rho: Tick, now: Tick) -> Freshness {
+        check_marks(proof_ts, self.summaries, rho, now, |i| {
+            self.bitmaps[i].as_ref().map(|b| b.ones() > 0)
+        })
+    }
+}
+
+/// Shared core of [`check_freshness`] and [`check_vacancy`]: walk the
+/// summaries, demand seq-contiguity, anchored coverage of `version_ts`'s
+/// period, and recency of the newest summary. `exposed_at(i)` reports
+/// whether summary `i`'s bitmap invalidates the version being checked
+/// (`None` = malformed bitmap).
+fn check_marks(
+    version_ts: Tick,
+    summaries: &[UpdateSummary],
+    rho: Tick,
+    now: Tick,
+    exposed_at: impl Fn(usize) -> Option<bool>,
+) -> Freshness {
+    let window = rho.saturating_mul(2);
     let Some(latest) = summaries.last() else {
-        // No summary published yet: the record must be from the first,
-        // still-open period.
-        return Freshness::FreshWithin(now.saturating_sub(record_ts).min(rho));
+        // No summary at all is acceptable only in the first 2ρ of system
+        // life; past that, summaries must exist and their absence means the
+        // server withheld them.
+        if now >= window {
+            return Freshness::Indeterminate;
+        }
+        return Freshness::FreshWithin(now.saturating_sub(version_ts));
     };
-    if record_ts > latest.ts {
-        // Newer than the latest bitmap: fresh, worst case ct - r.ts < rho.
-        return Freshness::FreshWithin(now.saturating_sub(record_ts).min(rho));
-    }
-    // Need contiguous coverage from the period containing record_ts.
-    let mut covered = false;
-    let mut prev_seq: Option<u64> = None;
-    for s in summaries {
-        if let Some(p) = prev_seq {
-            if s.seq != p + 1 {
-                return Freshness::Indeterminate;
-            }
-        }
-        prev_seq = Some(s.seq);
-        if s.period_start < record_ts && record_ts <= s.ts {
-            covered = true;
-        }
-        // A marking proves staleness exactly when this version *predates*
-        // the marked period. The DA guarantees post-bootstrap certification
-        // timestamps are strictly inside their period (never equal to a
-        // boundary), so `record_ts <= period_start` means the version
-        // existed before the period began and the marking is a newer event.
-        if record_ts <= s.period_start {
-            covered = true;
-            let Some(bitmap) = s.bitmap() else {
-                return Freshness::Indeterminate;
-            };
-            if bitmap.get(rid as usize) {
-                return Freshness::Stale { exposed_by: s.seq };
+    // Pass 1 — definitive staleness. A marking proves staleness exactly
+    // when this version *predates* the marked period. The DA guarantees
+    // post-bootstrap certification timestamps are strictly inside their
+    // period (never equal to a boundary), so `version_ts <= period_start`
+    // means the version existed before the period began and the marking is
+    // a newer event. Each summary is individually signed, so this verdict
+    // needs no contiguity or anchoring.
+    let mut malformed = false;
+    for (i, s) in summaries.iter().enumerate() {
+        if version_ts <= s.period_start {
+            match exposed_at(i) {
+                Some(true) => return Freshness::Stale { exposed_by: s.seq },
+                Some(false) => {}
+                None => malformed = true,
             }
         }
     }
-    if !covered {
+    // Pass 2 — a FRESH verdict needs the full discipline.
+    // Recency gate: a latest summary older than 2ρ proves nothing about the
+    // recent past — the server may be sitting on newer summaries that mark
+    // this version.
+    if now.saturating_sub(latest.ts) >= window {
         return Freshness::Indeterminate;
     }
-    Freshness::FreshWithin(now.saturating_sub(latest.ts).min(rho))
+    if version_ts > latest.ts {
+        // Newer than the latest bitmap: fresh, worst case ct - version_ts,
+        // bounded by 2ρ via the gate above.
+        return Freshness::FreshWithin(now.saturating_sub(version_ts));
+    }
+    // Anchor: the run must start at or before the period containing
+    // version_ts. Contiguity + recency alone would let a server present a
+    // clean *recent suffix* while withholding the middle summary that marks
+    // this version stale (prefix withholding); anchoring the run's start
+    // closes that. seq 0 is the first summary ever published, so a run from
+    // seq 0 trivially covers everything before it.
+    let first = &summaries[0];
+    if !(first.period_start < version_ts || first.seq == 0) {
+        return Freshness::Indeterminate;
+    }
+    // Contiguity: no withheld summary inside the run.
+    if summaries.windows(2).any(|w| w[1].seq != w[0].seq + 1) {
+        return Freshness::Indeterminate;
+    }
+    if malformed {
+        return Freshness::Indeterminate;
+    }
+    Freshness::FreshWithin(now.saturating_sub(latest.ts))
 }
 
 #[cfg(test)]
@@ -241,31 +379,149 @@ mod tests {
     #[test]
     fn missing_coverage_is_indeterminate() {
         let kp = keypair();
-        // Record from ts 5, but summaries only start at period (10, 20].
+        // Record from ts 5, but summaries only start at period (10, 20]:
+        // the (0, 10] summary that would expose an update in (5, 10] is
+        // absent, so the anchored-coverage rule refuses to decide.
         let sums = vec![summary(&kp, 1, 10, 20, &[])];
-        // Marked nowhere, but the (0,10] summary is absent → cannot decide
-        // whether an update happened in (5, 10].
-        // period_start=10 >= 5 so it checks out as covered in our scheme
-        // because any update in (5,10] would have been re-flagged... it
-        // would NOT — so this must be Indeterminate only when the record's
-        // own period is missing AND the next summary doesn't start at ts.
-        // Our conservative rule: covered only if some summary's period
-        // contains record_ts or starts at/after it; here 10 >= 5 covers the
-        // tail but not (5, 10]. The protocol expects clients to fetch back
-        // to the record's period; with only later summaries the check still
-        // detects updates at ts > 10. We accept the 2ρ-bounded window and
-        // report fresh-within accordingly.
-        let f = check_freshness(7, 5, &sums, 10, 21);
-        assert!(matches!(
-            f,
-            Freshness::FreshWithin(_) | Freshness::Indeterminate
-        ));
+        assert_eq!(
+            check_freshness(7, 5, &sums, 10, 21),
+            Freshness::Indeterminate
+        );
+    }
+
+    #[test]
+    fn withheld_summary_prefix_is_indeterminate() {
+        let kp = keypair();
+        // rid 7 (ts 5) superseded in period (10, 20]. A malicious server
+        // ships only the clean, contiguous, *recent* suffix [seq 2, seq 3]:
+        // contiguity and the 2ρ gate both pass, but the run's start is not
+        // anchored at rid 7's period, so the check must refuse rather than
+        // report fresh.
+        let all = vec![
+            summary(&kp, 0, 0, 10, &[]),
+            summary(&kp, 1, 10, 20, &[7]),
+            summary(&kp, 2, 20, 30, &[]),
+            summary(&kp, 3, 30, 40, &[]),
+        ];
+        assert_eq!(
+            check_freshness(7, 5, &all, 10, 42),
+            Freshness::Stale { exposed_by: 1 }
+        );
+        assert_eq!(
+            check_freshness(7, 5, &all[2..], 10, 42),
+            Freshness::Indeterminate
+        );
+        // Same hole for vacancy claims: the insert-marking summary is in
+        // the withheld prefix.
+        assert_eq!(
+            check_vacancy(5, &all[2..], 10, 42),
+            Freshness::Indeterminate
+        );
+        // An anchored run that includes the exposing summary still decides.
+        assert_eq!(
+            check_freshness(7, 5, &all[1..], 10, 42),
+            Freshness::Stale { exposed_by: 1 }
+        );
+    }
+
+    #[test]
+    fn decoded_summaries_match_direct_checks() {
+        let kp = keypair();
+        let sums = vec![
+            summary(&kp, 0, 0, 10, &[7]),
+            summary(&kp, 1, 10, 20, &[7]),
+            summary(&kp, 2, 20, 30, &[99]),
+        ];
+        let decoded = DecodedSummaries::new(&sums);
+        for rid in [7u64, 42, 99] {
+            for ts in [5u64, 15, 25] {
+                assert_eq!(
+                    decoded.check_freshness(rid, ts, 10, 31),
+                    check_freshness(rid, ts, &sums, 10, 31),
+                    "rid {rid} ts {ts}"
+                );
+            }
+        }
+        assert_eq!(
+            decoded.check_vacancy(5, 10, 31),
+            check_vacancy(5, &sums, 10, 31)
+        );
     }
 
     #[test]
     fn no_summaries_yet() {
         let f = check_freshness(7, 5, &[], 10, 8);
         assert_eq!(f, Freshness::FreshWithin(3));
+    }
+
+    #[test]
+    fn withheld_summary_suffix_is_indeterminate() {
+        let kp = keypair();
+        // rid 7 (ts 5) was updated in period (10, 20], which summary 1
+        // records. A server withholding summaries 1.. must not be able to
+        // pass the check off the back of summary 0 alone once the clock is
+        // ≥ 2ρ past summary 0.
+        let all = vec![
+            summary(&kp, 0, 0, 10, &[7]),
+            summary(&kp, 1, 10, 20, &[7]),
+            summary(&kp, 2, 20, 30, &[]),
+        ];
+        assert_eq!(
+            check_freshness(7, 5, &all, 10, 33),
+            Freshness::Stale { exposed_by: 1 }
+        );
+        let withheld = &all[..1];
+        assert_eq!(
+            check_freshness(7, 5, withheld, 10, 33),
+            Freshness::Indeterminate
+        );
+        // Withholding *every* summary is equally indeterminate past 2ρ.
+        assert_eq!(check_freshness(7, 5, &[], 10, 33), Freshness::Indeterminate);
+    }
+
+    #[test]
+    fn recency_gate_is_strict_at_two_rho() {
+        let kp = keypair();
+        let sums = vec![summary(&kp, 0, 0, 10, &[])];
+        assert!(matches!(
+            check_freshness(7, 5, &sums, 10, 29),
+            Freshness::FreshWithin(19)
+        ));
+        assert_eq!(
+            check_freshness(7, 5, &sums, 10, 30),
+            Freshness::Indeterminate
+        );
+    }
+
+    #[test]
+    fn vacancy_holds_while_no_marks() {
+        let kp = keypair();
+        let proof = EmptyTableProof::create(&kp, 0);
+        assert!(proof.verify(&kp.public_params()));
+        let sums = vec![summary(&kp, 0, 0, 10, &[]), summary(&kp, 1, 10, 20, &[])];
+        assert!(matches!(
+            check_vacancy(proof.ts, &sums, 10, 21),
+            Freshness::FreshWithin(_)
+        ));
+    }
+
+    #[test]
+    fn vacancy_invalidated_by_any_later_marking() {
+        let kp = keypair();
+        // Table emptied at ts 5 (deletions marked in period (0, 10]); an
+        // insert in (10, 20] contradicts the vacancy claim.
+        let sums = vec![summary(&kp, 0, 0, 10, &[3]), summary(&kp, 1, 10, 20, &[0])];
+        assert_eq!(
+            check_vacancy(5, &sums, 10, 21),
+            Freshness::Stale { exposed_by: 1 }
+        );
+        // Own-period markings (the deletions that emptied the table) are
+        // not a contradiction.
+        let benign = vec![summary(&kp, 0, 0, 10, &[3]), summary(&kp, 1, 10, 20, &[])];
+        assert!(matches!(
+            check_vacancy(5, &benign, 10, 21),
+            Freshness::FreshWithin(_)
+        ));
     }
 
     #[test]

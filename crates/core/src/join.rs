@@ -21,7 +21,7 @@ use authdb_filters::partitioned::{PartitionedFilters, Probe};
 
 use crate::da::DataAggregator;
 use crate::qs::{GapProof, QueryServer, SelectionAnswer};
-use crate::record::{chain_message_from_parts, Record, Schema};
+use crate::record::{Record, Schema};
 use crate::verify::{Verifier, VerifyError};
 
 /// Which absence-proof mechanism the server uses.
@@ -108,7 +108,11 @@ impl JoinAnswer {
     /// partition boundaries + one aggregate signature). Matching S records
     /// are answer payload, not VO.
     pub fn vo_size(&self, pp: &PublicParams) -> usize {
-        let gaps: usize = self.gap_pool.iter().map(|g| g.tuple_hash.len() + 24).sum();
+        let gaps: usize = self
+            .gap_pool
+            .iter()
+            .map(|g| 16 + 8 * g.record.attrs.len() + 16)
+            .sum();
         let filters: usize = self
             .partitions
             .iter()
@@ -121,10 +125,10 @@ impl JoinAnswer {
     /// formulas 2 and 3 count. Boundary proofs contribute two values each
     /// (after deduplication), partitions their filter bytes plus two
     /// boundary values.
-    pub fn paper_vo_size(&self, s_b_len: usize) -> usize {
+    pub fn paper_vo_size(&self, s_schema: &Schema, s_b_len: usize) -> usize {
         let mut distinct_vals = std::collections::BTreeSet::new();
         for g in &self.gap_pool {
-            distinct_vals.insert(g.own_key);
+            distinct_vals.insert(g.own_key(s_schema));
             distinct_vals.insert(g.right_key);
         }
         let gaps = distinct_vals.len() * s_b_len;
@@ -240,7 +244,7 @@ pub fn execute_join(
     let mut runs = Vec::new();
     let mut absences = Vec::new();
     let mut gap_pool: Vec<GapProof> = Vec::new();
-    let mut gap_index: BTreeMap<i64, usize> = BTreeMap::new(); // own_key -> pool idx
+    let mut gap_index: BTreeMap<u64, usize> = BTreeMap::new(); // bracket rid -> pool idx
     let mut shipped: BTreeMap<usize, usize> = BTreeMap::new(); // ordinal -> answer idx
     let mut partitions: Vec<ShippedPartition> = Vec::new();
     let mut s_agg = pp.identity();
@@ -257,17 +261,18 @@ pub fn execute_join(
             });
             continue;
         }
-        // Unmatched value: absence proof.
+        // Unmatched value: absence proof (deduplicated by bracketing rid).
         let boundary = |gap: GapProof,
                         gap_pool: &mut Vec<GapProof>,
-                        gap_index: &mut BTreeMap<i64, usize>,
+                        gap_index: &mut BTreeMap<u64, usize>,
                         s_agg: &mut Signature| {
-            if let Some(&idx) = gap_index.get(&gap.own_key) {
+            if let Some(&idx) = gap_index.get(&gap.record.rid) {
                 return idx;
             }
             *s_agg = pp.aggregate(s_agg, &gap.signature);
-            gap_pool.push(gap.clone());
-            gap_index.insert(gap.own_key, gap_pool.len() - 1);
+            let rid = gap.record.rid;
+            gap_pool.push(gap);
+            gap_index.insert(rid, gap_pool.len() - 1);
             gap_pool.len() - 1
         };
         match method {
@@ -363,12 +368,7 @@ pub fn verify_join(
         }
     }
     for g in &ans.gap_pool {
-        messages.push(chain_message_from_parts(
-            &g.tuple_hash,
-            g.own_key,
-            g.left_key,
-            g.right_key,
-        ));
+        messages.push(g.chain_msg(s_schema));
     }
     for p in &ans.partitions {
         messages.push(filters_certifier(p));
@@ -382,8 +382,8 @@ pub fn verify_join(
                 let Some(g) = ans.gap_pool.get(*idx) else {
                     return Err(VerifyError::BadGapProof);
                 };
-                let brackets =
-                    (g.own_key < *v && g.right_key > *v) || (g.own_key > *v && g.left_key < *v);
+                let own = g.own_key(s_schema);
+                let brackets = (own < *v && g.right_key > *v) || (own > *v && g.left_key < *v);
                 if !brackets {
                     return Err(VerifyError::BadGapProof);
                 }
@@ -496,9 +496,11 @@ pub mod viability {
         }
 
         #[test]
-        fn bf_not_viable_when_ib_dominates() {
-            // Section 3.5: BF is not beneficial when IB >= 7.83 IA.
-            assert!(!bf_viable(1.0 / 10.0, 4.0) || true);
+        fn bf_not_viable_when_ia_dominates_or_partitions_too_small() {
+            // At I_A = 10·I_B the minimum viable partition is 6.29 keys
+            // (Figure 4's annotation): 4-key partitions are not viable.
+            assert!(!bf_viable(10.0, 4.0));
+            assert!(bf_viable(10.0, 8.0));
             // direct check of the z-condition shape
             assert!(!bf_viable(1.0, 2.0));
             assert!(bf_viable(1.0, 4.0));
@@ -623,8 +625,9 @@ mod tests {
         let (bv, ..) = run_join(JoinMethod::BoundaryValues);
         let (bf, ..) = run_join(JoinMethod::BloomFilter);
         // At minimum both must produce nonzero absence machinery.
-        assert!(bv.paper_vo_size(4) > 0);
-        assert!(bf.paper_vo_size(4) > 0);
+        let schema = Schema::new(2, 64);
+        assert!(bv.paper_vo_size(&schema, 4) > 0);
+        assert!(bf.paper_vo_size(&schema, 4) > 0);
     }
 
     #[test]

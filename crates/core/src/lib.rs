@@ -4,11 +4,17 @@
 //! outsourced dynamic databases over signature aggregation.
 //!
 //! * [`record`] — records `⟨rid, A1..AM, ts⟩` and signing messages.
-//! * [`freshness`] — certified bitmap update summaries (Section 3.1).
+//! * [`freshness`] — certified bitmap update summaries and empty-table
+//!   proofs (Section 3.1).
 //! * [`da`] — the trusted Data Aggregator: certification, chaining,
 //!   summaries, active renewal.
+//! * [`verify`] — the client-side verifier (threat model documented there),
+//!   including batched multi-answer verification.
+//! * [`adversary`] — the malicious-server conformance subsystem: a tamper
+//!   catalog every verifier change is regression-checked against.
 //! * [`locks`] — two-phase-locking lock manager (Section 5.1).
 
+pub mod adversary;
 pub mod da;
 pub mod embsys;
 pub mod freshness;

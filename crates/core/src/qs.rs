@@ -18,29 +18,46 @@
 //! signature checks and all client verifications of this server's answers
 //! run against an already-warm pairing cache.
 
-use authdb_crypto::sha256::Digest;
 use authdb_crypto::signer::{PublicParams, Signature};
 use authdb_index::{new_asign, ASignTree};
 use authdb_storage::{BufferPool, Disk, HeapFile, IoStats};
 
 use crate::da::{Bootstrap, SigningMode, UpdateKind, UpdateMsg};
-use crate::freshness::UpdateSummary;
+use crate::freshness::{EmptyTableProof, UpdateSummary};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
 
 /// Proof that no record falls inside a queried range: one record whose
 /// chained signature brackets the gap.
+///
+/// The bracketing record travels **in full** — not just its tuple hash —
+/// so the verifier can recompute the hash itself, which binds the record's
+/// `rid` and `ts` and lets the gap record go through the same
+/// summary-freshness check as returned records. (Shipping only the hash
+/// would let a server claim an arbitrary rid/ts for the bracket and dodge
+/// staleness detection on deleted or superseded chain records.)
 #[derive(Clone, Debug)]
 pub struct GapProof {
-    /// The bracketing record's tuple hash.
-    pub tuple_hash: Digest,
-    /// Its own indexed-attribute value.
-    pub own_key: i64,
-    /// Its left neighbour's value.
+    /// The bracketing record.
+    pub record: Record,
+    /// Its left neighbour's indexed value.
     pub left_key: i64,
-    /// Its right neighbour's value.
+    /// Its right neighbour's indexed value.
     pub right_key: i64,
-    /// Its signature.
+    /// Its chained signature.
     pub signature: Signature,
+}
+
+impl GapProof {
+    /// The bracketing record's own indexed value.
+    pub fn own_key(&self, schema: &Schema) -> i64 {
+        self.record.key(schema)
+    }
+
+    /// The chained message this proof's signature must match.
+    pub fn chain_msg(&self, schema: &Schema) -> Vec<u8> {
+        self.record
+            .chain_message(schema, self.left_key, self.right_key)
+    }
 }
 
 /// An authenticated selection answer (Section 3.3).
@@ -55,19 +72,30 @@ pub struct SelectionAnswer {
     pub left_key: i64,
     /// Indexed value of the record immediately right of the range.
     pub right_key: i64,
-    /// Present iff `records` is empty: the bracketing proof.
+    /// Present iff `records` is empty and the table is non-empty: the
+    /// bracketing proof.
     pub gap: Option<GapProof>,
-    /// Certified summaries published since the oldest result record.
+    /// Present iff the whole relation is empty: the certified vacancy
+    /// claim (there is no record to bracket the gap with).
+    pub vacancy: Option<EmptyTableProof>,
+    /// Certified summaries published since the oldest result record (the
+    /// latest summary always rides along so the client can anchor the
+    /// 2ρ-recency gate).
     pub summaries: Vec<UpdateSummary>,
 }
 
 impl SelectionAnswer {
     /// VO wire size in bytes: aggregate signature + two boundary keys
-    /// (+ gap proof), excluding the summaries (amortized per Section 5.3).
+    /// (+ gap/vacancy proof), excluding the summaries (amortized per
+    /// Section 5.3).
     pub fn vo_size(&self, pp: &PublicParams) -> usize {
         let mut size = pp.wire_len() + 16;
         if let Some(g) = &self.gap {
-            size += g.tuple_hash.len() + 24;
+            // rid + ts + attrs + the two neighbour keys.
+            size += 16 + 8 * g.record.attrs.len() + 16;
+        }
+        if self.vacancy.is_some() {
+            size += 8 + pp.wire_len();
         }
         size
     }
@@ -97,6 +125,9 @@ pub struct ProjectionAnswer {
     pub rows: Vec<ProjectedRow>,
     /// Aggregate over the projected attributes' signatures.
     pub agg: Signature,
+    /// Certified summaries published since the oldest projected row (the
+    /// latest one always included), for the client's freshness check.
+    pub summaries: Vec<UpdateSummary>,
 }
 
 impl ProjectionAnswer {
@@ -129,6 +160,8 @@ pub struct QueryServer {
     /// Per-attribute signatures by rid (PerAttribute mode).
     attr_sigs: Vec<Vec<Signature>>,
     summaries: Vec<UpdateSummary>,
+    /// Current empty-table proof (present only while the relation is empty).
+    vacancy: Option<EmptyTableProof>,
     stats: QsStats,
 }
 
@@ -170,6 +203,7 @@ impl QueryServer {
             sigs: boot.sigs.clone(),
             attr_sigs: boot.attr_sigs.clone(),
             summaries: Vec::new(),
+            vacancy: boot.vacancy.clone(),
             stats: QsStats::default(),
         }
     }
@@ -210,6 +244,8 @@ impl QueryServer {
         let payload_len = self.tree.config().payload_len;
         match msg.kind {
             UpdateKind::Insert => {
+                // Any insertion supersedes a standing vacancy claim.
+                self.vacancy = None;
                 let appended = self.heap.append(&msg.record.to_bytes(&self.schema));
                 debug_assert_eq!(appended, rid);
                 self.sigs.push(msg.signature.clone());
@@ -243,6 +279,11 @@ impl QueryServer {
                 let key = msg.record.key(&self.schema);
                 self.tree.delete(key, rid);
                 self.heap.delete(rid);
+                if let Some(v) = &msg.vacancy {
+                    // This delete emptied the relation: store the fresh
+                    // vacancy certificate the DA minted alongside it.
+                    self.vacancy = Some(v.clone());
+                }
             }
         }
     }
@@ -252,18 +293,32 @@ impl QueryServer {
         self.summaries.push(s);
     }
 
+    /// The stored certified summaries, oldest first.
+    pub fn summaries(&self) -> &[UpdateSummary] {
+        &self.summaries
+    }
+
     fn read_record(&self, rid: u64) -> Record {
         let bytes = self.heap.read(rid).expect("indexed record exists");
         Record::from_bytes(&self.schema, &bytes)
     }
 
-    /// Summaries published at or after `since`.
+    /// Summaries published at or after `since`, always including the latest
+    /// one: the client needs it to anchor the 2ρ-recency gate even when
+    /// every result record postdates the last published summary.
     fn summaries_since(&self, since: Tick) -> Vec<UpdateSummary> {
-        self.summaries
+        let mut out: Vec<UpdateSummary> = self
+            .summaries
             .iter()
             .filter(|s| s.ts >= since)
             .cloned()
-            .collect()
+            .collect();
+        if out.is_empty() {
+            if let Some(last) = self.summaries.last() {
+                out.push(last.clone());
+            }
+        }
+        out
     }
 
     /// Answer a range selection `lo <= Aind <= hi` (Section 3.3).
@@ -291,26 +346,39 @@ impl QueryServer {
             .unwrap_or(KEY_POS_INF);
 
         if scan.matches.is_empty() {
-            // Empty answer: ship the bracketing record's chain.
+            // Empty answer: ship the bracketing record's chain, or — when
+            // the whole relation is empty — the certified vacancy claim.
             let bracket = scan.left_boundary.as_ref().or(scan.right_boundary.as_ref());
             let gap = bracket.map(|e| {
                 let rec = self.read_record(e.rid);
                 let (l, r) = self.neighbor_keys_of(e.key, e.rid);
                 GapProof {
-                    tuple_hash: rec.tuple_hash(),
-                    own_key: e.key,
+                    record: rec,
                     left_key: l,
                     right_key: r,
                     signature: self.sigs[e.rid as usize].clone(),
                 }
             });
+            let vacancy = if gap.is_none() {
+                self.vacancy.clone()
+            } else {
+                None
+            };
+            // Trim to the window the verifier needs: from the proof
+            // version's own period onward.
+            let summaries = match (&gap, &vacancy) {
+                (Some(g), _) => self.summaries_since(g.record.ts),
+                (None, Some(v)) => self.summaries_since(v.ts),
+                (None, None) => Vec::new(),
+            };
             return SelectionAnswer {
                 records: Vec::new(),
                 agg: self.pp.identity(),
                 left_key,
                 right_key,
                 gap,
-                summaries: self.summaries.clone(),
+                vacancy,
+                summaries,
             };
         }
 
@@ -331,6 +399,7 @@ impl QueryServer {
             left_key,
             right_key,
             gap: None,
+            vacancy: None,
             summaries: self.summaries_since(oldest),
         }
     }
@@ -391,7 +460,12 @@ impl QueryServer {
                 values,
             });
         }
-        ProjectionAnswer { rows, agg }
+        let oldest = rows.iter().map(|r| r.ts).min().unwrap_or(0);
+        ProjectionAnswer {
+            rows,
+            agg,
+            summaries: self.summaries_since(oldest),
+        }
     }
 }
 
@@ -457,8 +531,41 @@ mod tests {
         let ans = qs.select_range(201, 209); // keys are multiples of 10
         assert!(ans.records.is_empty());
         let gap = ans.gap.expect("gap proof");
-        assert_eq!(gap.own_key, 200);
+        assert_eq!(gap.own_key(&Schema::new(2, 64)), 200);
         assert_eq!(gap.right_key, 210);
+        assert!(ans.vacancy.is_none());
+    }
+
+    #[test]
+    fn empty_table_answer_carries_vacancy_proof() {
+        let (_, mut qs) = system(0, SigningMode::Chained);
+        let ans = qs.select_range(0, 100);
+        assert!(ans.records.is_empty());
+        assert!(ans.gap.is_none());
+        let vac = ans.vacancy.expect("empty-table proof");
+        assert!(vac.verify(qs.public_params()));
+        assert_eq!(ans.left_key, KEY_NEG_INF);
+        assert_eq!(ans.right_key, KEY_POS_INF);
+    }
+
+    #[test]
+    fn vacancy_proof_tracks_delete_and_insert_transitions() {
+        let (mut da, mut qs) = system(1, SigningMode::Chained);
+        assert!(qs.select_range(0, 100).vacancy.is_none());
+        da.advance_clock(3);
+        for m in da.delete_record(0) {
+            qs.apply(&m);
+        }
+        let ans = qs.select_range(0, 100);
+        assert!(ans.gap.is_none());
+        let vac = ans.vacancy.expect("delete emptied the table");
+        assert_eq!(vac.ts, 3);
+        da.advance_clock(1);
+        for m in da.insert(vec![55, 9]) {
+            qs.apply(&m);
+        }
+        assert!(qs.select_range(200, 300).vacancy.is_none());
+        assert!(qs.select_range(200, 300).gap.is_some());
     }
 
     #[test]

@@ -8,7 +8,32 @@
 //!   neighbours, and the boundary keys bracket the queried range, so no
 //!   qualifying record can be omitted without breaking the aggregate;
 //! * **freshness** — each record passes the bitmap-summary check of
-//!   Section 3.1 (after the summaries' own signatures are verified).
+//!   Section 3.1 (after the summaries' own signatures are verified),
+//!   including the bracketing record of a gap proof and the vacancy proof
+//!   of an empty table.
+//!
+//! # Threat model
+//!
+//! The query server is **fully adversarial**: it can mutate, drop, inject,
+//! reorder, or replay anything it ships, including the summaries it
+//! forwards. Each [`VerifyError`] names the class of attack it defeats:
+//!
+//! | error | rejected attack |
+//! |---|---|
+//! | [`VerifyError::BadAggregate`] | forged/dropped/injected record content, widened certified boundary or gap keys, forged vacancy claims — anything that changes the signed messages |
+//! | [`VerifyError::RecordOutOfRange`] | padding the result with alien (but genuinely signed) records |
+//! | [`VerifyError::Unsorted`] | reordering records to hide a chain splice |
+//! | [`VerifyError::BadBoundary`] | truncating the result and moving a boundary key inward |
+//! | [`VerifyError::MissingGapProof`] | claiming an empty result with no bracketing chain or vacancy certificate |
+//! | [`VerifyError::BadGapProof`] | replaying a genuine gap proof against a range it does not bracket |
+//! | [`VerifyError::BadSummarySignature`] | tampering with a summary bitmap (e.g. truncating it) or its header |
+//! | [`VerifyError::Stale`] | serving a superseded or deleted version whose replacement a published summary marks — including the bracketing record of a gap proof |
+//! | [`VerifyError::FreshnessIndeterminate`] | withholding or reordering summaries so staleness cannot be decided (the 2ρ-recency gate) |
+//! | [`VerifyError::StaleVacancy`] | replaying an empty-table proof after an insertion |
+//! | [`VerifyError::VacancyIndeterminate`] | withholding the summaries that would expose a stale vacancy claim |
+//!
+//! The conformance suite in [`crate::adversary`] exercises every row of
+//! this table against a [`crate::adversary::MaliciousServer`].
 //!
 //! Under the BAS scheme the [`Verifier`]'s [`PublicParams`] carry the DA
 //! key's precomputed pairing lines (built once at key generation, shared
@@ -16,12 +41,14 @@
 //! one final exponentiation — per-query verification amortizes the key
 //! preparation to zero. Construct one `Verifier` and reuse it across
 //! queries; cloning it (or the params) keeps sharing the same cache.
+//! [`Verifier::verify_selection_batch`] goes further and folds many
+//! answers into a *single* random-linear-combination multi-pairing.
 
-use authdb_crypto::signer::PublicParams;
+use authdb_crypto::signer::{PublicParams, Signature};
 
-use crate::freshness::{check_freshness, Freshness};
+use crate::freshness::{DecodedSummaries, EmptyTableProof, Freshness, UpdateSummary};
 use crate::qs::{ProjectionAnswer, SelectionAnswer};
-use crate::record::{chain_message_from_parts, Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
 
 /// Why verification failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,7 +64,8 @@ pub enum VerifyError {
     Unsorted,
     /// The boundary keys do not bracket the queried range.
     BadBoundary,
-    /// An empty answer came without a bracketing gap proof.
+    /// An empty answer came without a bracketing gap proof or an
+    /// empty-table proof.
     MissingGapProof,
     /// The gap proof does not actually bracket the queried range.
     BadGapProof,
@@ -58,6 +86,24 @@ pub enum VerifyError {
         /// The undecidable record.
         rid: u64,
     },
+    /// The empty-table proof is contradicted by a later summary marking
+    /// (something was inserted after the vacancy was certified).
+    StaleVacancy {
+        /// The summary that exposed the insertion.
+        exposed_by: u64,
+    },
+    /// Not enough summaries to decide whether the empty-table proof is
+    /// still current.
+    VacancyIndeterminate,
+}
+
+/// A failure localized inside a batch verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchFailure {
+    /// Index of the failing answer within the batch.
+    pub index: usize,
+    /// What went wrong with it.
+    pub error: VerifyError,
 }
 
 /// A successful verification's freshness outcome.
@@ -89,17 +135,45 @@ impl Verifier {
         &self.pp
     }
 
-    /// Verify a range-selection answer for the query `lo <= Aind <= hi` at
-    /// local time `now`. `check_fresh` disabled skips the summary phase
-    /// (used by experiments isolating authenticity costs).
-    pub fn verify_selection(
+    /// Check every attached summary's own signature.
+    fn check_summaries(&self, summaries: &[UpdateSummary]) -> Result<(), VerifyError> {
+        for s in summaries {
+            if !s.verify(&self.pp) {
+                return Err(VerifyError::BadSummarySignature { seq: s.seq });
+            }
+        }
+        Ok(())
+    }
+
+    /// One record's freshness decision against already-verified,
+    /// once-decoded summaries, mapped into the error domain.
+    fn freshness_of(
+        &self,
+        rid: u64,
+        ts: Tick,
+        decoded: &DecodedSummaries<'_>,
+        now: Tick,
+    ) -> Result<Tick, VerifyError> {
+        match decoded.check_freshness(rid, ts, self.rho, now) {
+            Freshness::FreshWithin(b) => Ok(b),
+            Freshness::Stale { exposed_by } => Err(VerifyError::Stale { rid, exposed_by }),
+            Freshness::Indeterminate => Err(VerifyError::FreshnessIndeterminate { rid }),
+        }
+    }
+
+    /// Run every check on a selection answer except the final aggregate
+    /// signature equation, returning the signed messages to feed it: the
+    /// single shared pipeline behind the non-empty, gap-proof, and
+    /// empty-table paths of both [`Verifier::verify_selection`] and
+    /// [`Verifier::verify_selection_batch`].
+    fn analyze_selection(
         &self,
         lo: i64,
         hi: i64,
         ans: &SelectionAnswer,
         now: Tick,
         check_fresh: bool,
-    ) -> Result<VerifyReport, VerifyError> {
+    ) -> Result<AnswerClaim, VerifyError> {
         // Boundary keys must bracket the range.
         if !(ans.left_key < lo || ans.left_key == KEY_NEG_INF) {
             return Err(VerifyError::BadBoundary);
@@ -109,30 +183,62 @@ impl Verifier {
         }
 
         if ans.records.is_empty() {
-            let Some(gap) = &ans.gap else {
-                return Err(VerifyError::MissingGapProof);
-            };
-            // The bracketing record sits on one side of the range; the gap
-            // it certifies must contain [lo, hi].
-            let (gap_lo, gap_hi) = if gap.own_key < lo {
-                (gap.own_key, gap.right_key)
-            } else if gap.own_key > hi {
-                (gap.left_key, gap.own_key)
-            } else {
-                return Err(VerifyError::BadGapProof);
-            };
-            if !(gap_lo < lo && gap_hi > hi) {
-                return Err(VerifyError::BadGapProof);
+            if let Some(gap) = &ans.gap {
+                // The bracketing record sits on one side of the range; the
+                // gap it certifies must contain [lo, hi].
+                let own_key = gap.own_key(&self.schema);
+                let (gap_lo, gap_hi) = if own_key < lo {
+                    (own_key, gap.right_key)
+                } else if own_key > hi {
+                    (gap.left_key, own_key)
+                } else {
+                    return Err(VerifyError::BadGapProof);
+                };
+                if !(gap_lo < lo && gap_hi > hi) {
+                    return Err(VerifyError::BadGapProof);
+                }
+                // The bracketing record is subject to the same freshness
+                // discipline as returned records: a deleted or superseded
+                // chain record must not keep denying the range.
+                let mut max_staleness = 0;
+                if check_fresh {
+                    self.check_summaries(&ans.summaries)?;
+                    let decoded = DecodedSummaries::new(&ans.summaries);
+                    max_staleness =
+                        self.freshness_of(gap.record.rid, gap.record.ts, &decoded, now)?;
+                }
+                return Ok(AnswerClaim {
+                    messages: vec![gap.chain_msg(&self.schema)],
+                    agg: gap.signature.clone(),
+                    report: VerifyReport {
+                        max_staleness,
+                        records: 0,
+                    },
+                });
             }
-            let msg =
-                chain_message_from_parts(&gap.tuple_hash, gap.own_key, gap.left_key, gap.right_key);
-            if !self.pp.verify(&msg, &gap.signature) {
-                return Err(VerifyError::BadAggregate);
+            if let Some(vac) = &ans.vacancy {
+                let mut max_staleness = 0;
+                if check_fresh {
+                    self.check_summaries(&ans.summaries)?;
+                    let decoded = DecodedSummaries::new(&ans.summaries);
+                    match decoded.check_vacancy(vac.ts, self.rho, now) {
+                        Freshness::FreshWithin(b) => max_staleness = b,
+                        Freshness::Stale { exposed_by } => {
+                            return Err(VerifyError::StaleVacancy { exposed_by })
+                        }
+                        Freshness::Indeterminate => return Err(VerifyError::VacancyIndeterminate),
+                    }
+                }
+                return Ok(AnswerClaim {
+                    messages: vec![EmptyTableProof::message(vac.ts)],
+                    agg: vac.signature.clone(),
+                    report: VerifyReport {
+                        max_staleness,
+                        records: 0,
+                    },
+                });
             }
-            return Ok(VerifyReport {
-                max_staleness: 0,
-                records: 0,
-            });
+            return Err(VerifyError::MissingGapProof);
         }
 
         // Records must be in range and sorted.
@@ -144,6 +250,18 @@ impl Verifier {
         }
         if !keys.windows(2).all(|w| w[0] <= w[1]) {
             return Err(VerifyError::Unsorted);
+        }
+
+        // Freshness: decode every bitmap once, then check all records
+        // against the decoded set.
+        let mut max_staleness = 0;
+        if check_fresh {
+            self.check_summaries(&ans.summaries)?;
+            let decoded = DecodedSummaries::new(&ans.summaries);
+            for r in &ans.records {
+                let b = self.freshness_of(r.rid, r.ts, &decoded, now)?;
+                max_staleness = max_staleness.max(b);
+            }
         }
 
         // Reconstruct every chained message; the neighbour of the first/last
@@ -158,44 +276,99 @@ impl Verifier {
             };
             messages.push(r.chain_message(&self.schema, left, right));
         }
-        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
-        if !self.pp.verify_aggregate(&refs, &ans.agg) {
+        Ok(AnswerClaim {
+            messages,
+            agg: ans.agg.clone(),
+            report: VerifyReport {
+                max_staleness,
+                records: ans.records.len(),
+            },
+        })
+    }
+
+    /// Verify a range-selection answer for the query `lo <= Aind <= hi` at
+    /// local time `now`. `check_fresh` disabled skips the summary phase
+    /// (used by experiments isolating authenticity costs).
+    pub fn verify_selection(
+        &self,
+        lo: i64,
+        hi: i64,
+        ans: &SelectionAnswer,
+        now: Tick,
+        check_fresh: bool,
+    ) -> Result<VerifyReport, VerifyError> {
+        let claim = self.analyze_selection(lo, hi, ans, now, check_fresh)?;
+        let refs: Vec<&[u8]> = claim.messages.iter().map(|m| m.as_slice()).collect();
+        if !self.pp.verify_aggregate(&refs, &claim.agg) {
             return Err(VerifyError::BadAggregate);
         }
+        Ok(claim.report)
+    }
 
-        // Freshness.
-        let mut max_staleness = 0;
-        if check_fresh {
-            for s in &ans.summaries {
-                if !s.verify(&self.pp) {
-                    return Err(VerifyError::BadSummarySignature { seq: s.seq });
-                }
+    /// Verify many selection answers at once, amortizing the pairing cost:
+    /// all chained messages, gap proofs, and vacancy proofs fold into one
+    /// random-linear-combination multi-pairing (BAS; other schemes verify
+    /// per answer), with coefficient randomness drawn from `rng`. On a
+    /// batch-level signature mismatch each answer is re-checked
+    /// individually to localize the cheat.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `answers` differ in length.
+    pub fn verify_selection_batch(
+        &self,
+        queries: &[(i64, i64)],
+        answers: &[SelectionAnswer],
+        now: Tick,
+        check_fresh: bool,
+        rng: &mut impl rand::Rng,
+    ) -> Result<Vec<VerifyReport>, BatchFailure> {
+        assert_eq!(queries.len(), answers.len(), "one query per answer");
+        let mut claims = Vec::with_capacity(answers.len());
+        for (index, (&(lo, hi), ans)) in queries.iter().zip(answers).enumerate() {
+            match self.analyze_selection(lo, hi, ans, now, check_fresh) {
+                Ok(c) => claims.push(c),
+                Err(error) => return Err(BatchFailure { index, error }),
             }
-            for r in &ans.records {
-                match check_freshness(r.rid, r.ts, &ans.summaries, self.rho, now) {
-                    Freshness::FreshWithin(b) => max_staleness = max_staleness.max(b),
-                    Freshness::Stale { exposed_by } => {
-                        return Err(VerifyError::Stale {
-                            rid: r.rid,
-                            exposed_by,
-                        })
-                    }
-                    Freshness::Indeterminate => {
-                        return Err(VerifyError::FreshnessIndeterminate { rid: r.rid })
-                    }
+        }
+        let batch: Vec<(&[Vec<u8>], &Signature)> = claims
+            .iter()
+            .map(|c| (c.messages.as_slice(), &c.agg))
+            .collect();
+        if !self.pp.verify_aggregate_batch(&batch, rng) {
+            // Localize: the RLC says at least one aggregate is bad.
+            for (index, c) in claims.iter().enumerate() {
+                let refs: Vec<&[u8]> = c.messages.iter().map(|m| m.as_slice()).collect();
+                if !self.pp.verify_aggregate(&refs, &c.agg) {
+                    return Err(BatchFailure {
+                        index,
+                        error: VerifyError::BadAggregate,
+                    });
                 }
             }
         }
-        Ok(VerifyReport {
-            max_staleness,
-            records: ans.records.len(),
-        })
+        Ok(claims.into_iter().map(|c| c.report).collect())
     }
 
     /// Verify a projection answer (Section 3.4): every `(rid, attr, value,
     /// ts)` quadruple must match the single aggregate, which also pins each
-    /// value to its record and attribute position.
-    pub fn verify_projection(&self, ans: &ProjectionAnswer) -> Result<VerifyReport, VerifyError> {
+    /// value to its record and attribute position. Freshness runs through
+    /// the same summary pipeline as selections: each row's `(rid, ts)` is
+    /// checked against the verified summaries at local time `now`.
+    pub fn verify_projection(
+        &self,
+        ans: &ProjectionAnswer,
+        now: Tick,
+        check_fresh: bool,
+    ) -> Result<VerifyReport, VerifyError> {
+        let mut max_staleness = 0;
+        if check_fresh {
+            self.check_summaries(&ans.summaries)?;
+            let decoded = DecodedSummaries::new(&ans.summaries);
+            for row in &ans.rows {
+                let b = self.freshness_of(row.rid, row.ts, &decoded, now)?;
+                max_staleness = max_staleness.max(b);
+            }
+        }
         let mut messages = Vec::new();
         for row in &ans.rows {
             for &(idx, value) in &row.values {
@@ -217,10 +390,18 @@ impl Verifier {
             return Err(VerifyError::BadAggregate);
         }
         Ok(VerifyReport {
-            max_staleness: 0,
+            max_staleness,
             records: ans.rows.len(),
         })
     }
+}
+
+/// The distilled signature claim of one analyzed answer: the messages the
+/// aggregate must cover, plus the report to hand back if it does.
+struct AnswerClaim {
+    messages: Vec<Vec<u8>>,
+    agg: Signature,
+    report: VerifyReport,
 }
 
 #[cfg(test)]
@@ -401,14 +582,17 @@ mod tests {
     fn projection_verifies_and_rejects_swap() {
         let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
         let ans = qs.project(0, 200, &[0, 1]);
-        assert!(v.verify_projection(&ans).is_ok());
+        assert!(v.verify_projection(&ans, 0, true).is_ok());
         // Swapping two values between records must fail (messages bind rid
         // and attribute position).
         let mut bad = ans.clone();
         let tmp = bad.rows[0].values[1];
         bad.rows[0].values[1] = bad.rows[1].values[1];
         bad.rows[1].values[1] = tmp;
-        assert_eq!(v.verify_projection(&bad), Err(VerifyError::BadAggregate));
+        assert_eq!(
+            v.verify_projection(&bad, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
     }
 
     #[test]
@@ -416,7 +600,241 @@ mod tests {
         let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
         let mut ans = qs.project(0, 200, &[1]);
         ans.rows[3].values[0].1 += 1;
-        assert_eq!(v.verify_projection(&ans), Err(VerifyError::BadAggregate));
+        assert_eq!(
+            v.verify_projection(&ans, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+    }
+
+    #[test]
+    fn projection_detects_stale_row() {
+        let (mut da, mut qs, v) = system(50, SigningMode::PerAttribute);
+        let stale = qs.project(0, 200, &[1]);
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1.clone());
+        da.advance_clock(2);
+        for m in da.update_record(5, vec![50, 999]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2.clone());
+        // Replaying the pre-update projection with the published summaries
+        // exposes row 5.
+        let mut replay = stale;
+        replay.summaries = vec![s1, s2];
+        assert!(matches!(
+            v.verify_projection(&replay, 25, true),
+            Err(VerifyError::Stale { rid: 5, .. })
+        ));
+        // The honest fresh projection passes.
+        let fresh = qs.project(0, 200, &[1]);
+        assert!(v.verify_projection(&fresh, 25, true).is_ok());
+    }
+
+    #[test]
+    fn empty_table_answer_verifies() {
+        let (_, mut qs, v) = system(0, SigningMode::Chained);
+        let ans = qs.select_range(-500, 500);
+        assert!(ans.vacancy.is_some());
+        let rep = v.verify_selection(-500, 500, &ans, 0, true).expect("valid");
+        assert_eq!(rep.records, 0);
+    }
+
+    #[test]
+    fn empty_table_then_deletes_keep_verifying() {
+        let (mut da, mut qs, v) = system(2, SigningMode::Chained);
+        da.advance_clock(2);
+        for rid in 0..2 {
+            for m in da.delete_record(rid) {
+                qs.apply(&m);
+            }
+        }
+        da.advance_clock(10);
+        let (s, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s);
+        let ans = qs.select_range(0, 100);
+        assert!(ans.gap.is_none() && ans.vacancy.is_some());
+        assert!(v.verify_selection(0, 100, &ans, da.now(), true).is_ok());
+    }
+
+    #[test]
+    fn replayed_vacancy_proof_rejected_after_insert() {
+        let (mut da, mut qs, v) = system(0, SigningMode::Chained);
+        let stale = qs.select_range(0, 100);
+        assert!(stale.vacancy.is_some());
+        da.advance_clock(3);
+        for m in da.insert(vec![50, 1]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(9);
+        let (s, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s);
+        // Malicious replay of the pre-insert vacancy claim, with the
+        // published summaries the client fetches independently.
+        let mut replay = stale;
+        replay.summaries = qs.summaries().to_vec();
+        assert!(matches!(
+            v.verify_selection(0, 100, &replay, da.now(), true),
+            Err(VerifyError::StaleVacancy { .. })
+        ));
+        // The honest answer (which now contains the record) passes.
+        let honest = qs.select_range(0, 100);
+        assert_eq!(honest.records.len(), 1);
+        assert!(v.verify_selection(0, 100, &honest, da.now(), true).is_ok());
+    }
+
+    #[test]
+    fn stale_gap_record_rejected() {
+        // Satellite regression: the bracketing record of a gap proof must
+        // go through the summary check like any returned record.
+        let (mut da, mut qs, v) = system(50, SigningMode::Chained);
+        let stale_empty = qs.select_range(231, 239);
+        assert_eq!(stale_empty.gap.as_ref().unwrap().record.rid, 23);
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1);
+        da.advance_clock(2);
+        for m in da.update_record(23, vec![230, 777]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        let mut replay = stale_empty;
+        replay.summaries = qs.summaries().to_vec();
+        assert!(matches!(
+            v.verify_selection(231, 239, &replay, da.now(), true),
+            Err(VerifyError::Stale { rid: 23, .. })
+        ));
+        // The honest gap proof (re-certified bracket) passes.
+        let fresh = qs.select_range(231, 239);
+        assert!(v.verify_selection(231, 239, &fresh, da.now(), true).is_ok());
+    }
+
+    #[test]
+    fn withheld_summary_suffix_rejected() {
+        // Satellite regression: stripping the newest summaries must yield
+        // Indeterminate, not FreshWithin(rho).
+        let (mut da, mut qs, v) = system(50, SigningMode::Chained);
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1.clone());
+        da.advance_clock(2);
+        for m in da.update_record(23, vec![230, 777]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        da.advance_clock(10);
+        let (s3, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s3);
+        let mut ans = qs.select_range(200, 260);
+        // Withhold everything after s1: the stale-looking window.
+        ans.summaries = vec![s1];
+        assert!(matches!(
+            v.verify_selection(200, 260, &ans, da.now(), true),
+            Err(VerifyError::FreshnessIndeterminate { .. })
+        ));
+        let honest = qs.select_range(200, 260);
+        assert!(v
+            .verify_selection(200, 260, &honest, da.now(), true)
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_verifies_honest_answers() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let queries: Vec<(i64, i64)> = (0..8).map(|i| (i * 200, i * 200 + 150)).collect();
+        let answers: Vec<_> = queries
+            .iter()
+            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .collect();
+        let reports = v
+            .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
+            .expect("honest batch verifies");
+        assert_eq!(reports.len(), 8);
+        for (rep, ans) in reports.iter().zip(&answers) {
+            assert_eq!(rep.records, ans.records.len());
+        }
+    }
+
+    #[test]
+    fn batch_localizes_tampered_answer() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let queries: Vec<(i64, i64)> = (0..6).map(|i| (i * 300, i * 300 + 200)).collect();
+        let mut answers: Vec<_> = queries
+            .iter()
+            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .collect();
+        // Tamper answer 3's content: the batch check fails, and the
+        // fallback localizes exactly that index.
+        answers[3].records[1].attrs[1] = 31337;
+        let err = v
+            .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
+            .expect_err("tampered batch rejected");
+        assert_eq!(
+            err,
+            BatchFailure {
+                index: 3,
+                error: VerifyError::BadAggregate
+            }
+        );
+    }
+
+    #[test]
+    fn batch_mixes_gap_and_vacancy_claims() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        // Non-empty, empty-with-gap, and extreme-range answers in one batch.
+        let queries = vec![(100, 300), (101, 109), (5000, 6000)];
+        let answers: Vec<_> = queries
+            .iter()
+            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .collect();
+        assert!(answers[1].gap.is_some() && answers[2].gap.is_some());
+        let reports = v
+            .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
+            .expect("mixed batch verifies");
+        assert_eq!(reports[0].records, 21);
+        assert_eq!(reports[1].records, 0);
+        assert_eq!(reports[2].records, 0);
+    }
+
+    #[test]
+    fn batch_with_bas_scheme_verifies_and_localizes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut c = cfg(SigningMode::Chained);
+        c.scheme = SchemeKind::Bas;
+        let mut da = DataAggregator::new(c, &mut rng);
+        let boot = da.bootstrap((0..30).map(|i| vec![i * 10, i]).collect(), 4);
+        let mut qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::Chained,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+        let queries = vec![(0, 40), (50, 120), (201, 209)];
+        let mut answers: Vec<_> = queries
+            .iter()
+            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .collect();
+        assert!(v
+            .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
+            .is_ok());
+        answers[1].records[0].attrs[1] = 777;
+        let err = v
+            .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
+            .expect_err("tamper caught");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.error, VerifyError::BadAggregate);
     }
 
     #[test]

@@ -268,6 +268,37 @@ impl PublicParams {
         }
     }
 
+    /// Verify a batch of `(message set, aggregate)` claims at once.
+    ///
+    /// Under BAS the whole batch folds into one random-linear-combination
+    /// multi-pairing (see [`crate::bls::BlsPublicKey::verify_aggregate_batch`];
+    /// coefficient randomness comes from `rng`), so a batch of any size
+    /// pays a single Miller loop and final exponentiation. The other
+    /// schemes fall back to per-claim verification. A `false` result does
+    /// not localize the failure — re-check claims individually for that.
+    pub fn verify_aggregate_batch(
+        &self,
+        claims: &[(&[Vec<u8>], &Signature)],
+        rng: &mut impl rand::Rng,
+    ) -> bool {
+        match &self.inner {
+            PublicInner::Bas(pk) => {
+                let mut bas: Vec<(&[Vec<u8>], &BlsSignature)> = Vec::with_capacity(claims.len());
+                for (msgs, sig) in claims {
+                    let Signature::Bas(s) = sig else {
+                        return false;
+                    };
+                    bas.push((msgs, s));
+                }
+                pk.verify_aggregate_batch(&bas, rng)
+            }
+            _ => claims.iter().all(|(msgs, agg)| {
+                let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                self.verify_aggregate(&refs, agg)
+            }),
+        }
+    }
+
     /// Verify an aggregate signature over a batch of messages.
     pub fn verify_aggregate(&self, msgs: &[&[u8]], agg: &Signature) -> bool {
         match (&self.inner, agg) {
@@ -363,6 +394,39 @@ mod tests {
             let agg = pp.aggregate(&pp.aggregate(&pp.identity(), &s1), &s2);
             let reduced = pp.subtract(&agg, &s2);
             assert!(pp.verify_aggregate(&[b"keep"], &reduced), "{:?}", kp.kind());
+        }
+    }
+
+    #[test]
+    fn batch_aggregate_verify_all_schemes() {
+        let mut rng = StdRng::seed_from_u64(304);
+        for kp in all_schemes() {
+            let pp = kp.public_params();
+            let mut data: Vec<(Vec<Vec<u8>>, Signature)> = Vec::new();
+            for i in 0..4u32 {
+                let msgs: Vec<Vec<u8>> = (0..3u32)
+                    .map(|j| format!("b{i}.{j}").into_bytes())
+                    .collect();
+                let sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m)).collect();
+                data.push((msgs, pp.aggregate_all(&sigs)));
+            }
+            let claims: Vec<(&[Vec<u8>], &Signature)> =
+                data.iter().map(|(m, s)| (m.as_slice(), s)).collect();
+            assert!(
+                pp.verify_aggregate_batch(&claims, &mut rng),
+                "{:?}",
+                kp.kind()
+            );
+            // Corrupt one message of one claim: the whole batch must fail.
+            let mut bad = data.clone();
+            bad[2].0[1] = b"corrupted".to_vec();
+            let claims: Vec<(&[Vec<u8>], &Signature)> =
+                bad.iter().map(|(m, s)| (m.as_slice(), s)).collect();
+            assert!(
+                !pp.verify_aggregate_batch(&claims, &mut rng),
+                "{:?}",
+                kp.kind()
+            );
         }
     }
 

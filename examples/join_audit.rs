@@ -112,7 +112,7 @@ fn main() {
             ans.gap_pool.len(),
             ans.partitions.len(),
             ans.vo_size(s_verifier.public_params()),
-            ans.paper_vo_size(4),
+            ans.paper_vo_size(&schema, 4),
         );
     }
 
