@@ -113,7 +113,7 @@ fn one_join(
         .into_iter()
         .enumerate()
     {
-        let r_ans = r.qs.select_range(0, hi);
+        let r_ans = r.qs.select_range(0, hi).unwrap();
         let ans = execute_join(r_ans, 1, &mut bed.s_qs, &filters, &sigs, method);
         verify_join(
             &r.verifier,

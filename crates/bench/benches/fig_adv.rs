@@ -102,7 +102,7 @@ fn main() {
         .collect();
     let answers: Vec<_> = queries
         .iter()
-        .map(|&(lo, hi)| qs.select_range(lo, hi))
+        .map(|&(lo, hi)| qs.select_range(lo, hi).expect("chained mode"))
         .collect();
 
     let reps = 5;

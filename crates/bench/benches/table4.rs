@@ -77,7 +77,7 @@ fn main() {
                 let lo = rng.gen_range(0..(n - span)) as i64;
                 let hi = lo + span as i64 - 1;
                 let t = Instant::now();
-                let ans = qs.select_range(lo, hi);
+                let ans = qs.select_range(lo, hi).expect("chained mode");
                 query += t.elapsed().as_secs_f64();
                 vo = ans.vo_size(&pp);
                 let t = Instant::now();

@@ -16,6 +16,13 @@
 //! The catalog runs in the unit-test suite (fast, `Mock` scheme) and in the
 //! `fig_adv` bench scenario (also under real BAS crypto), so every future
 //! verifier change is regression-checked against the full attack surface.
+//!
+//! Sharded deployments get their own catalog: a [`MaliciousShardedServer`]
+//! applies one [`ShardTamper`] — seam splice, shard withholding, seam
+//! widening, stale-shard replay, cross-shard summary swap — to a fanned-out
+//! answer, and [`run_shard_catalog`] checks each is rejected with its
+//! pinned error while the honest fan-out verifies. The `fig_shard` bench
+//! replays this catalog under Mock and real BAS.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,8 +30,9 @@ use rand::SeedableRng;
 use authdb_crypto::signer::SchemeKind;
 
 use crate::da::{DaConfig, DataAggregator, SigningMode};
-use crate::qs::{ProjectionAnswer, QueryServer, SelectionAnswer};
+use crate::qs::{ProjectionAnswer, QsOptions, QueryServer, SelectionAnswer};
 use crate::record::{Schema, KEY_NEG_INF, KEY_POS_INF};
+use crate::shard::{ShardedAggregator, ShardedQueryServer, ShardedSelectionAnswer};
 use crate::verify::{Verifier, VerifyError, VerifyReport};
 
 /// One way a malicious query server can doctor an answer.
@@ -179,12 +187,16 @@ impl MaliciousServer {
 
     /// Record the honest answer to `lo..=hi` now, for later replay.
     pub fn capture_selection(&mut self, lo: i64, hi: i64) {
-        self.captured_selection = Some(self.inner.select_range(lo, hi));
+        self.captured_selection = Some(self.inner.select_range(lo, hi).expect("chained mode"));
     }
 
     /// Record the honest projection now, for later replay.
     pub fn capture_projection(&mut self, lo: i64, hi: i64, attrs: &[usize]) {
-        self.captured_projection = Some(self.inner.project(lo, hi, attrs));
+        self.captured_projection = Some(
+            self.inner
+                .project(lo, hi, attrs)
+                .expect("per-attribute mode"),
+        );
     }
 
     /// Answer a range selection, doctored per the active strategy.
@@ -205,7 +217,7 @@ impl MaliciousServer {
                 a.summaries = self.inner.summaries().to_vec();
                 a
             }
-            _ => self.inner.select_range(lo, hi),
+            _ => self.inner.select_range(lo, hi).expect("chained mode"),
         };
         match self.tamper {
             Tamper::DropRecord => {
@@ -264,7 +276,10 @@ impl MaliciousServer {
     pub fn project(&mut self, lo: i64, hi: i64, attrs: &[usize]) -> ProjectionAnswer {
         match self.tamper {
             Tamper::ForgeProjectionValue => {
-                let mut ans = self.inner.project(lo, hi, attrs);
+                let mut ans = self
+                    .inner
+                    .project(lo, hi, attrs)
+                    .expect("per-attribute mode");
                 ans.rows[0].values[0].1 ^= 1;
                 ans
             }
@@ -276,7 +291,10 @@ impl MaliciousServer {
                 a.summaries = self.inner.summaries().to_vec();
                 a
             }
-            _ => self.inner.project(lo, hi, attrs),
+            _ => self
+                .inner
+                .project(lo, hi, attrs)
+                .expect("per-attribute mode"),
         }
     }
 }
@@ -375,7 +393,7 @@ fn selection_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
     let now = da.now();
     let tampered = mal.select_range(lo, hi);
     let outcome = v.verify_selection(lo, hi, &tampered, now, true);
-    let honest = mal.inner_mut().select_range(lo, hi);
+    let honest = mal.inner_mut().select_range(lo, hi).unwrap();
     let honest_ok = v.verify_selection(lo, hi, &honest, now, true).is_ok();
     Conformance {
         tamper,
@@ -400,7 +418,7 @@ fn vacancy_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
     let now = da.now();
     let tampered = mal.select_range(0, 100);
     let outcome = v.verify_selection(0, 100, &tampered, now, true);
-    let honest = mal.inner_mut().select_range(0, 100);
+    let honest = mal.inner_mut().select_range(0, 100).unwrap();
     let honest_ok = v.verify_selection(0, 100, &honest, now, true).is_ok();
     Conformance {
         tamper,
@@ -419,7 +437,7 @@ fn projection_scenario(scheme: SchemeKind, tamper: Tamper) -> Conformance {
     let now = da.now();
     let tampered = mal.project(100, 300, &[0, 1]);
     let outcome = v.verify_projection(&tampered, now, true);
-    let honest = mal.inner_mut().project(100, 300, &[0, 1]);
+    let honest = mal.inner_mut().project(100, 300, &[0, 1]).unwrap();
     let honest_ok = v.verify_projection(&honest, now, true).is_ok();
     Conformance {
         tamper,
@@ -443,6 +461,258 @@ pub fn run_catalog(scheme: SchemeKind) -> Vec<Conformance> {
                 selection_scenario(scheme, t)
             }
         })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard strategies
+// ---------------------------------------------------------------------------
+
+/// One way a malicious server can doctor a *sharded* fan-out answer. These
+/// target the seams and the per-shard freshness domains — exactly the
+/// surface the single-server catalog cannot reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardTamper {
+    /// Move a seam-adjacent record across the split: drop it from the shard
+    /// that owns it and present it in the neighbouring shard's answer.
+    SeamSplice,
+    /// Omit an overlapping shard's answer entirely (and the records in it).
+    ShardWithhold,
+    /// Forge a shard's boundary key past its seam fence, shrinking the key
+    /// range its completeness proof accounts for.
+    SeamWiden,
+    /// One shard answers from an old epoch (a pre-update replay) while the
+    /// other shards answer fresh.
+    StaleShardReplay,
+    /// Vouch for a stale shard's answer with a *different* shard's fresh,
+    /// genuinely signed summary stream.
+    SummarySwap,
+}
+
+impl ShardTamper {
+    /// Every cross-shard strategy, in catalog order.
+    pub const CATALOG: [ShardTamper; 5] = [
+        ShardTamper::SeamSplice,
+        ShardTamper::ShardWithhold,
+        ShardTamper::SeamWiden,
+        ShardTamper::StaleShardReplay,
+        ShardTamper::SummarySwap,
+    ];
+
+    /// Short printable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardTamper::SeamSplice => "seam-splice",
+            ShardTamper::ShardWithhold => "shard-withhold",
+            ShardTamper::SeamWiden => "seam-widen",
+            ShardTamper::StaleShardReplay => "stale-shard-replay",
+            ShardTamper::SummarySwap => "summary-swap",
+        }
+    }
+
+    /// Whether `err` is the rejection this strategy must produce.
+    pub fn expects(self, err: &VerifyError) -> bool {
+        use VerifyError::*;
+        match self {
+            // The moved record's key is outside the receiving shard's
+            // signed sub-range.
+            ShardTamper::SeamSplice => matches!(err, RecordOutOfRange { .. }),
+            ShardTamper::ShardWithhold => matches!(err, ShardWithheld { .. }),
+            ShardTamper::SeamWiden => matches!(err, SeamViolation { .. }),
+            ShardTamper::StaleShardReplay => matches!(err, Stale { .. }),
+            ShardTamper::SummarySwap => matches!(err, ShardMismatch { .. }),
+        }
+    }
+}
+
+/// A sharded query server under adversarial control: routes updates and
+/// summaries honestly, doctors every fan-out answer per its strategy.
+pub struct MaliciousShardedServer {
+    inner: ShardedQueryServer,
+    tamper: ShardTamper,
+    captured: Option<ShardedSelectionAnswer>,
+}
+
+impl MaliciousShardedServer {
+    /// Put `inner` under adversarial control with one strategy.
+    pub fn new(inner: ShardedQueryServer, tamper: ShardTamper) -> Self {
+        MaliciousShardedServer {
+            inner,
+            tamper,
+            captured: None,
+        }
+    }
+
+    /// The active strategy.
+    pub fn tamper(&self) -> ShardTamper {
+        self.tamper
+    }
+
+    /// The wrapped honest server.
+    pub fn inner_mut(&mut self) -> &mut ShardedQueryServer {
+        &mut self.inner
+    }
+
+    /// Record the honest fan-out answer now, for later replay.
+    pub fn capture(&mut self, lo: i64, hi: i64) {
+        self.captured = Some(self.inner.select_range(lo, hi).expect("chained mode"));
+    }
+
+    /// Answer a range selection, doctored per the active strategy. The
+    /// scripted scenario queries a range straddling the first seam, so the
+    /// fan-out always has at least two parts.
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> ShardedSelectionAnswer {
+        let mut ans = self.inner.select_range(lo, hi).expect("chained mode");
+        match self.tamper {
+            ShardTamper::SeamSplice => {
+                // The last record left of the seam crosses it: dropped from
+                // its owner, smuggled into the neighbour's answer. (The
+                // attacker also rebuilds the aggregates, but the structural
+                // checks fire first — the alien key is out of sub-range.)
+                let moved = ans.parts[0]
+                    .answer
+                    .records
+                    .pop()
+                    .expect("seam-adjacent record");
+                ans.parts[1].answer.records.insert(0, moved);
+            }
+            ShardTamper::ShardWithhold => {
+                ans.parts.remove(1);
+            }
+            ShardTamper::SeamWiden => {
+                // Truncate the seam-adjacent tail and claim the shard's
+                // responsibility ended early — a boundary key past the
+                // signed fence.
+                let a = &mut ans.parts[0].answer;
+                a.records.pop();
+                a.right_key = a.right_key.saturating_add(1_000);
+            }
+            ShardTamper::StaleShardReplay => {
+                // Replay one shard's pre-update answer. The client fetches
+                // that shard's current summaries independently, so the
+                // attacker cannot avoid attaching them.
+                let donor = ans.parts[1].shard;
+                self.replay_stale_part(&mut ans, donor);
+            }
+            ShardTamper::SummarySwap => {
+                // Same stale replay, but vouched for with the *neighbour*
+                // shard's fresh summaries (which never mark the withheld
+                // update — their bitmaps cover different rids).
+                let donor = ans.parts[0].shard;
+                self.replay_stale_part(&mut ans, donor);
+            }
+        }
+        ans
+    }
+
+    /// Swap the second part's answer for its captured pre-update version,
+    /// attaching `summary_donor`'s current summary stream.
+    fn replay_stale_part(&self, ans: &mut ShardedSelectionAnswer, summary_donor: usize) {
+        let old = self
+            .captured
+            .as_ref()
+            .expect("capture before replay")
+            .parts
+            .iter()
+            .find(|p| p.shard == ans.parts[1].shard)
+            .expect("captured part")
+            .answer
+            .clone();
+        ans.parts[1].answer = old;
+        ans.parts[1].answer.summaries = self.inner.shard(summary_donor).summaries().to_vec();
+    }
+}
+
+/// Outcome of one cross-shard catalog entry.
+pub struct ShardConformance {
+    /// The strategy exercised.
+    pub tamper: ShardTamper,
+    /// Whether the honest fan-out to the same query verified.
+    pub honest_ok: bool,
+    /// What the verifier said about the tampered answer.
+    pub outcome: Result<VerifyReport, VerifyError>,
+}
+
+impl ShardConformance {
+    /// Tampered answer rejected with the expected error AND honest answer
+    /// accepted.
+    pub fn ok(&self) -> bool {
+        self.honest_ok
+            && match &self.outcome {
+                Ok(_) => false,
+                Err(e) => self.tamper.expects(e),
+            }
+    }
+}
+
+/// Run one cross-shard scenario: two shards split at key 200, a query
+/// straddling the seam, and the shared three-period timeline with an
+/// update landing in shard 1.
+fn shard_scenario(scheme: SchemeKind, tamper: ShardTamper) -> ShardConformance {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut sa = ShardedAggregator::new(cfg(scheme, SigningMode::Chained), vec![200], &mut rng);
+    let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+    let sqs = ShardedQueryServer::from_bootstraps(
+        sa.public_params(),
+        sa.config(),
+        sa.map().clone(),
+        &boots,
+        &QsOptions::default(),
+    );
+    let v = Verifier::new(sa.public_params(), sa.config().schema, sa.config().rho);
+    let mut mal = MaliciousShardedServer::new(sqs, tamper);
+    let (lo, hi) = (150, 250);
+    // Replays hoard the pre-update fan-out.
+    if matches!(
+        tamper,
+        ShardTamper::StaleShardReplay | ShardTamper::SummarySwap
+    ) {
+        mal.capture(lo, hi);
+    }
+    // Timeline: summary at t=12, an update to shard 1's record with key
+    // 250 (local rid 5) at t=14, summaries at t=24 and t=34.
+    sa.advance_clock(12);
+    for (s, summary, recerts) in sa.maybe_publish_summaries() {
+        mal.inner_mut().add_summary(s, summary);
+        for m in recerts {
+            mal.inner_mut().apply(s, &m);
+        }
+    }
+    sa.advance_clock(2);
+    let (_, msgs) = sa.update_record(1, 5, vec![250, 777]);
+    for (s, m) in msgs {
+        mal.inner_mut().apply(s, &m);
+    }
+    for dt in [10, 10] {
+        sa.advance_clock(dt);
+        for (s, summary, recerts) in sa.maybe_publish_summaries() {
+            mal.inner_mut().add_summary(s, summary);
+            for m in recerts {
+                mal.inner_mut().apply(s, &m);
+            }
+        }
+    }
+    let now = sa.now();
+    let tampered = mal.select_range(lo, hi);
+    let outcome = v.verify_sharded_selection(lo, hi, &tampered, now, true, &mut rng);
+    let honest = mal.inner_mut().select_range(lo, hi).expect("chained mode");
+    let honest_ok = v
+        .verify_sharded_selection(lo, hi, &honest, now, true, &mut rng)
+        .is_ok();
+    ShardConformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run every cross-shard strategy under `scheme`, one outcome per
+/// strategy. Used by the unit-test conformance suite and the `fig_shard`
+/// bench scenario.
+pub fn run_shard_catalog(scheme: SchemeKind) -> Vec<ShardConformance> {
+    ShardTamper::CATALOG
+        .iter()
+        .map(|&t| shard_scenario(scheme, t))
         .collect()
 }
 
@@ -489,6 +759,45 @@ mod tests {
             Tamper::WithholdSummaryPrefix,
         ] {
             let c = selection_scenario(SchemeKind::Bas, t);
+            assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
+        }
+    }
+
+    #[test]
+    fn shard_catalog_rejects_every_tamper_mock() {
+        for c in run_shard_catalog(SchemeKind::Mock) {
+            assert!(
+                c.honest_ok,
+                "{}: honest fan-out must verify",
+                c.tamper.name()
+            );
+            match &c.outcome {
+                Ok(_) => panic!("{}: tampered fan-out verified", c.tamper.name()),
+                Err(e) => assert!(
+                    c.tamper.expects(e),
+                    "{}: rejected with unexpected error {:?}",
+                    c.tamper.name(),
+                    e
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_catalog_names_are_unique() {
+        let mut names: Vec<&str> = ShardTamper::CATALOG.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ShardTamper::CATALOG.len());
+    }
+
+    #[test]
+    fn shard_spot_check_with_bas_scheme() {
+        // Full crypto for the two strategies whose rejection depends on
+        // signed content (the seam fence and the freshness domain); the
+        // rest are structural and scheme-independent.
+        for t in [ShardTamper::SeamWiden, ShardTamper::StaleShardReplay] {
+            let c = shard_scenario(SchemeKind::Bas, t);
             assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
         }
     }

@@ -23,6 +23,7 @@ use authdb_storage::{BufferPool, Disk, HeapFile};
 
 use crate::freshness::{EmptyTableProof, UpdateSummary};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+use crate::shard::ShardScope;
 
 /// What the per-record signature binds (Section 3.2: "what exactly sn is
 /// computed on depends on the operations we want to support").
@@ -138,6 +139,10 @@ pub struct DataAggregator {
     renewal_cursor: u64,
     /// Standing empty-table proof (present only while the table is empty).
     empty_proof: Option<EmptyTableProof>,
+    /// Key-range responsibility: the chain sentinels this aggregator signs
+    /// at its extremes, and the shard tag bound into summaries and vacancy
+    /// proofs. [`ShardScope::global`] for an unsharded deployment.
+    scope: ShardScope,
 }
 
 impl DataAggregator {
@@ -149,6 +154,13 @@ impl DataAggregator {
 
     /// Create with an existing keypair (tests pin keys for determinism).
     pub fn with_keypair(cfg: DaConfig, keypair: Keypair) -> Self {
+        Self::with_keypair_scoped(cfg, keypair, ShardScope::global())
+    }
+
+    /// Create an aggregator responsible for one shard of a partitioned
+    /// relation: chained signatures terminate at the scope's seam fences
+    /// instead of ±∞, and summaries/vacancy proofs carry the shard tag.
+    pub fn with_keypair_scoped(cfg: DaConfig, keypair: Keypair, scope: ShardScope) -> Self {
         let disk = Disk::new();
         let pool = BufferPool::new(disk, cfg.buffer_pages);
         let heap = HeapFile::new(pool.clone(), cfg.schema.record_len);
@@ -169,12 +181,18 @@ impl DataAggregator {
             recert_next: Vec::new(),
             renewal_cursor: 0,
             empty_proof: None,
+            scope,
         }
     }
 
     /// The standing empty-table proof, if the relation is currently empty.
     pub fn empty_table_proof(&self) -> Option<&EmptyTableProof> {
         self.empty_proof.as_ref()
+    }
+
+    /// The key-range responsibility this aggregator certifies.
+    pub fn scope(&self) -> ShardScope {
+        self.scope
     }
 
     /// Verification parameters for distribution to servers and users.
@@ -233,6 +251,18 @@ impl DataAggregator {
         self.keypair.sign(msg)
     }
 
+    /// The sentinel values `i64::MIN`/`i64::MAX` are reserved as the ±∞
+    /// chain terminators: a record carrying one as its indexed key would be
+    /// indistinguishable from a boundary sentinel (and unreachable through
+    /// a sharded fan-out, whose sub-ranges exclude the sentinels), so the
+    /// trusted side refuses to certify it.
+    fn check_key_certifiable(&self, key: i64) {
+        assert!(
+            key > KEY_NEG_INF && key < KEY_POS_INF,
+            "indexed key {key} collides with a chain sentinel"
+        );
+    }
+
     /// Records whose indexed attribute falls in `lo..=hi` (DA-side query,
     /// used for partition rebuilds and diagnostics).
     pub fn query_range(&self, lo: i64, hi: i64) -> Vec<Record> {
@@ -272,31 +302,11 @@ impl DataAggregator {
         }
     }
 
-    /// Neighbour keys of position `(key, rid)` in the index.
+    /// Neighbour keys of position `(key, rid)` in the index. At the shard's
+    /// extremes the neighbour is the scope's seam fence (±∞ when unsharded),
+    /// so the chain certifies exactly — and only — this shard's key range.
     fn neighbor_keys(&self, key: i64, rid: u64) -> (i64, i64) {
-        let scan = self.tree.range(key, key);
-        let pos = scan
-            .matches
-            .iter()
-            .position(|e| e.rid == rid)
-            .expect("entry present");
-        let left = if pos > 0 {
-            scan.matches[pos - 1].key
-        } else {
-            scan.left_boundary
-                .as_ref()
-                .map(|e| e.key)
-                .unwrap_or(KEY_NEG_INF)
-        };
-        let right = if pos + 1 < scan.matches.len() {
-            scan.matches[pos + 1].key
-        } else {
-            scan.right_boundary
-                .as_ref()
-                .map(|e| e.key)
-                .unwrap_or(KEY_POS_INF)
-        };
-        (left, right)
+        self.scope.neighbor_keys_in(&self.tree.range(key, key), rid)
     }
 
     /// Neighbour entries (full) of position `(key, rid)`.
@@ -326,9 +336,13 @@ impl DataAggregator {
     /// per record). Signing is parallelized across `jobs` threads.
     ///
     /// # Panics
-    /// Panics if the DA already holds records.
+    /// Panics if the DA already holds records, or if a row's indexed key is
+    /// one of the reserved ±∞ sentinels.
     pub fn bootstrap(&mut self, rows: Vec<Vec<i64>>, jobs: usize) -> Bootstrap {
         assert!(self.heap.is_empty(), "bootstrap on a non-empty DA");
+        for row in &rows {
+            self.check_key_certifiable(row[self.cfg.schema.indexed_attr]);
+        }
         let ts = self.clock;
         let schema = self.cfg.schema;
         let records: Vec<Record> = rows
@@ -380,12 +394,12 @@ impl DataAggregator {
                                         let left = if sorted_pos > 0 {
                                             records[order[sorted_pos - 1]].key(&schema)
                                         } else {
-                                            KEY_NEG_INF
+                                            this.scope.left_fence
                                         };
                                         let right = if sorted_pos + 1 < n {
                                             records[order[sorted_pos + 1]].key(&schema)
                                         } else {
-                                            KEY_POS_INF
+                                            this.scope.right_fence
                                         };
                                         (this.sign_record(rec, left, right), Vec::new())
                                     }
@@ -438,7 +452,7 @@ impl DataAggregator {
         // A bootstrap of zero records still needs an authenticated answer
         // for every query: certify the vacancy.
         let vacancy = if records.is_empty() {
-            let proof = EmptyTableProof::create(&self.keypair, ts);
+            let proof = EmptyTableProof::create(&self.keypair, self.scope.shard, ts);
             self.empty_proof = Some(proof.clone());
             Some(proof)
         } else {
@@ -498,8 +512,12 @@ impl DataAggregator {
 
     /// Insert a new record; returns the messages to forward to the QS
     /// (the new record plus re-chained neighbours in chained mode).
+    ///
+    /// # Panics
+    /// Panics if the indexed key is one of the reserved ±∞ sentinels.
     pub fn insert(&mut self, attrs: Vec<i64>) -> Vec<UpdateMsg> {
         let schema = self.cfg.schema;
+        self.check_key_certifiable(attrs[schema.indexed_attr]);
         let record = Record {
             rid: self.heap.len(),
             attrs,
@@ -529,8 +547,12 @@ impl DataAggregator {
     }
 
     /// Update a record's attribute values (ts always refreshed).
+    ///
+    /// # Panics
+    /// Panics if the new indexed key is one of the reserved ±∞ sentinels.
     pub fn update_record(&mut self, rid: u64, attrs: Vec<i64>) -> Vec<UpdateMsg> {
         let schema = self.cfg.schema;
+        self.check_key_certifiable(attrs[schema.indexed_attr]);
         let Some(old) = self.record(rid) else {
             return Vec::new();
         };
@@ -599,7 +621,7 @@ impl DataAggregator {
         // If this delete emptied the relation, certify the vacancy so
         // servers can keep answering with an authenticated proof.
         let vacancy = if self.heap.live_count() == 0 {
-            let proof = EmptyTableProof::create(&self.keypair, self.cert_clock());
+            let proof = EmptyTableProof::create(&self.keypair, self.scope.shard, self.cert_clock());
             self.empty_proof = Some(proof.clone());
             Some(proof)
         } else {
@@ -683,6 +705,7 @@ impl DataAggregator {
         }
         let summary = UpdateSummary::create(
             &self.keypair,
+            self.scope.shard,
             self.next_seq,
             self.period_start,
             self.clock,
@@ -919,6 +942,21 @@ mod tests {
         da.update_record(0, vec![0, 1]);
         let (avg2, _) = da.signature_age_stats();
         assert!(avg2 < 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain sentinel")]
+    fn sentinel_key_refused_at_insert() {
+        let mut da = da_with(5);
+        da.insert(vec![KEY_POS_INF, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain sentinel")]
+    fn sentinel_key_refused_at_bootstrap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut da = DataAggregator::new(small_cfg(), &mut rng);
+        da.bootstrap(vec![vec![KEY_NEG_INF, 0]], 1);
     }
 
     #[test]

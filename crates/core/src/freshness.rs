@@ -35,8 +35,17 @@ use authdb_filters::bitmap::{compress, decompress, Bitmap};
 use crate::record::Tick;
 
 /// A certified compressed bitmap summary for one ρ-period.
+///
+/// The `shard` tag is part of the signed message: in a sharded deployment
+/// every shard runs its own summary stream over its own (shard-local) rids,
+/// and without the tag a malicious server could attach one shard's fresh,
+/// genuinely-signed summaries to another shard's stale answer — the bitmaps
+/// would simply not mark the withheld update. Single-server deployments use
+/// shard 0.
 #[derive(Clone, Debug)]
 pub struct UpdateSummary {
+    /// Which shard's update stream this summary covers (0 for unsharded).
+    pub shard: u64,
     /// Monotone sequence number (consecutive — gaps mean withheld summaries).
     pub seq: u64,
     /// Start of the covered period (exclusive of earlier updates).
@@ -51,9 +60,16 @@ pub struct UpdateSummary {
 
 impl UpdateSummary {
     /// The canonical signing message.
-    pub fn message(seq: u64, period_start: Tick, ts: Tick, compressed: &[u8]) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(32 + compressed.len());
+    pub fn message(
+        shard: u64,
+        seq: u64,
+        period_start: Tick,
+        ts: Tick,
+        compressed: &[u8],
+    ) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(40 + compressed.len());
         msg.extend_from_slice(b"summary:");
+        msg.extend_from_slice(&shard.to_be_bytes());
         msg.extend_from_slice(&seq.to_be_bytes());
         msg.extend_from_slice(&period_start.to_be_bytes());
         msg.extend_from_slice(&ts.to_be_bytes());
@@ -64,14 +80,16 @@ impl UpdateSummary {
     /// Build and sign a summary from a bitmap.
     pub fn create(
         keypair: &authdb_crypto::signer::Keypair,
+        shard: u64,
         seq: u64,
         period_start: Tick,
         ts: Tick,
         bitmap: &Bitmap,
     ) -> Self {
         let compressed = compress(bitmap);
-        let signature = keypair.sign(&Self::message(seq, period_start, ts, &compressed));
+        let signature = keypair.sign(&Self::message(shard, seq, period_start, ts, &compressed));
         UpdateSummary {
+            shard,
             seq,
             period_start,
             ts,
@@ -83,7 +101,13 @@ impl UpdateSummary {
     /// Verify the DA's signature.
     pub fn verify(&self, pp: &PublicParams) -> bool {
         pp.verify(
-            &Self::message(self.seq, self.period_start, self.ts, &self.compressed),
+            &Self::message(
+                self.shard,
+                self.seq,
+                self.period_start,
+                self.ts,
+                &self.compressed,
+            ),
             &self.signature,
         )
     }
@@ -106,6 +130,10 @@ impl UpdateSummary {
 /// detects through the update summaries ([`check_vacancy`]).
 #[derive(Clone, Debug)]
 pub struct EmptyTableProof {
+    /// Which shard's key range the claim covers (0 for unsharded). Bound
+    /// into the signed message so an empty shard's proof cannot be replayed
+    /// to deny a different shard's records.
+    pub shard: u64,
     /// When the DA certified the relation empty.
     pub ts: Tick,
     /// DA signature over [`EmptyTableProof::message`].
@@ -114,24 +142,26 @@ pub struct EmptyTableProof {
 
 impl EmptyTableProof {
     /// The canonical signing message.
-    pub fn message(ts: Tick) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(20);
+    pub fn message(shard: u64, ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(28);
         msg.extend_from_slice(b"empty-table:");
+        msg.extend_from_slice(&shard.to_be_bytes());
         msg.extend_from_slice(&ts.to_be_bytes());
         msg
     }
 
-    /// Sign a vacancy claim as of `ts`.
-    pub fn create(keypair: &Keypair, ts: Tick) -> Self {
+    /// Sign a vacancy claim for `shard`'s key range as of `ts`.
+    pub fn create(keypair: &Keypair, shard: u64, ts: Tick) -> Self {
         EmptyTableProof {
+            shard,
             ts,
-            signature: keypair.sign(&Self::message(ts)),
+            signature: keypair.sign(&Self::message(shard, ts)),
         }
     }
 
     /// Verify the DA's signature.
     pub fn verify(&self, pp: &PublicParams) -> bool {
-        pp.verify(&Self::message(self.ts), &self.signature)
+        pp.verify(&Self::message(self.shard, self.ts), &self.signature)
     }
 }
 
@@ -311,7 +341,7 @@ mod tests {
         for &rid in marked {
             b.set(rid as usize);
         }
-        UpdateSummary::create(kp, seq, start, ts, &b)
+        UpdateSummary::create(kp, 0, seq, start, ts, &b)
     }
 
     #[test]
@@ -496,7 +526,7 @@ mod tests {
     #[test]
     fn vacancy_holds_while_no_marks() {
         let kp = keypair();
-        let proof = EmptyTableProof::create(&kp, 0);
+        let proof = EmptyTableProof::create(&kp, 0, 0);
         assert!(proof.verify(&kp.public_params()));
         let sums = vec![summary(&kp, 0, 0, 10, &[]), summary(&kp, 1, 10, 20, &[])];
         assert!(matches!(

@@ -250,7 +250,9 @@ pub fn execute_join(
     let mut s_agg = pp.identity();
 
     for v in values {
-        let ans = s_qs.select_range(v, v);
+        let ans = s_qs
+            .select_range(v, v)
+            .expect("join probing requires a chained-mode S server");
         if !ans.records.is_empty() {
             s_agg = pp.aggregate(&s_agg, &ans.agg);
             runs.push(MatchRun {
@@ -570,7 +572,7 @@ mod tests {
 
     fn run_join(method: JoinMethod) -> (JoinAnswer, Verifier, Verifier, Schema) {
         let (mut r_qs, r_v, publisher, mut s_qs, s_v) = setup(method);
-        let r_ans = r_qs.select_range(0, 39); // all of R
+        let r_ans = r_qs.select_range(0, 39).unwrap(); // all of R
         let ans = execute_join(
             r_ans,
             1,

@@ -11,7 +11,13 @@
 //! * [`verify`] — the client-side verifier (threat model documented there),
 //!   including batched multi-answer verification.
 //! * [`adversary`] — the malicious-server conformance subsystem: a tamper
-//!   catalog every verifier change is regression-checked against.
+//!   catalog (single-server and cross-shard) every verifier change is
+//!   regression-checked against.
+//! * [`shard`] — key-range partitioning: the DA-signed shard map, routed
+//!   updates, per-shard chains with seam fences, and the fanned-out query
+//!   server whose proofs the verifier stitches.
+//! * [`sigcache`] — the Section 4 aggregate-signature cache, wired into
+//!   [`qs::QueryServer::select_range`] via [`qs::AggCacheConfig`].
 //! * [`locks`] — two-phase-locking lock manager (Section 5.1).
 
 pub mod adversary;
@@ -22,5 +28,6 @@ pub mod join;
 pub mod locks;
 pub mod qs;
 pub mod record;
+pub mod shard;
 pub mod sigcache;
 pub mod verify;

@@ -18,13 +18,48 @@
 //! signature checks and all client verifications of this server's answers
 //! run against an already-warm pairing cache.
 
+use std::collections::HashMap;
+use std::fmt;
+
 use authdb_crypto::signer::{PublicParams, Signature};
 use authdb_index::{new_asign, ASignTree};
 use authdb_storage::{BufferPool, Disk, HeapFile, IoStats};
 
 use crate::da::{Bootstrap, SigningMode, UpdateKind, UpdateMsg};
 use crate::freshness::{EmptyTableProof, UpdateSummary};
-use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+use crate::record::{Record, Schema, Tick};
+use crate::shard::ShardScope;
+use crate::sigcache::{distributions, select_cache, RefreshStrategy, SigCache, SigTreeAnalysis};
+
+/// Why the server could not construct an answer. Unlike a verification
+/// failure this is the server's *own* refusal — a mis-issued query must
+/// surface to the caller (and, in a sharded fan-out, propagate out of the
+/// routing layer) instead of aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query requires a signing mode the server was not built with
+    /// (range selections need [`SigningMode::Chained`], projections need
+    /// [`SigningMode::PerAttribute`]).
+    WrongSigningMode {
+        /// The mode the query needs.
+        required: SigningMode,
+        /// The mode the server runs in.
+        actual: SigningMode,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::WrongSigningMode { required, actual } => write!(
+                f,
+                "query requires signing mode {required:?} but the server runs {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Proof that no record falls inside a queried range: one record whose
 /// chained signature brackets the gap.
@@ -68,7 +103,8 @@ pub struct SelectionAnswer {
     /// Aggregate signature over the matching records' chained messages.
     pub agg: Signature,
     /// Indexed value of the record immediately left of the range
-    /// ([`KEY_NEG_INF`] when the range extends past the first record).
+    /// ([`crate::record::KEY_NEG_INF`] — or the shard's left seam fence —
+    /// when the range extends past the first record).
     pub left_key: i64,
     /// Indexed value of the record immediately right of the range.
     pub right_key: i64,
@@ -146,6 +182,120 @@ pub struct QsStats {
     pub queries: u64,
     /// Update messages applied.
     pub updates: u64,
+    /// Range selections whose aggregate used at least one cached node
+    /// (only counted when an aggregate cache is configured).
+    pub cache_hits: u64,
+    /// Range selections the aggregate cache could not help with.
+    pub cache_misses: u64,
+}
+
+/// Query-cardinality distribution assumed by Algorithm 1's node choice
+/// (Section 4.1 evaluates both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheDistribution {
+    /// Truncated harmonic `P(q) ∝ 1/q`: favours short queries.
+    Harmonic,
+    /// Uniform `P(q) = 1/N`: favours wide ranges.
+    Uniform,
+}
+
+/// Configuration for the Section 4 aggregate-signature cache wired into
+/// [`QueryServer::select_range`]. Node choice follows Algorithm 1 over the
+/// configured query-cardinality distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct AggCacheConfig {
+    /// Cached-node budget handed to Algorithm 1.
+    pub max_nodes: usize,
+    /// When invalidated nodes are refreshed (Section 4.3).
+    pub strategy: RefreshStrategy,
+    /// Assumed query-cardinality distribution for node selection.
+    pub distribution: CacheDistribution,
+}
+
+impl Default for AggCacheConfig {
+    fn default() -> Self {
+        AggCacheConfig {
+            max_nodes: 64,
+            strategy: RefreshStrategy::Eager,
+            distribution: CacheDistribution::Harmonic,
+        }
+    }
+}
+
+/// Runtime state of the wired-in aggregate cache: the [`SigCache`] itself
+/// plus the leaf-signature mirror (index order) it aggregates over. Value
+/// updates flow through [`SigCache::on_update`]; structural changes
+/// (insert/delete/key move) mark the mirror dirty and the next selection
+/// rebuilds it from the index.
+struct AggCache {
+    cfg: AggCacheConfig,
+    cache: SigCache,
+    /// Record signatures in `(key, rid)` index order.
+    leaves: Vec<Signature>,
+    /// `(key, rid)` → leaf position.
+    pos: HashMap<(i64, u64), usize>,
+    /// Positions shifted since the last (re)build.
+    dirty: bool,
+}
+
+impl AggCache {
+    /// Build over `entries` (already in `(key, rid)` order) with signatures
+    /// looked up by rid in `sigs`.
+    fn build(
+        pp: &PublicParams,
+        entries: &[(i64, u64)],
+        sigs: &[Signature],
+        cfg: AggCacheConfig,
+    ) -> Self {
+        let leaves: Vec<Signature> = entries
+            .iter()
+            .map(|&(_, rid)| sigs[rid as usize].clone())
+            .collect();
+        let chosen = if leaves.len() >= 2 && cfg.max_nodes > 0 {
+            let n = leaves.len().next_power_of_two();
+            let probs = match cfg.distribution {
+                CacheDistribution::Harmonic => distributions::harmonic(n),
+                CacheDistribution::Uniform => distributions::uniform(n),
+            };
+            let analysis = SigTreeAnalysis::new(&probs);
+            select_cache(&analysis, cfg.max_nodes).chosen
+        } else {
+            Vec::new()
+        };
+        let cache = SigCache::build(pp.clone(), &leaves, &chosen, cfg.strategy);
+        let pos = entries.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        AggCache {
+            cfg,
+            cache,
+            leaves,
+            pos,
+            dirty: false,
+        }
+    }
+}
+
+/// Construction options for [`QueryServer::with_options`].
+#[derive(Clone, Debug)]
+pub struct QsOptions {
+    /// Buffer-pool pages for the server's storage.
+    pub buffer_pages: usize,
+    /// B+-tree bulk-load fill factor.
+    pub fill: f64,
+    /// Key-range responsibility (must match the bootstrapping DA's scope).
+    pub scope: ShardScope,
+    /// Enable the Section 4 aggregate-signature cache.
+    pub agg_cache: Option<AggCacheConfig>,
+}
+
+impl Default for QsOptions {
+    fn default() -> Self {
+        QsOptions {
+            buffer_pages: 256,
+            fill: 2.0 / 3.0,
+            scope: ShardScope::global(),
+            agg_cache: None,
+        }
+    }
 }
 
 /// The query server.
@@ -162,6 +312,8 @@ pub struct QueryServer {
     summaries: Vec<UpdateSummary>,
     /// Current empty-table proof (present only while the relation is empty).
     vacancy: Option<EmptyTableProof>,
+    scope: ShardScope,
+    agg_cache: Option<AggCache>,
     stats: QsStats,
 }
 
@@ -175,7 +327,28 @@ impl QueryServer {
         buffer_pages: usize,
         fill: f64,
     ) -> Self {
-        let pool = BufferPool::new(Disk::new(), buffer_pages);
+        Self::with_options(
+            pp,
+            schema,
+            mode,
+            boot,
+            QsOptions {
+                buffer_pages,
+                fill,
+                ..QsOptions::default()
+            },
+        )
+    }
+
+    /// Build a server replica with full control over scope and caching.
+    pub fn with_options(
+        pp: PublicParams,
+        schema: Schema,
+        mode: SigningMode,
+        boot: &Bootstrap,
+        opts: QsOptions,
+    ) -> Self {
+        let pool = BufferPool::new(Disk::new(), opts.buffer_pages);
         let heap = HeapFile::new(pool.clone(), schema.record_len);
         let mut tree = new_asign(pool, pp.wire_len());
         for rec in &boot.records {
@@ -193,7 +366,11 @@ impl QueryServer {
             })
             .collect();
         entries.sort_by_key(|e| (e.key, e.rid));
-        tree.bulk_load(&entries, fill);
+        tree.bulk_load(&entries, opts.fill);
+        let agg_cache = opts.agg_cache.map(|cfg| {
+            let keyed: Vec<(i64, u64)> = entries.iter().map(|e| (e.key, e.rid)).collect();
+            AggCache::build(&pp, &keyed, &boot.sigs, cfg)
+        });
         QueryServer {
             pp,
             schema,
@@ -204,6 +381,8 @@ impl QueryServer {
             attr_sigs: boot.attr_sigs.clone(),
             summaries: Vec::new(),
             vacancy: boot.vacancy.clone(),
+            scope: opts.scope,
+            agg_cache,
             stats: QsStats::default(),
         }
     }
@@ -240,6 +419,27 @@ impl QueryServer {
     /// Apply an update message from the DA.
     pub fn apply(&mut self, msg: &UpdateMsg) {
         self.stats.updates += 1;
+        // Aggregate-cache coherence (Section 4.3): in-place signature
+        // replacement flows through the delta path; anything that moves
+        // index positions invalidates the mirror until the next selection
+        // rebuilds it.
+        if let Some(ac) = &mut self.agg_cache {
+            let in_place = matches!(msg.kind, UpdateKind::Modify | UpdateKind::Recertify)
+                && msg.old_key.is_none();
+            if in_place {
+                if !ac.dirty {
+                    let key = msg.record.key(&self.schema);
+                    if let Some(&p) = ac.pos.get(&(key, msg.record.rid)) {
+                        ac.cache.on_update(p, &ac.leaves[p], &msg.signature);
+                        ac.leaves[p] = msg.signature.clone();
+                    } else {
+                        ac.dirty = true;
+                    }
+                }
+            } else {
+                ac.dirty = true;
+            }
+        }
         let rid = msg.record.rid;
         let payload_len = self.tree.config().payload_len;
         match msg.kind {
@@ -321,29 +521,44 @@ impl QueryServer {
         out
     }
 
-    /// Answer a range selection `lo <= Aind <= hi` (Section 3.3).
+    /// Answer a range selection `lo <= Aind <= hi` (Section 3.3), or
+    /// [`QueryError::WrongSigningMode`] if the server cannot build chained
+    /// completeness proofs.
     ///
-    /// # Panics
-    /// Panics if the server is in [`SigningMode::PerAttribute`] (chained
-    /// completeness proofs require chained signatures).
-    pub fn select_range(&mut self, lo: i64, hi: i64) -> SelectionAnswer {
-        assert_eq!(
-            self.mode,
-            SigningMode::Chained,
-            "range selection requires chained signatures"
-        );
+    /// An inverted range (`lo > hi`) matches no key by definition, so the
+    /// canonical answer is empty with the identity aggregate and **no**
+    /// gap or vacancy proof — emptiness is vacuous, nothing needs to be
+    /// certified, and the verifier accepts exactly this form.
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> Result<SelectionAnswer, QueryError> {
+        if self.mode != SigningMode::Chained {
+            return Err(QueryError::WrongSigningMode {
+                required: SigningMode::Chained,
+                actual: self.mode,
+            });
+        }
         self.stats.queries += 1;
+        if lo > hi {
+            return Ok(SelectionAnswer {
+                records: Vec::new(),
+                agg: self.pp.identity(),
+                left_key: self.scope.left_fence,
+                right_key: self.scope.right_fence,
+                gap: None,
+                vacancy: None,
+                summaries: Vec::new(),
+            });
+        }
         let scan = self.tree.range(lo, hi);
         let left_key = scan
             .left_boundary
             .as_ref()
             .map(|e| e.key)
-            .unwrap_or(KEY_NEG_INF);
+            .unwrap_or(self.scope.left_fence);
         let right_key = scan
             .right_boundary
             .as_ref()
             .map(|e| e.key)
-            .unwrap_or(KEY_POS_INF);
+            .unwrap_or(self.scope.right_fence);
 
         if scan.matches.is_empty() {
             // Empty answer: ship the bracketing record's chain, or — when
@@ -371,7 +586,7 @@ impl QueryServer {
                 (None, Some(v)) => self.summaries_since(v.ts),
                 (None, None) => Vec::new(),
             };
-            return SelectionAnswer {
+            return Ok(SelectionAnswer {
                 records: Vec::new(),
                 agg: self.pp.identity(),
                 left_key,
@@ -379,7 +594,7 @@ impl QueryServer {
                 gap,
                 vacancy,
                 summaries,
-            };
+            });
         }
 
         let records: Vec<Record> = scan
@@ -387,13 +602,9 @@ impl QueryServer {
             .iter()
             .map(|e| self.read_record(e.rid))
             .collect();
-        let mut agg = self.pp.identity();
-        for e in &scan.matches {
-            agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
-            self.stats.agg_ops += 1;
-        }
+        let agg = self.aggregate_matches(&scan.matches);
         let oldest = records.iter().map(|r| r.ts).min().unwrap_or(0);
-        SelectionAnswer {
+        Ok(SelectionAnswer {
             records,
             agg,
             left_key,
@@ -401,48 +612,79 @@ impl QueryServer {
             gap: None,
             vacancy: None,
             summaries: self.summaries_since(oldest),
-        }
+        })
     }
 
-    /// Neighbour keys of an index position (sentinels at the extremes).
-    fn neighbor_keys_of(&self, key: i64, rid: u64) -> (i64, i64) {
-        let scan = self.tree.range(key, key);
-        let pos = scan
-            .matches
+    /// Aggregate the matched records' signatures, through the Section 4
+    /// cache when one is configured (a range scan's matches are a
+    /// contiguous run of leaf positions, so the dyadic decomposition
+    /// applies directly).
+    fn aggregate_matches(&mut self, matches: &[authdb_index::LeafEntry]) -> Signature {
+        if self.agg_cache.is_some() {
+            self.rebuild_cache_if_dirty();
+            let ac = self.agg_cache.as_mut().expect("cache present");
+            let first = &matches[0];
+            if let Some(&p0) = ac.pos.get(&(first.key, first.rid)) {
+                let before = ac.cache.stats();
+                let (agg, ops) = ac
+                    .cache
+                    .aggregate_range(&ac.leaves, p0, p0 + matches.len() - 1);
+                let after = ac.cache.stats();
+                self.stats.agg_ops += ops;
+                self.stats.cache_hits += after.hits - before.hits;
+                self.stats.cache_misses += after.misses - before.misses;
+                return agg;
+            }
+            self.stats.cache_misses += 1;
+        }
+        let mut agg = self.pp.identity();
+        for e in matches {
+            agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
+            self.stats.agg_ops += 1;
+        }
+        agg
+    }
+
+    /// Re-mirror the index into the aggregate cache after a structural
+    /// change (positions shifted under the dyadic tree).
+    fn rebuild_cache_if_dirty(&mut self) {
+        let Some(ac) = &self.agg_cache else { return };
+        if !ac.dirty {
+            return;
+        }
+        let cfg = ac.cfg;
+        let entries: Vec<(i64, u64)> = self
+            .tree
+            .scan_all()
             .iter()
-            .position(|e| e.rid == rid)
-            .expect("entry present");
-        let left = if pos > 0 {
-            scan.matches[pos - 1].key
-        } else {
-            scan.left_boundary
-                .as_ref()
-                .map(|e| e.key)
-                .unwrap_or(KEY_NEG_INF)
-        };
-        let right = if pos + 1 < scan.matches.len() {
-            scan.matches[pos + 1].key
-        } else {
-            scan.right_boundary
-                .as_ref()
-                .map(|e| e.key)
-                .unwrap_or(KEY_POS_INF)
-        };
-        (left, right)
+            .map(|e| (e.key, e.rid))
+            .collect();
+        self.agg_cache = Some(AggCache::build(&self.pp, &entries, &self.sigs, cfg));
+    }
+
+    /// Neighbour keys of an index position (seam fences at the extremes),
+    /// via the same shared helper the DA signs with.
+    fn neighbor_keys_of(&self, key: i64, rid: u64) -> (i64, i64) {
+        self.scope.neighbor_keys_in(&self.tree.range(key, key), rid)
     }
 
     /// Answer a projection `π_{attrs}(σ_{lo..hi}(R))` (Section 3.4): rows
     /// carry only the projected attributes; the VO is a single aggregate of
-    /// the corresponding attribute signatures.
-    ///
-    /// # Panics
-    /// Panics unless the server runs in [`SigningMode::PerAttribute`].
-    pub fn project(&mut self, lo: i64, hi: i64, attrs: &[usize]) -> ProjectionAnswer {
-        assert_eq!(
-            self.mode,
-            SigningMode::PerAttribute,
-            "projection requires per-attribute signatures"
-        );
+    /// the corresponding attribute signatures. Returns
+    /// [`QueryError::WrongSigningMode`] unless the server runs in
+    /// [`SigningMode::PerAttribute`].
+    pub fn project(
+        &mut self,
+        lo: i64,
+        hi: i64,
+        attrs: &[usize],
+    ) -> Result<ProjectionAnswer, QueryError> {
+        if self.mode != SigningMode::PerAttribute {
+            return Err(QueryError::WrongSigningMode {
+                required: SigningMode::PerAttribute,
+                actual: self.mode,
+            });
+        }
         self.stats.queries += 1;
         let scan = self.tree.range(lo, hi);
         let mut rows = Vec::with_capacity(scan.matches.len());
@@ -461,11 +703,11 @@ impl QueryServer {
             });
         }
         let oldest = rows.iter().map(|r| r.ts).min().unwrap_or(0);
-        ProjectionAnswer {
+        Ok(ProjectionAnswer {
             rows,
             agg,
             summaries: self.summaries_since(oldest),
-        }
+        })
     }
 }
 
@@ -473,6 +715,7 @@ impl QueryServer {
 mod tests {
     use super::*;
     use crate::da::{DaConfig, DataAggregator};
+    use crate::record::{KEY_NEG_INF, KEY_POS_INF};
     use authdb_crypto::signer::SchemeKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -507,7 +750,7 @@ mod tests {
     #[test]
     fn selection_answer_contains_expected_records() {
         let (_, mut qs) = system(100, SigningMode::Chained);
-        let ans = qs.select_range(200, 300);
+        let ans = qs.select_range(200, 300).unwrap();
         let keys: Vec<i64> = ans.records.iter().map(|r| r.attrs[0]).collect();
         assert_eq!(keys, (20..=30).map(|i| i * 10).collect::<Vec<_>>());
         assert_eq!(ans.left_key, 190);
@@ -519,8 +762,8 @@ mod tests {
     fn vo_size_independent_of_selectivity() {
         let (_, mut qs) = system(1000, SigningMode::Chained);
         let pp = qs.public_params().clone();
-        let small = qs.select_range(0, 90);
-        let large = qs.select_range(0, 9000);
+        let small = qs.select_range(0, 90).unwrap();
+        let large = qs.select_range(0, 9000).unwrap();
         assert!(large.records.len() > 10 * small.records.len());
         assert_eq!(small.vo_size(&pp), large.vo_size(&pp));
     }
@@ -528,7 +771,7 @@ mod tests {
     #[test]
     fn empty_answer_has_gap_proof() {
         let (_, mut qs) = system(100, SigningMode::Chained);
-        let ans = qs.select_range(201, 209); // keys are multiples of 10
+        let ans = qs.select_range(201, 209).unwrap(); // keys are multiples of 10
         assert!(ans.records.is_empty());
         let gap = ans.gap.expect("gap proof");
         assert_eq!(gap.own_key(&Schema::new(2, 64)), 200);
@@ -539,7 +782,7 @@ mod tests {
     #[test]
     fn empty_table_answer_carries_vacancy_proof() {
         let (_, mut qs) = system(0, SigningMode::Chained);
-        let ans = qs.select_range(0, 100);
+        let ans = qs.select_range(0, 100).unwrap();
         assert!(ans.records.is_empty());
         assert!(ans.gap.is_none());
         let vac = ans.vacancy.expect("empty-table proof");
@@ -551,12 +794,12 @@ mod tests {
     #[test]
     fn vacancy_proof_tracks_delete_and_insert_transitions() {
         let (mut da, mut qs) = system(1, SigningMode::Chained);
-        assert!(qs.select_range(0, 100).vacancy.is_none());
+        assert!(qs.select_range(0, 100).unwrap().vacancy.is_none());
         da.advance_clock(3);
         for m in da.delete_record(0) {
             qs.apply(&m);
         }
-        let ans = qs.select_range(0, 100);
+        let ans = qs.select_range(0, 100).unwrap();
         assert!(ans.gap.is_none());
         let vac = ans.vacancy.expect("delete emptied the table");
         assert_eq!(vac.ts, 3);
@@ -564,8 +807,8 @@ mod tests {
         for m in da.insert(vec![55, 9]) {
             qs.apply(&m);
         }
-        assert!(qs.select_range(200, 300).vacancy.is_none());
-        assert!(qs.select_range(200, 300).gap.is_some());
+        assert!(qs.select_range(200, 300).unwrap().vacancy.is_none());
+        assert!(qs.select_range(200, 300).unwrap().gap.is_some());
     }
 
     #[test]
@@ -575,7 +818,7 @@ mod tests {
         for m in da.update_record(25, vec![250, 4242]) {
             qs.apply(&m);
         }
-        let ans = qs.select_range(250, 250);
+        let ans = qs.select_range(250, 250).unwrap();
         assert_eq!(ans.records.len(), 1);
         assert_eq!(ans.records[0].attrs[1], 4242);
         assert_eq!(ans.records[0].ts, 5);
@@ -588,12 +831,12 @@ mod tests {
         for m in da.insert(vec![255, 1]) {
             qs.apply(&m);
         }
-        let ans = qs.select_range(255, 255);
+        let ans = qs.select_range(255, 255).unwrap();
         assert_eq!(ans.records.len(), 1);
         for m in da.delete_record(ans.records[0].rid) {
             qs.apply(&m);
         }
-        let ans = qs.select_range(255, 255);
+        let ans = qs.select_range(255, 255).unwrap();
         assert!(ans.records.is_empty());
     }
 
@@ -610,7 +853,7 @@ mod tests {
         da.advance_clock(10);
         let (s2, _) = da.maybe_publish_summary().unwrap();
         qs.add_summary(s2);
-        let ans = qs.select_range(0, 1000);
+        let ans = qs.select_range(0, 1000).unwrap();
         // Oldest record ts = 0, so both summaries attach.
         assert_eq!(ans.summaries.len(), 2);
     }
@@ -619,10 +862,135 @@ mod tests {
     fn projection_carries_one_signature() {
         let (_, mut qs) = system(30, SigningMode::PerAttribute);
         let pp = qs.public_params().clone();
-        let ans = qs.project(0, 100, &[1]);
+        let ans = qs.project(0, 100, &[1]).unwrap();
         assert_eq!(ans.rows.len(), 11);
         assert!(ans.rows.iter().all(|r| r.values.len() == 1));
         assert_eq!(ans.vo_size(&pp), pp.wire_len());
+    }
+
+    #[test]
+    fn wrong_mode_is_a_typed_error_not_a_panic() {
+        let (_, mut qs) = system(10, SigningMode::PerAttribute);
+        assert_eq!(
+            qs.select_range(0, 100).unwrap_err(),
+            QueryError::WrongSigningMode {
+                required: SigningMode::Chained,
+                actual: SigningMode::PerAttribute,
+            }
+        );
+        let (_, mut qs) = system(10, SigningMode::Chained);
+        assert_eq!(
+            qs.project(0, 100, &[1]).unwrap_err(),
+            QueryError::WrongSigningMode {
+                required: SigningMode::PerAttribute,
+                actual: SigningMode::Chained,
+            }
+        );
+    }
+
+    #[test]
+    fn inverted_range_is_the_canonical_empty_answer() {
+        let (_, mut qs) = system(50, SigningMode::Chained);
+        let ans = qs.select_range(300, 200).unwrap();
+        assert!(ans.records.is_empty());
+        assert!(ans.gap.is_none() && ans.vacancy.is_none());
+        assert!(ans.summaries.is_empty());
+        assert_eq!(ans.agg, qs.public_params().identity());
+        // Extreme inversion behaves identically.
+        let ans = qs.select_range(i64::MAX, i64::MIN).unwrap();
+        assert!(ans.records.is_empty() && ans.gap.is_none());
+    }
+
+    fn cached_system(n: i64, strategy: RefreshStrategy) -> (DataAggregator, QueryServer) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut da = DataAggregator::new(cfg(SigningMode::Chained), &mut rng);
+        let boot = da.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
+        let qs = QueryServer::with_options(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::Chained,
+            &boot,
+            QsOptions {
+                agg_cache: Some(AggCacheConfig {
+                    max_nodes: 32,
+                    strategy,
+                    distribution: CacheDistribution::Uniform,
+                }),
+                ..QsOptions::default()
+            },
+        );
+        (da, qs)
+    }
+
+    #[test]
+    fn agg_cache_answers_match_uncached_server() {
+        for strategy in [RefreshStrategy::Eager, RefreshStrategy::Lazy] {
+            let (_, mut plain) = system(128, SigningMode::Chained);
+            let (_, mut cached) = cached_system(128, strategy);
+            for (lo, hi) in [(0, 1270), (100, 900), (555, 565), (901, 909)] {
+                let a = plain.select_range(lo, hi).unwrap();
+                let b = cached.select_range(lo, hi).unwrap();
+                assert_eq!(a.agg, b.agg, "range {lo}..{hi}");
+                assert_eq!(a.records.len(), b.records.len());
+            }
+            let s = cached.stats();
+            assert!(s.cache_hits > 0, "wide ranges must hit cached nodes");
+            // The full-table scan costs far fewer aggregations than the
+            // record count once the dyadic nodes kick in.
+            assert!(s.agg_ops < plain.stats().agg_ops);
+        }
+    }
+
+    #[test]
+    fn agg_cache_stays_coherent_through_updates() {
+        for strategy in [RefreshStrategy::Eager, RefreshStrategy::Lazy] {
+            let (mut da, mut qs) = cached_system(64, strategy);
+            da.advance_clock(1);
+            // In-place value update: delta path.
+            for m in da.update_record(20, vec![200, 4242]) {
+                qs.apply(&m);
+            }
+            // Structural changes: insert, delete, and a key move.
+            for m in da.insert(vec![205, 7]) {
+                qs.apply(&m);
+            }
+            for m in da.delete_record(3) {
+                qs.apply(&m);
+            }
+            for m in da.update_record(10, vec![455, 10]) {
+                qs.apply(&m);
+            }
+            let ans = qs.select_range(0, 10_000).unwrap();
+            assert_eq!(ans.records.len(), 64); // 64 - 1 delete + 1 insert
+                                               // Cross-check the aggregate against an uncached replica fed the
+                                               // same messages.
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut da2 = DataAggregator::new(cfg(SigningMode::Chained), &mut rng);
+            let boot = da2.bootstrap((0..64).map(|i| vec![i * 10, i]).collect(), 2);
+            let mut plain = QueryServer::from_bootstrap(
+                da2.public_params(),
+                da2.config().schema,
+                SigningMode::Chained,
+                &boot,
+                256,
+                2.0 / 3.0,
+            );
+            da2.advance_clock(1);
+            for m in da2.update_record(20, vec![200, 4242]) {
+                plain.apply(&m);
+            }
+            for m in da2.insert(vec![205, 7]) {
+                plain.apply(&m);
+            }
+            for m in da2.delete_record(3) {
+                plain.apply(&m);
+            }
+            for m in da2.update_record(10, vec![455, 10]) {
+                plain.apply(&m);
+            }
+            let expect = plain.select_range(0, 10_000).unwrap();
+            assert_eq!(ans.agg, expect.agg);
+        }
     }
 
     #[test]
@@ -632,8 +1000,8 @@ mod tests {
         for m in da.update_record(10, vec![455, 10]) {
             qs.apply(&m);
         }
-        assert!(qs.select_range(100, 100).records.is_empty());
-        let ans = qs.select_range(455, 455);
+        assert!(qs.select_range(100, 100).unwrap().records.is_empty());
+        let ans = qs.select_range(455, 455).unwrap();
         assert_eq!(ans.records.len(), 1);
         assert_eq!(ans.records[0].rid, 10);
     }

@@ -1,0 +1,721 @@
+//! Key-range sharding: a partitioned query server whose per-shard proofs
+//! stitch back into one verified answer.
+//!
+//! The single query server of Section 3 is the system's scalability
+//! ceiling: every chained completeness proof and every freshness summary is
+//! anchored to one relation image. This module splits the relation into
+//! key-range **shards**. The DA certifies the partition itself — a
+//! [`ShardMap`] of split keys signed under the DA key, so an adversarial
+//! server cannot silently re-partition — routes every update to the shard
+//! owning its key, and runs one independent signing chain and summary
+//! stream per shard. A range selection fans out to every overlapping shard
+//! ([`ShardedQueryServer::select_range`]) and the verifier stitches the
+//! per-shard answers with one random-linear-combination multi-pairing
+//! (`Verifier::verify_sharded_selection`), so client cost stays one Miller
+//! loop regardless of shard count.
+//!
+//! # Seam soundness
+//!
+//! Partition boundaries are exactly where outsourced-database schemes leak
+//! completeness: if each shard's chain simply terminated at ±∞ (the
+//! unsharded sentinels), shard *i*'s edge record would carry a genuinely
+//! signed claim that *nothing* lies beyond it — a claim whose key range
+//! overlaps every other shard. A malicious server could then answer shard
+//! *i+1*'s sub-query with shard *i*'s edge gap proof and deny records that
+//! exist, or quietly drop a record "into the seam" between two per-shard
+//! answers.
+//!
+//! The defence is to make **both sides of every seam chain to the signed
+//! split key**. Shard `i`'s [`ShardScope`] gives its chain two *fences*:
+//! the rightmost record of shard `i` is signed with its right neighbour set
+//! to the split key `s_i` (not +∞), and the leftmost record of shard `i+1`
+//! is signed with its left neighbour set to `s_i − 1` (not −∞). Two
+//! consequences carry the whole argument:
+//!
+//! 1. **No under-coverage at a seam.** The verifier derives each sub-query
+//!    from the *signed* map — sub-ranges tile the queried range exactly, so
+//!    every key, including the split key itself, is some shard's
+//!    responsibility, and that shard's ordinary chained proof must account
+//!    for it. Dropping a seam-adjacent record breaks the chain to the fence
+//!    and the aggregate check fails.
+//! 2. **No over-coverage past a seam.** Every boundary key and gap proof a
+//!    shard can produce is bounded by its fences, because those are the
+//!    extreme neighbour values the DA ever signs for it. A gap proof from
+//!    shard `i` can certify emptiness at most up to `s_i` — it can never
+//!    bracket a sub-range that belongs to shard `i+1`, so cross-shard proof
+//!    replay is structurally impossible (`BadGapProof`/`BadBoundary`), and
+//!    a boundary key forged *past* a fence is caught by the verifier's seam
+//!    check (`SeamViolation`) before any pairing is evaluated.
+//!
+//! Freshness artifacts get the same treatment in the *message* domain:
+//! summaries and empty-shard vacancy proofs bind their shard index, so one
+//! shard's (genuinely signed, genuinely fresh) summary stream cannot vouch
+//! for another shard's stale answer (`ShardMismatch`) and an empty shard's
+//! vacancy certificate cannot deny a populated one.
+//!
+//! The cross-shard attack catalog in [`crate::adversary`] (seam splice,
+//! shard withholding, seam widening, stale-shard replay, summary swap)
+//! regression-checks every clause of this argument.
+
+use authdb_crypto::signer::{Keypair, PublicParams, Signature};
+
+use crate::da::{Bootstrap, DaConfig, DataAggregator, UpdateMsg};
+use crate::freshness::UpdateSummary;
+use crate::qs::{QsOptions, QueryError, QueryServer, SelectionAnswer};
+use crate::record::{Tick, KEY_NEG_INF, KEY_POS_INF};
+
+/// One aggregator-or-server's key-range responsibility inside a sharded
+/// deployment: the chain *fences* (the neighbour values signed at the
+/// shard's extremes) and the shard tag bound into summaries and vacancy
+/// proofs. The shard owns exactly the keys strictly between its fences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardScope {
+    /// Shard index, bound into summary and vacancy-proof messages.
+    pub shard: u64,
+    /// Largest key value outside the shard on the left
+    /// ([`KEY_NEG_INF`] for the leftmost shard).
+    pub left_fence: i64,
+    /// Smallest key value outside the shard on the right
+    /// ([`KEY_POS_INF`] for the rightmost shard).
+    pub right_fence: i64,
+}
+
+impl ShardScope {
+    /// The whole key space: what an unsharded deployment certifies.
+    pub fn global() -> Self {
+        ShardScope {
+            shard: 0,
+            left_fence: KEY_NEG_INF,
+            right_fence: KEY_POS_INF,
+        }
+    }
+
+    /// Whether `key` falls inside this shard's responsibility.
+    pub fn owns(&self, key: i64) -> bool {
+        key > self.left_fence && key < self.right_fence
+    }
+
+    /// Neighbour keys of entry `rid` within a point scan of its key:
+    /// adjacent matches first, then the scan's boundary entries, then this
+    /// scope's fences. Shared by the DA's signer and the query server's
+    /// proof construction so the two can never disagree on what a chain's
+    /// extreme neighbour is.
+    ///
+    /// # Panics
+    /// Panics if `rid` is not among the scan's matches.
+    pub fn neighbor_keys_in(&self, scan: &authdb_index::RangeScan, rid: u64) -> (i64, i64) {
+        let pos = scan
+            .matches
+            .iter()
+            .position(|e| e.rid == rid)
+            .expect("entry present");
+        let left = if pos > 0 {
+            scan.matches[pos - 1].key
+        } else {
+            scan.left_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(self.left_fence)
+        };
+        let right = if pos + 1 < scan.matches.len() {
+            scan.matches[pos + 1].key
+        } else {
+            scan.right_boundary
+                .as_ref()
+                .map(|e| e.key)
+                .unwrap_or(self.right_fence)
+        };
+        (left, right)
+    }
+}
+
+impl Default for ShardScope {
+    fn default() -> Self {
+        ShardScope::global()
+    }
+}
+
+/// The DA-certified partition: `m` split keys define `m + 1` key-range
+/// shards, and the signature pins the partition so the server cannot
+/// re-draw shard responsibilities. Shard `i` owns keys `k` with
+/// `splits[i-1] <= k < splits[i]` (unbounded at the extremes).
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    splits: Vec<i64>,
+    signature: Signature,
+}
+
+impl ShardMap {
+    /// The canonical signing message.
+    pub fn message(splits: &[i64]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(16 + 8 * splits.len());
+        msg.extend_from_slice(b"shard-map:");
+        msg.extend_from_slice(&(splits.len() as u64).to_be_bytes());
+        for s in splits {
+            msg.extend_from_slice(&s.to_be_bytes());
+        }
+        msg
+    }
+
+    /// Certify a partition. `splits` may be empty (one shard = the whole
+    /// key space, scope-equivalent to an unsharded deployment).
+    ///
+    /// # Panics
+    /// Panics unless the splits are strictly increasing and leave room for
+    /// the seam fences (each split must exceed `i64::MIN + 1` and be below
+    /// `i64::MAX`, so `split - 1` never collides with the −∞ sentinel).
+    pub fn create(keypair: &Keypair, splits: Vec<i64>) -> Self {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "split keys must be strictly increasing"
+        );
+        assert!(
+            splits.iter().all(|&s| s > i64::MIN + 1 && s < i64::MAX),
+            "split keys must leave room for seam fences"
+        );
+        let signature = keypair.sign(&Self::message(&splits));
+        ShardMap { splits, signature }
+    }
+
+    /// Verify the DA's signature over the partition.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(&Self::message(&self.splits), &self.signature)
+    }
+
+    /// The split keys.
+    pub fn splits(&self) -> &[i64] {
+        &self.splits
+    }
+
+    /// Number of shards (`splits + 1`).
+    pub fn shard_count(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: i64) -> usize {
+        self.splits.partition_point(|&s| s <= key)
+    }
+
+    /// Shard `i`'s scope (fences + tag).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn scope(&self, i: usize) -> ShardScope {
+        assert!(i < self.shard_count(), "shard index out of range");
+        ShardScope {
+            shard: i as u64,
+            left_fence: if i == 0 {
+                KEY_NEG_INF
+            } else {
+                self.splits[i - 1] - 1
+            },
+            right_fence: if i < self.splits.len() {
+                self.splits[i]
+            } else {
+                KEY_POS_INF
+            },
+        }
+    }
+
+    /// The shards overlapping `lo..=hi` with the sub-range each must
+    /// answer, in shard order. The sub-ranges tile `[lo, hi]` exactly —
+    /// that tiling is what makes seam stitching sound. Empty for an
+    /// inverted range.
+    pub fn overlapping(&self, lo: i64, hi: i64) -> Vec<(usize, (i64, i64))> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        for i in 0..self.shard_count() {
+            let scope = self.scope(i);
+            let own_lo = scope.left_fence.saturating_add(1);
+            let own_hi = scope.right_fence.saturating_sub(1);
+            let sub_lo = lo.max(own_lo);
+            let sub_hi = hi.min(own_hi);
+            if sub_lo <= sub_hi {
+                out.push((i, (sub_lo, sub_hi)));
+            }
+        }
+        out
+    }
+}
+
+/// The DA side of a sharded deployment: one trusted signer, one certified
+/// [`ShardMap`], and one scoped [`DataAggregator`] per shard sharing the
+/// key. Updates are routed by key; a key change that crosses a seam becomes
+/// a delete in the old shard plus an insert in the new one.
+pub struct ShardedAggregator {
+    map: ShardMap,
+    shards: Vec<DataAggregator>,
+}
+
+impl ShardedAggregator {
+    /// Create a sharded DA with a fresh keypair.
+    pub fn new(cfg: DaConfig, splits: Vec<i64>, rng: &mut impl rand::Rng) -> Self {
+        let keypair = Keypair::generate(cfg.scheme, rng);
+        Self::with_keypair(cfg, splits, keypair)
+    }
+
+    /// Create with an existing keypair (tests pin keys for determinism).
+    pub fn with_keypair(cfg: DaConfig, splits: Vec<i64>, keypair: Keypair) -> Self {
+        let map = ShardMap::create(&keypair, splits);
+        let shards = (0..map.shard_count())
+            .map(|i| {
+                DataAggregator::with_keypair_scoped(cfg.clone(), keypair.clone(), map.scope(i))
+            })
+            .collect();
+        ShardedAggregator { map, shards }
+    }
+
+    /// The certified partition.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Verification parameters (shared by every shard).
+    pub fn public_params(&self) -> PublicParams {
+        self.shards[0].public_params()
+    }
+
+    /// The configuration (shared by every shard).
+    pub fn config(&self) -> &DaConfig {
+        self.shards[0].config()
+    }
+
+    /// One shard's aggregator.
+    pub fn shard(&self, i: usize) -> &DataAggregator {
+        &self.shards[i]
+    }
+
+    /// Current logical time (all shard clocks advance in lockstep).
+    pub fn now(&self) -> Tick {
+        self.shards[0].now()
+    }
+
+    /// Advance every shard's clock.
+    pub fn advance_clock(&mut self, dt: Tick) {
+        for s in &mut self.shards {
+            s.advance_clock(dt);
+        }
+    }
+
+    /// Total live records across shards.
+    pub fn live_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_records()).sum()
+    }
+
+    /// Load and certify the initial database, routing each row to the
+    /// shard owning its indexed key. Returns one bootstrap per shard, in
+    /// shard order (empty shards get a vacancy-certified empty bootstrap).
+    pub fn bootstrap(&mut self, rows: Vec<Vec<i64>>, jobs: usize) -> Vec<Bootstrap> {
+        let idx = self.config().schema.indexed_attr;
+        let mut parts: Vec<Vec<Vec<i64>>> = vec![Vec::new(); self.map.shard_count()];
+        for row in rows {
+            parts[self.map.shard_of(row[idx])].push(row);
+        }
+        parts
+            .into_iter()
+            .zip(&mut self.shards)
+            .map(|(part, shard)| shard.bootstrap(part, jobs))
+            .collect()
+    }
+
+    /// Insert a record, routed by key. Returns the owning shard and its
+    /// update messages.
+    pub fn insert(&mut self, attrs: Vec<i64>) -> (usize, Vec<UpdateMsg>) {
+        let shard = self.map.shard_of(attrs[self.config().schema.indexed_attr]);
+        (shard, self.shards[shard].insert(attrs))
+    }
+
+    /// Update record `rid` of `shard`. If the new key crosses a seam the
+    /// update becomes delete-here + insert-there; the returned messages are
+    /// tagged with the shard each must be applied to. Returns the record's
+    /// new address as well.
+    pub fn update_record(
+        &mut self,
+        shard: usize,
+        rid: u64,
+        attrs: Vec<i64>,
+    ) -> ((usize, u64), Vec<(usize, UpdateMsg)>) {
+        if self.shards[shard].record(rid).is_none() {
+            // Nonexistent rids no-op, matching DataAggregator::update_record
+            // — without this gate a seam-crossing "update" of a dead rid
+            // would still run its insert half and certify a phantom record.
+            return ((shard, rid), Vec::new());
+        }
+        let target = self.map.shard_of(attrs[self.config().schema.indexed_attr]);
+        if target == shard {
+            let msgs = self.shards[shard].update_record(rid, attrs);
+            return ((shard, rid), msgs.into_iter().map(|m| (shard, m)).collect());
+        }
+        let mut out: Vec<(usize, UpdateMsg)> = self.shards[shard]
+            .delete_record(rid)
+            .into_iter()
+            .map(|m| (shard, m))
+            .collect();
+        let inserts = self.shards[target].insert(attrs);
+        let new_rid = inserts[0].record.rid;
+        out.extend(inserts.into_iter().map(|m| (target, m)));
+        ((target, new_rid), out)
+    }
+
+    /// Delete record `rid` of `shard`.
+    pub fn delete_record(&mut self, shard: usize, rid: u64) -> Vec<(usize, UpdateMsg)> {
+        self.shards[shard]
+            .delete_record(rid)
+            .into_iter()
+            .map(|m| (shard, m))
+            .collect()
+    }
+
+    /// Publish every shard's period summary that is due, with the shard's
+    /// multi-update re-certifications.
+    pub fn maybe_publish_summaries(&mut self) -> Vec<(usize, UpdateSummary, Vec<UpdateMsg>)> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some((s, recerts)) = shard.maybe_publish_summary() {
+                out.push((i, s, recerts));
+            }
+        }
+        out
+    }
+}
+
+/// One shard's contribution to a sharded selection answer.
+#[derive(Clone, Debug)]
+pub struct ShardAnswer {
+    /// Which shard answered.
+    pub shard: usize,
+    /// Its ordinary single-shard answer for its sub-range.
+    pub answer: SelectionAnswer,
+}
+
+/// A fanned-out selection answer: the certified partition plus one
+/// [`SelectionAnswer`] per overlapping shard, in shard order.
+#[derive(Clone, Debug)]
+pub struct ShardedSelectionAnswer {
+    /// The DA-signed partition the answer claims to follow.
+    pub map: ShardMap,
+    /// Per-shard answers for the overlapping shards.
+    pub parts: Vec<ShardAnswer>,
+}
+
+impl ShardedSelectionAnswer {
+    /// Total VO wire size across parts (plus the map itself).
+    pub fn vo_size(&self, pp: &PublicParams) -> usize {
+        let map_size = 8 + 8 * self.map.splits().len() + pp.wire_len();
+        map_size
+            + self
+                .parts
+                .iter()
+                .map(|p| p.answer.vo_size(pp))
+                .sum::<usize>()
+    }
+}
+
+/// The untrusted side of a sharded deployment: one scoped [`QueryServer`]
+/// per shard plus the certified map, fanning range selections out to every
+/// overlapping shard.
+pub struct ShardedQueryServer {
+    map: ShardMap,
+    shards: Vec<QueryServer>,
+}
+
+impl ShardedQueryServer {
+    /// Build the per-shard replicas from the per-shard bootstraps (as
+    /// returned by [`ShardedAggregator::bootstrap`]). `opts.scope` is
+    /// overridden per shard from the map.
+    ///
+    /// # Panics
+    /// Panics if `boots` does not hold one bootstrap per shard.
+    pub fn from_bootstraps(
+        pp: PublicParams,
+        cfg: &DaConfig,
+        map: ShardMap,
+        boots: &[Bootstrap],
+        opts: &QsOptions,
+    ) -> Self {
+        assert_eq!(boots.len(), map.shard_count(), "one bootstrap per shard");
+        let shards = boots
+            .iter()
+            .enumerate()
+            .map(|(i, boot)| {
+                QueryServer::with_options(
+                    pp.clone(),
+                    cfg.schema,
+                    cfg.mode,
+                    boot,
+                    QsOptions {
+                        scope: map.scope(i),
+                        ..opts.clone()
+                    },
+                )
+            })
+            .collect();
+        ShardedQueryServer { map, shards }
+    }
+
+    /// The partition this server follows.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// One shard's server.
+    pub fn shard(&self, i: usize) -> &QueryServer {
+        &self.shards[i]
+    }
+
+    /// Mutable access to one shard's server (update/summary routing).
+    pub fn shard_mut(&mut self, i: usize) -> &mut QueryServer {
+        &mut self.shards[i]
+    }
+
+    /// Apply a routed update message.
+    pub fn apply(&mut self, shard: usize, msg: &UpdateMsg) {
+        self.shards[shard].apply(msg);
+    }
+
+    /// Store a shard's newly published summary.
+    pub fn add_summary(&mut self, shard: usize, s: UpdateSummary) {
+        self.shards[shard].add_summary(s);
+    }
+
+    /// Answer `lo <= Aind <= hi` by fanning out to every overlapping shard.
+    /// A shard's refusal (wrong signing mode) propagates instead of
+    /// panicking the fan-out.
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> Result<ShardedSelectionAnswer, QueryError> {
+        let mut parts = Vec::new();
+        for (shard, (sub_lo, sub_hi)) in self.map.overlapping(lo, hi) {
+            parts.push(ShardAnswer {
+                shard,
+                answer: self.shards[shard].select_range(sub_lo, sub_hi)?,
+            });
+        }
+        Ok(ShardedSelectionAnswer {
+            map: self.map.clone(),
+            parts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::da::SigningMode;
+    use crate::record::Schema;
+    use authdb_crypto::signer::SchemeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> DaConfig {
+        DaConfig {
+            schema: Schema::new(2, 64),
+            scheme: SchemeKind::Mock,
+            mode: SigningMode::Chained,
+            rho: 10,
+            rho_prime: 10_000,
+            buffer_pages: 256,
+            fill: 2.0 / 3.0,
+        }
+    }
+
+    fn keypair() -> Keypair {
+        let mut rng = StdRng::seed_from_u64(99);
+        Keypair::generate(SchemeKind::Mock, &mut rng)
+    }
+
+    #[test]
+    fn shard_of_and_scopes_partition_the_key_space() {
+        let map = ShardMap::create(&keypair(), vec![100, 200]);
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.shard_of(i64::MIN + 2), 0);
+        assert_eq!(map.shard_of(99), 0);
+        assert_eq!(map.shard_of(100), 1);
+        assert_eq!(map.shard_of(199), 1);
+        assert_eq!(map.shard_of(200), 2);
+        assert_eq!(map.shard_of(i64::MAX), 2);
+        // Every key is owned by exactly the shard shard_of names.
+        for key in [-50, 0, 99, 100, 150, 199, 200, 5000] {
+            let owner = map.shard_of(key);
+            for i in 0..map.shard_count() {
+                assert_eq!(map.scope(i).owns(key), i == owner, "key {key} shard {i}");
+            }
+        }
+        // Fences bind adjacent scopes to the split key.
+        assert_eq!(map.scope(0).right_fence, 100);
+        assert_eq!(map.scope(1).left_fence, 99);
+        assert_eq!(map.scope(1).right_fence, 200);
+        assert_eq!(map.scope(2).left_fence, 199);
+    }
+
+    #[test]
+    fn overlapping_subranges_tile_the_query() {
+        let map = ShardMap::create(&keypair(), vec![100, 200]);
+        assert_eq!(
+            map.overlapping(50, 250),
+            vec![(0, (50, 99)), (1, (100, 199)), (2, (200, 250))]
+        );
+        assert_eq!(map.overlapping(120, 130), vec![(1, (120, 130))]);
+        assert_eq!(map.overlapping(100, 100), vec![(1, (100, 100))]);
+        assert_eq!(
+            map.overlapping(99, 100),
+            vec![(0, (99, 99)), (1, (100, 100))]
+        );
+        assert!(map.overlapping(250, 150).is_empty(), "inverted range");
+    }
+
+    #[test]
+    fn map_signature_pins_the_partition() {
+        let kp = keypair();
+        let map = ShardMap::create(&kp, vec![100]);
+        assert!(map.verify(&kp.public_params()));
+        let mut forged = map.clone();
+        forged.splits[0] = 150;
+        assert!(!forged.verify(&kp.public_params()));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_splits_rejected() {
+        ShardMap::create(&keypair(), vec![200, 100]);
+    }
+
+    #[test]
+    fn routed_updates_and_fanout_match_shard_contents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sa = ShardedAggregator::new(cfg(), vec![200], &mut rng);
+        let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+        assert_eq!(boots.len(), 2);
+        assert_eq!(boots[0].records.len(), 20);
+        assert_eq!(boots[1].records.len(), 20);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        // A straddling query touches both shards and concatenates cleanly.
+        let ans = sqs.select_range(150, 250).unwrap();
+        assert_eq!(ans.parts.len(), 2);
+        let keys: Vec<i64> = ans
+            .parts
+            .iter()
+            .flat_map(|p| p.answer.records.iter().map(|r| r.attrs[0]))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]
+        );
+        // Insert routes by key; a cross-seam key move re-homes the record.
+        sa.advance_clock(1);
+        let (shard, msgs) = sa.insert(vec![205, 77]);
+        assert_eq!(shard, 1);
+        for m in msgs {
+            sqs.apply(shard, &m);
+        }
+        let ((new_shard, new_rid), moved) = sa.update_record(0, 5, vec![255, 5]);
+        assert_eq!(new_shard, 1);
+        for (s, m) in moved {
+            sqs.apply(s, &m);
+        }
+        assert!(sa.shard(1).record(new_rid).is_some());
+        let ans = sqs.select_range(0, 1000).unwrap();
+        let total: usize = ans.parts.iter().map(|p| p.answer.records.len()).sum();
+        assert_eq!(total, 41);
+        assert!(sqs
+            .select_range(255, 255)
+            .unwrap()
+            .parts
+            .iter()
+            .any(|p| p.shard == 1 && p.answer.records.len() == 1));
+    }
+
+    #[test]
+    fn dead_rid_update_does_not_certify_a_phantom() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sa = ShardedAggregator::new(cfg(), vec![200], &mut rng);
+        sa.bootstrap((0..10).map(|i| vec![i * 10, i]).collect(), 2);
+        sa.advance_clock(1);
+        let dead = sa.delete_record(0, 3);
+        assert!(!dead.is_empty());
+        let live_before = sa.live_records();
+        // A seam-crossing "update" of the deleted rid must no-op, not run
+        // its insert half.
+        let ((shard, rid), msgs) = sa.update_record(0, 3, vec![250, 9]);
+        assert_eq!((shard, rid), (0, 3));
+        assert!(msgs.is_empty());
+        assert_eq!(sa.live_records(), live_before);
+    }
+
+    #[test]
+    fn seam_fences_bound_every_shard_claim() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sa = ShardedAggregator::new(cfg(), vec![200], &mut rng);
+        let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        // Shard 0's rightmost record chains to the split key, not +inf.
+        let edge = sqs.shard_mut(0).select_range(190, 199).unwrap();
+        assert_eq!(edge.records.len(), 1);
+        assert_eq!(edge.right_key, 200, "right fence is the split key");
+        // Shard 1's leftmost record chains to split - 1, not -inf.
+        let edge = sqs.shard_mut(1).select_range(200, 205).unwrap();
+        assert_eq!(edge.left_key, 199, "left fence is split - 1");
+        // A gap proof from shard 0 can never cover shard 1 territory: its
+        // certified right key is capped at the fence.
+        let gap = sqs.shard_mut(0).select_range(195, 199).unwrap();
+        let g = gap.gap.expect("empty sub-range has a gap proof");
+        assert!(g.right_key <= 200);
+    }
+
+    #[test]
+    fn empty_shard_answers_with_tagged_vacancy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sa = ShardedAggregator::new(cfg(), vec![100, 200], &mut rng);
+        // All rows land in shard 0; shards 1 and 2 are empty.
+        let boots = sa.bootstrap((0..5).map(|i| vec![i * 10, i]).collect(), 2);
+        assert!(boots[1].records.is_empty());
+        let vac = boots[1].vacancy.as_ref().expect("empty shard certified");
+        assert_eq!(vac.shard, 1);
+        assert!(vac.verify(&sa.public_params()));
+        let vac2 = boots[2].vacancy.as_ref().expect("empty shard certified");
+        assert_eq!(vac2.shard, 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        let ans = sqs.select_range(120, 180).unwrap();
+        assert_eq!(ans.parts.len(), 1);
+        assert!(ans.parts[0].answer.vacancy.is_some());
+    }
+
+    #[test]
+    fn fanout_propagates_wrong_mode_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = cfg();
+        c.mode = SigningMode::PerAttribute;
+        let mut sa = ShardedAggregator::new(c, vec![100], &mut rng);
+        let boots = sa.bootstrap((0..10).map(|i| vec![i * 20, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        assert!(matches!(
+            sqs.select_range(0, 100),
+            Err(QueryError::WrongSigningMode { .. })
+        ));
+    }
+}

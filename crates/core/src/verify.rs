@@ -32,8 +32,22 @@
 //! | [`VerifyError::StaleVacancy`] | replaying an empty-table proof after an insertion |
 //! | [`VerifyError::VacancyIndeterminate`] | withholding the summaries that would expose a stale vacancy claim |
 //!
-//! The conformance suite in [`crate::adversary`] exercises every row of
-//! this table against a [`crate::adversary::MaliciousServer`].
+//! Sharded deployments ([`crate::shard`]) add cross-shard attack surface;
+//! [`Verifier::verify_sharded_selection`] extends the table:
+//!
+//! | error | rejected attack |
+//! |---|---|
+//! | [`VerifyError::BadShardMap`] | re-partitioning the relation (forging split keys to move seam responsibility) |
+//! | [`VerifyError::ShardWithheld`] | omitting an overlapping shard's answer and the records in it |
+//! | [`VerifyError::UnexpectedShardAnswer`] | padding the fan-out with answers for shards the query does not touch (or duplicating one) |
+//! | [`VerifyError::SeamViolation`] | forging a per-shard boundary key past the shard's signed seam fence to shrink its responsibility |
+//! | [`VerifyError::ShardMismatch`] | vouching for one shard's stale answer with another shard's (fresh, genuinely signed) summaries or vacancy proof |
+//! | [`VerifyError::RecordOutOfRange`] | seam splice: moving a record across the split into a shard that does not own its key |
+//! | [`VerifyError::Stale`] | stale-shard replay: one shard answering from an old epoch while the others are fresh |
+//!
+//! The conformance suites in [`crate::adversary`] exercise every row of
+//! both tables against a [`crate::adversary::MaliciousServer`] /
+//! [`crate::adversary::MaliciousShardedServer`].
 //!
 //! Under the BAS scheme the [`Verifier`]'s [`PublicParams`] carry the DA
 //! key's precomputed pairing lines (built once at key generation, shared
@@ -49,6 +63,7 @@ use authdb_crypto::signer::{PublicParams, Signature};
 use crate::freshness::{DecodedSummaries, EmptyTableProof, Freshness, UpdateSummary};
 use crate::qs::{ProjectionAnswer, SelectionAnswer};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+use crate::shard::ShardedSelectionAnswer;
 
 /// Why verification failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,6 +110,32 @@ pub enum VerifyError {
     /// Not enough summaries to decide whether the empty-table proof is
     /// still current.
     VacancyIndeterminate,
+    /// The shard map's signature failed: the server presented a partition
+    /// the DA never certified.
+    BadShardMap,
+    /// An overlapping shard's answer is missing from a sharded response.
+    ShardWithheld {
+        /// The shard whose answer was withheld.
+        shard: usize,
+    },
+    /// A sharded response carries an answer for a shard the query does not
+    /// overlap, or a duplicate answer for one shard.
+    UnexpectedShardAnswer {
+        /// The offending shard index.
+        shard: usize,
+    },
+    /// A per-shard answer claims a boundary key beyond the shard's signed
+    /// seam fence (an attempt to shrink the shard's responsibility).
+    SeamViolation {
+        /// The offending shard.
+        shard: usize,
+    },
+    /// An attached summary or vacancy proof belongs to a different shard
+    /// than the one that answered.
+    ShardMismatch {
+        /// The shard whose answer carried the alien artifact.
+        shard: usize,
+    },
 }
 
 /// A failure localized inside a batch verification.
@@ -174,6 +215,34 @@ impl Verifier {
         now: Tick,
         check_fresh: bool,
     ) -> Result<AnswerClaim, VerifyError> {
+        // An inverted range matches no key by definition: the only honest
+        // answer is empty with the identity aggregate, and nothing — not
+        // even a gap or vacancy proof — needs to be certified for it. A
+        // server that returns records for an inverted range is cheating
+        // (every record's key violates lo <= k <= hi), and attached
+        // gap/vacancy claims or summaries are rejected rather than
+        // silently skipped: nothing on this path is ever
+        // signature-checked, so accepting any artifact would let forged
+        // ones ride along on a verified answer.
+        if lo > hi {
+            if let Some(r) = ans.records.first() {
+                return Err(VerifyError::RecordOutOfRange { rid: r.rid });
+            }
+            if ans.gap.is_some() || ans.vacancy.is_some() {
+                return Err(VerifyError::BadGapProof);
+            }
+            if let Some(s) = ans.summaries.first() {
+                return Err(VerifyError::BadSummarySignature { seq: s.seq });
+            }
+            return Ok(AnswerClaim {
+                messages: Vec::new(),
+                agg: ans.agg.clone(),
+                report: VerifyReport {
+                    max_staleness: 0,
+                    records: 0,
+                },
+            });
+        }
         // Boundary keys must bracket the range.
         if !(ans.left_key < lo || ans.left_key == KEY_NEG_INF) {
             return Err(VerifyError::BadBoundary);
@@ -230,7 +299,7 @@ impl Verifier {
                     }
                 }
                 return Ok(AnswerClaim {
-                    messages: vec![EmptyTableProof::message(vac.ts)],
+                    messages: vec![EmptyTableProof::message(vac.shard, vac.ts)],
                     agg: vac.signature.clone(),
                     report: VerifyReport {
                         max_staleness,
@@ -349,6 +418,93 @@ impl Verifier {
         Ok(claims.into_iter().map(|c| c.report).collect())
     }
 
+    /// Verify a sharded selection answer (see [`crate::shard`]) for the
+    /// query `lo <= Aind <= hi` by stitching the per-shard proofs:
+    ///
+    /// 1. the shard map's own signature (the server cannot re-partition);
+    /// 2. the fan-out shape — exactly one answer per overlapping shard, for
+    ///    the sub-range the *signed* map assigns it (the sub-ranges tile
+    ///    `[lo, hi]`, so seams cannot swallow records);
+    /// 3. per-shard seam checks — boundary keys must stay within the
+    ///    shard's fences, and summaries/vacancy proofs must carry the
+    ///    answering shard's tag;
+    /// 4. every per-shard structural/freshness pipeline
+    ///    ([`Verifier::verify_selection`]'s checks against the sub-range);
+    /// 5. one random-linear-combination fold of all per-shard aggregates —
+    ///    a single multi-Miller loop regardless of shard count, with
+    ///    per-shard fallback localization on mismatch.
+    pub fn verify_sharded_selection(
+        &self,
+        lo: i64,
+        hi: i64,
+        ans: &ShardedSelectionAnswer,
+        now: Tick,
+        check_fresh: bool,
+        rng: &mut impl rand::Rng,
+    ) -> Result<VerifyReport, VerifyError> {
+        if !ans.map.verify(&self.pp) {
+            return Err(VerifyError::BadShardMap);
+        }
+        let expected = ans.map.overlapping(lo, hi);
+        // No alien or duplicate parts: every answer must be for a distinct
+        // shard the query actually overlaps.
+        let mut claimed = vec![false; ans.map.shard_count()];
+        for p in &ans.parts {
+            let alien = p.shard >= ans.map.shard_count()
+                || claimed.get(p.shard).copied().unwrap_or(true)
+                || !expected.iter().any(|&(s, _)| s == p.shard);
+            if alien {
+                return Err(VerifyError::UnexpectedShardAnswer { shard: p.shard });
+            }
+            claimed[p.shard] = true;
+        }
+        let mut claims = Vec::with_capacity(expected.len());
+        let mut report = VerifyReport {
+            max_staleness: 0,
+            records: 0,
+        };
+        for &(shard, (sub_lo, sub_hi)) in &expected {
+            let Some(part) = ans.parts.iter().find(|p| p.shard == shard) else {
+                return Err(VerifyError::ShardWithheld { shard });
+            };
+            let scope = ans.map.scope(shard);
+            let a = &part.answer;
+            // Domain binding: freshness artifacts must come from this
+            // shard's own stream — another shard's genuinely-signed
+            // summaries say nothing about this shard's rids.
+            if a.summaries.iter().any(|s| s.shard != scope.shard) {
+                return Err(VerifyError::ShardMismatch { shard });
+            }
+            if a.vacancy.as_ref().is_some_and(|v| v.shard != scope.shard) {
+                return Err(VerifyError::ShardMismatch { shard });
+            }
+            // Seam containment: the DA never signs a neighbour value
+            // outside the fences, so a claimed boundary past them is a
+            // forgery — caught here before any pairing work.
+            if a.left_key < scope.left_fence || a.right_key > scope.right_fence {
+                return Err(VerifyError::SeamViolation { shard });
+            }
+            let claim = self.analyze_selection(sub_lo, sub_hi, a, now, check_fresh)?;
+            report.records += claim.report.records;
+            report.max_staleness = report.max_staleness.max(claim.report.max_staleness);
+            claims.push(claim);
+        }
+        let batch: Vec<(&[Vec<u8>], &Signature)> = claims
+            .iter()
+            .map(|c| (c.messages.as_slice(), &c.agg))
+            .collect();
+        if !self.pp.verify_aggregate_batch(&batch, rng) {
+            // Localize: at least one shard's aggregate is bad.
+            for c in &claims {
+                let refs: Vec<&[u8]> = c.messages.iter().map(|m| m.as_slice()).collect();
+                if !self.pp.verify_aggregate(&refs, &c.agg) {
+                    return Err(VerifyError::BadAggregate);
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Verify a projection answer (Section 3.4): every `(rid, attr, value,
     /// ts)` quadruple must match the single aggregate, which also pins each
     /// value to its record and attribute position. Freshness runs through
@@ -444,7 +600,7 @@ mod tests {
     #[test]
     fn honest_selection_verifies() {
         let (_, mut qs, v) = system(200, SigningMode::Chained);
-        let ans = qs.select_range(500, 700);
+        let ans = qs.select_range(500, 700).unwrap();
         let rep = v.verify_selection(500, 700, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 21);
     }
@@ -452,7 +608,7 @@ mod tests {
     #[test]
     fn tampered_value_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records[2].attrs[1] = 666;
         assert_eq!(
             v.verify_selection(100, 300, &ans, 0, true),
@@ -463,7 +619,7 @@ mod tests {
     #[test]
     fn dropped_record_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.remove(3); // break the chain
         assert_eq!(
             v.verify_selection(100, 300, &ans, 0, true),
@@ -474,7 +630,7 @@ mod tests {
     #[test]
     fn truncated_tail_with_forged_boundary_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         // Server drops the tail and moves the right boundary inward.
         ans.records.truncate(5);
         ans.right_key = 150;
@@ -488,8 +644,8 @@ mod tests {
     #[test]
     fn out_of_range_record_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let extra = qs.select_range(400, 400).records[0].clone();
-        let mut ans = qs.select_range(100, 300);
+        let extra = qs.select_range(400, 400).unwrap().records[0].clone();
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.push(extra.clone());
         assert_eq!(
             v.verify_selection(100, 300, &ans, 0, true),
@@ -500,7 +656,7 @@ mod tests {
     #[test]
     fn empty_answer_gap_proof_verifies() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let ans = qs.select_range(101, 109);
+        let ans = qs.select_range(101, 109).unwrap();
         let rep = v.verify_selection(101, 109, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 0);
     }
@@ -508,7 +664,7 @@ mod tests {
     #[test]
     fn forged_gap_proof_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let mut ans = qs.select_range(101, 109);
+        let mut ans = qs.select_range(101, 109).unwrap();
         // Claim a wider gap than certified.
         if let Some(g) = &mut ans.gap {
             g.right_key = 10_000;
@@ -522,7 +678,7 @@ mod tests {
     #[test]
     fn gap_proof_not_bracketing_rejected() {
         let (_, mut qs, v) = system(100, SigningMode::Chained);
-        let ans = qs.select_range(101, 109);
+        let ans = qs.select_range(101, 109).unwrap();
         // Replay the same (valid) proof against a different range it does
         // not bracket: rejected via the boundary check or the gap check.
         assert!(matches!(
@@ -535,7 +691,7 @@ mod tests {
     fn stale_record_detected_via_summaries() {
         let (mut da, mut qs, v) = system(50, SigningMode::Chained);
         // Capture the answer before an update...
-        let stale_ans = qs.select_range(200, 260);
+        let stale_ans = qs.select_range(200, 260).unwrap();
         // ...then update record key=230 and publish the summary trail.
         da.advance_clock(12);
         let (s1, _) = da.maybe_publish_summary().unwrap();
@@ -560,7 +716,7 @@ mod tests {
             })
         );
         // The honest fresh answer passes.
-        let fresh = qs.select_range(200, 260);
+        let fresh = qs.select_range(200, 260).unwrap();
         assert!(v.verify_selection(200, 260, &fresh, 25, true).is_ok());
     }
 
@@ -571,7 +727,7 @@ mod tests {
         let (mut s, _) = da.maybe_publish_summary().unwrap();
         s.ts += 1; // tamper
         qs.add_summary(s);
-        let ans = qs.select_range(0, 50);
+        let ans = qs.select_range(0, 50).unwrap();
         assert!(matches!(
             v.verify_selection(0, 50, &ans, 13, true),
             Err(VerifyError::BadSummarySignature { .. })
@@ -581,7 +737,7 @@ mod tests {
     #[test]
     fn projection_verifies_and_rejects_swap() {
         let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
-        let ans = qs.project(0, 200, &[0, 1]);
+        let ans = qs.project(0, 200, &[0, 1]).unwrap();
         assert!(v.verify_projection(&ans, 0, true).is_ok());
         // Swapping two values between records must fail (messages bind rid
         // and attribute position).
@@ -598,7 +754,7 @@ mod tests {
     #[test]
     fn projection_rejects_forged_value() {
         let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
-        let mut ans = qs.project(0, 200, &[1]);
+        let mut ans = qs.project(0, 200, &[1]).unwrap();
         ans.rows[3].values[0].1 += 1;
         assert_eq!(
             v.verify_projection(&ans, 0, true),
@@ -609,7 +765,7 @@ mod tests {
     #[test]
     fn projection_detects_stale_row() {
         let (mut da, mut qs, v) = system(50, SigningMode::PerAttribute);
-        let stale = qs.project(0, 200, &[1]);
+        let stale = qs.project(0, 200, &[1]).unwrap();
         da.advance_clock(12);
         let (s1, _) = da.maybe_publish_summary().unwrap();
         qs.add_summary(s1.clone());
@@ -629,14 +785,14 @@ mod tests {
             Err(VerifyError::Stale { rid: 5, .. })
         ));
         // The honest fresh projection passes.
-        let fresh = qs.project(0, 200, &[1]);
+        let fresh = qs.project(0, 200, &[1]).unwrap();
         assert!(v.verify_projection(&fresh, 25, true).is_ok());
     }
 
     #[test]
     fn empty_table_answer_verifies() {
         let (_, mut qs, v) = system(0, SigningMode::Chained);
-        let ans = qs.select_range(-500, 500);
+        let ans = qs.select_range(-500, 500).unwrap();
         assert!(ans.vacancy.is_some());
         let rep = v.verify_selection(-500, 500, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 0);
@@ -654,7 +810,7 @@ mod tests {
         da.advance_clock(10);
         let (s, _) = da.maybe_publish_summary().unwrap();
         qs.add_summary(s);
-        let ans = qs.select_range(0, 100);
+        let ans = qs.select_range(0, 100).unwrap();
         assert!(ans.gap.is_none() && ans.vacancy.is_some());
         assert!(v.verify_selection(0, 100, &ans, da.now(), true).is_ok());
     }
@@ -662,7 +818,7 @@ mod tests {
     #[test]
     fn replayed_vacancy_proof_rejected_after_insert() {
         let (mut da, mut qs, v) = system(0, SigningMode::Chained);
-        let stale = qs.select_range(0, 100);
+        let stale = qs.select_range(0, 100).unwrap();
         assert!(stale.vacancy.is_some());
         da.advance_clock(3);
         for m in da.insert(vec![50, 1]) {
@@ -680,7 +836,7 @@ mod tests {
             Err(VerifyError::StaleVacancy { .. })
         ));
         // The honest answer (which now contains the record) passes.
-        let honest = qs.select_range(0, 100);
+        let honest = qs.select_range(0, 100).unwrap();
         assert_eq!(honest.records.len(), 1);
         assert!(v.verify_selection(0, 100, &honest, da.now(), true).is_ok());
     }
@@ -690,7 +846,7 @@ mod tests {
         // Satellite regression: the bracketing record of a gap proof must
         // go through the summary check like any returned record.
         let (mut da, mut qs, v) = system(50, SigningMode::Chained);
-        let stale_empty = qs.select_range(231, 239);
+        let stale_empty = qs.select_range(231, 239).unwrap();
         assert_eq!(stale_empty.gap.as_ref().unwrap().record.rid, 23);
         da.advance_clock(12);
         let (s1, _) = da.maybe_publish_summary().unwrap();
@@ -709,7 +865,7 @@ mod tests {
             Err(VerifyError::Stale { rid: 23, .. })
         ));
         // The honest gap proof (re-certified bracket) passes.
-        let fresh = qs.select_range(231, 239);
+        let fresh = qs.select_range(231, 239).unwrap();
         assert!(v.verify_selection(231, 239, &fresh, da.now(), true).is_ok());
     }
 
@@ -731,14 +887,14 @@ mod tests {
         da.advance_clock(10);
         let (s3, _) = da.maybe_publish_summary().unwrap();
         qs.add_summary(s3);
-        let mut ans = qs.select_range(200, 260);
+        let mut ans = qs.select_range(200, 260).unwrap();
         // Withhold everything after s1: the stale-looking window.
         ans.summaries = vec![s1];
         assert!(matches!(
             v.verify_selection(200, 260, &ans, da.now(), true),
             Err(VerifyError::FreshnessIndeterminate { .. })
         ));
-        let honest = qs.select_range(200, 260);
+        let honest = qs.select_range(200, 260).unwrap();
         assert!(v
             .verify_selection(200, 260, &honest, da.now(), true)
             .is_ok());
@@ -751,7 +907,7 @@ mod tests {
         let queries: Vec<(i64, i64)> = (0..8).map(|i| (i * 200, i * 200 + 150)).collect();
         let answers: Vec<_> = queries
             .iter()
-            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .map(|&(lo, hi)| qs.select_range(lo, hi).unwrap())
             .collect();
         let reports = v
             .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
@@ -769,7 +925,7 @@ mod tests {
         let queries: Vec<(i64, i64)> = (0..6).map(|i| (i * 300, i * 300 + 200)).collect();
         let mut answers: Vec<_> = queries
             .iter()
-            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .map(|&(lo, hi)| qs.select_range(lo, hi).unwrap())
             .collect();
         // Tamper answer 3's content: the batch check fails, and the
         // fallback localizes exactly that index.
@@ -794,7 +950,7 @@ mod tests {
         let queries = vec![(100, 300), (101, 109), (5000, 6000)];
         let answers: Vec<_> = queries
             .iter()
-            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .map(|&(lo, hi)| qs.select_range(lo, hi).unwrap())
             .collect();
         assert!(answers[1].gap.is_some() && answers[2].gap.is_some());
         let reports = v
@@ -824,7 +980,7 @@ mod tests {
         let queries = vec![(0, 40), (50, 120), (201, 209)];
         let mut answers: Vec<_> = queries
             .iter()
-            .map(|&(lo, hi)| qs.select_range(lo, hi))
+            .map(|&(lo, hi)| qs.select_range(lo, hi).unwrap())
             .collect();
         assert!(v
             .verify_selection_batch(&queries, &answers, 0, true, &mut rng)
@@ -854,7 +1010,7 @@ mod tests {
             2.0 / 3.0,
         );
         let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
-        let ans = qs.select_range(50, 120);
+        let ans = qs.select_range(50, 120).unwrap();
         let rep = v.verify_selection(50, 120, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 8);
         let mut bad = ans.clone();
@@ -863,5 +1019,189 @@ mod tests {
             v.verify_selection(50, 120, &bad, 0, true),
             Err(VerifyError::BadAggregate)
         );
+    }
+
+    #[test]
+    fn inverted_range_honest_answer_verifies() {
+        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        let ans = qs.select_range(300, 200).unwrap();
+        let rep = v.verify_selection(300, 200, &ans, 0, true).expect("valid");
+        assert_eq!(rep.records, 0);
+        // Even on an empty table, and even with freshness on late clocks.
+        let (_, mut empty_qs, ve) = system(0, SigningMode::Chained);
+        let ans = empty_qs.select_range(10, -10).unwrap();
+        assert!(ve.verify_selection(10, -10, &ans, 500, true).is_ok());
+    }
+
+    #[test]
+    fn inverted_range_with_records_rejected() {
+        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        // A server smuggles genuine records into a vacuously-empty query.
+        let genuine = qs.select_range(200, 260).unwrap();
+        let mut forged = qs.select_range(300, 200).unwrap();
+        forged.records = genuine.records.clone();
+        forged.agg = genuine.agg.clone();
+        assert!(matches!(
+            v.verify_selection(300, 200, &forged, 0, true),
+            Err(VerifyError::RecordOutOfRange { .. })
+        ));
+        // A forged non-identity aggregate on the empty form is also caught.
+        let mut bad_agg = qs.select_range(300, 200).unwrap();
+        bad_agg.agg = genuine.agg;
+        assert_eq!(
+            v.verify_selection(300, 200, &bad_agg, 0, true),
+            Err(VerifyError::BadAggregate)
+        );
+        // Attached (never-signature-checked) artifacts are rejected, not
+        // ignored: proofs and summaries alike.
+        let mut with_gap = qs.select_range(300, 200).unwrap();
+        with_gap.gap = qs.select_range(201, 209).unwrap().gap;
+        assert!(with_gap.gap.is_some());
+        assert_eq!(
+            v.verify_selection(300, 200, &with_gap, 0, true),
+            Err(VerifyError::BadGapProof)
+        );
+        let mut with_summary = qs.select_range(300, 200).unwrap();
+        with_summary.summaries = vec![crate::freshness::UpdateSummary {
+            shard: 0,
+            seq: 7,
+            period_start: 0,
+            ts: 1,
+            compressed: vec![0xde, 0xad],
+            signature: qs.public_params().identity(),
+        }];
+        assert_eq!(
+            v.verify_selection(300, 200, &with_summary, 0, true),
+            Err(VerifyError::BadSummarySignature { seq: 7 })
+        );
+    }
+
+    mod sharded {
+        use super::*;
+        use crate::qs::QsOptions;
+        use crate::shard::{ShardedAggregator, ShardedQueryServer};
+
+        fn sharded_system(
+            splits: Vec<i64>,
+            n: i64,
+        ) -> (ShardedAggregator, ShardedQueryServer, Verifier) {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), splits, &mut rng);
+            let boots = sa.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
+            let sqs = ShardedQueryServer::from_bootstraps(
+                sa.public_params(),
+                sa.config(),
+                sa.map().clone(),
+                &boots,
+                &QsOptions::default(),
+            );
+            let v = Verifier::new(sa.public_params(), sa.config().schema, sa.config().rho);
+            (sa, sqs, v)
+        }
+
+        #[test]
+        fn honest_sharded_answers_verify() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (_, mut sqs, v) = sharded_system(vec![100, 200, 300], 40);
+            for (lo, hi) in [
+                (0, 390),     // all four shards
+                (150, 250),   // straddles two seams
+                (110, 190),   // inside one shard
+                (200, 200),   // exactly a split key
+                (1000, 2000), // beyond the data
+                (250, 150),   // inverted
+            ] {
+                let ans = sqs.select_range(lo, hi).unwrap();
+                let rep = v
+                    .verify_sharded_selection(lo, hi, &ans, 0, true, &mut rng)
+                    .unwrap_or_else(|e| panic!("[{lo},{hi}] rejected: {e:?}"));
+                let total: usize = ans.parts.iter().map(|p| p.answer.records.len()).sum();
+                assert_eq!(rep.records, total);
+            }
+        }
+
+        #[test]
+        fn forged_map_rejected() {
+            let mut rng = StdRng::seed_from_u64(8);
+            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let mut ans = sqs.select_range(150, 250).unwrap();
+            // Re-partitioning: shift the split without the DA's signature.
+            let forged = forge_map(&ans.map);
+            ans.map = forged;
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &ans, 0, true, &mut rng),
+                Err(VerifyError::BadShardMap)
+            );
+        }
+
+        /// Build an unsigned variant of a map by re-creating it under a
+        /// different (attacker) key.
+        fn forge_map(map: &crate::shard::ShardMap) -> crate::shard::ShardMap {
+            let mut rng = StdRng::seed_from_u64(666);
+            let attacker = authdb_crypto::signer::Keypair::generate(SchemeKind::Mock, &mut rng);
+            let mut splits = map.splits().to_vec();
+            splits[0] += 50;
+            crate::shard::ShardMap::create(&attacker, splits)
+        }
+
+        #[test]
+        fn withheld_and_alien_parts_rejected() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let full = sqs.select_range(150, 250).unwrap();
+            // Withhold the second shard's contribution.
+            let mut withheld = full.clone();
+            withheld.parts.remove(1);
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &withheld, 0, true, &mut rng),
+                Err(VerifyError::ShardWithheld { shard: 1 })
+            );
+            // Duplicate a part.
+            let mut dup = full.clone();
+            let extra = dup.parts[0].clone();
+            dup.parts.push(extra);
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &dup, 0, true, &mut rng),
+                Err(VerifyError::UnexpectedShardAnswer { shard: 0 })
+            );
+            // Attach an answer for a shard the query does not overlap.
+            let mut alien = full.clone();
+            let inside = sqs.select_range(120, 180).unwrap();
+            assert_eq!(
+                v.verify_sharded_selection(120, 180, &inside, 0, true, &mut rng)
+                    .unwrap()
+                    .records,
+                7
+            );
+            alien.parts[1].shard = 5;
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &alien, 0, true, &mut rng),
+                Err(VerifyError::UnexpectedShardAnswer { shard: 5 })
+            );
+        }
+
+        #[test]
+        fn sharded_batch_localizes_tampered_shard() {
+            let mut rng = StdRng::seed_from_u64(10);
+            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let mut ans = sqs.select_range(150, 250).unwrap();
+            ans.parts[1].answer.records[2].attrs[1] = 31337;
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &ans, 0, true, &mut rng),
+                Err(VerifyError::BadAggregate)
+            );
+        }
+
+        #[test]
+        fn single_shard_map_matches_unsharded_behaviour() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let (_, mut sqs, v) = sharded_system(vec![], 20);
+            let ans = sqs.select_range(50, 120).unwrap();
+            assert_eq!(ans.parts.len(), 1);
+            let rep = v
+                .verify_sharded_selection(50, 120, &ans, 0, true, &mut rng)
+                .expect("valid");
+            assert_eq!(rep.records, 8);
+        }
     }
 }

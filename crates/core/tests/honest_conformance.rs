@@ -142,7 +142,7 @@ proptest! {
         ranges.push((i64::MIN + 1, -key_span - 1));
         ranges.push((key_span + 1, i64::MAX - 1));
         for (lo, hi) in ranges {
-            let ans = qs.select_range(lo, hi);
+            let ans = qs.select_range(lo, hi).unwrap();
             let rep = v.verify_selection(lo, hi, &ans, now, true);
             prop_assert!(
                 rep.is_ok(),
@@ -170,7 +170,7 @@ proptest! {
         let v = Verifier::new(da.public_params(), da.config().schema, RHO);
         let now = da.now();
         let ranges: Vec<(i64, i64)> = queries.iter().map(|&(lo, w)| (lo, lo + w)).collect();
-        let answers: Vec<_> = ranges.iter().map(|&(lo, hi)| qs.select_range(lo, hi)).collect();
+        let answers: Vec<_> = ranges.iter().map(|&(lo, hi)| qs.select_range(lo, hi).unwrap()).collect();
         let mut rng = StdRng::seed_from_u64(rng_seed);
         let reports = v.verify_selection_batch(&ranges, &answers, now, true, &mut rng);
         prop_assert!(reports.is_ok(), "honest batch rejected: {:?}", reports.err());
@@ -197,7 +197,7 @@ proptest! {
                 1 => &[1],
                 _ => &[0, 1],
             };
-            let ans = qs.project(lo, lo + w, attrs);
+            let ans = qs.project(lo, lo + w, attrs).unwrap();
             let rep = v.verify_projection(&ans, now, true);
             prop_assert!(
                 rep.is_ok(),

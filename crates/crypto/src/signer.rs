@@ -81,11 +81,14 @@ impl Signature {
     }
 }
 
-/// Signing-side key material.
+/// Signing-side key material. Cloning shares no mutable state; a sharded
+/// deployment clones one DA keypair into every shard's aggregator.
+#[derive(Clone)]
 pub struct Keypair {
     inner: KeypairInner,
 }
 
+#[derive(Clone)]
 enum KeypairInner {
     Bas(BlsPrivateKey),
     CondensedRsa(Box<RsaPrivateKey>),

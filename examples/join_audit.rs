@@ -81,7 +81,7 @@ fn main() {
     // Audit the first third of the securities ledger with both methods.
     let (lo, hi) = (0, (n_r / 3 - 1) as i64);
     for method in [JoinMethod::BoundaryValues, JoinMethod::BloomFilter] {
-        let r_ans = r_qs.select_range(lo, hi);
+        let r_ans = r_qs.select_range(lo, hi).unwrap();
         let selected = r_ans.records.len();
         let ans = execute_join(
             r_ans,

@@ -47,7 +47,7 @@ fn main() {
     //    DA's public parameters.
     let verifier = Verifier::new(da.public_params(), schema, 1);
     let (lo, hi) = (1000, 1200);
-    let ans = qs.select_range(lo, hi);
+    let ans = qs.select_range(lo, hi).unwrap();
     println!(
         "Query {lo}..={hi}: {} records, VO = {} bytes (selectivity-independent)",
         ans.records.len(),
@@ -82,7 +82,7 @@ fn main() {
     for msg in da.update_record(42, vec![420, 3, 999]) {
         qs.apply(&msg);
     }
-    let fresh = qs.select_range(420, 420);
+    let fresh = qs.select_range(420, 420).unwrap();
     verifier
         .verify_selection(420, 420, &fresh, da.now(), true)
         .expect("fresh answer verifies");

@@ -51,7 +51,7 @@ fn main() {
 
     // A user watches symbols 40..=45.
     let watchlist = (40, 45);
-    let before = qs.select_range(watchlist.0, watchlist.1);
+    let before = qs.select_range(watchlist.0, watchlist.1).unwrap();
     println!(
         "Initial quotes: {:?}",
         before
@@ -85,7 +85,7 @@ fn main() {
     println!("Published {summaries_published} certified update summaries.");
 
     // The honest fresh answer verifies with a tight staleness bound.
-    let fresh = qs.select_range(watchlist.0, watchlist.1);
+    let fresh = qs.select_range(watchlist.0, watchlist.1).unwrap();
     let report = verifier
         .verify_selection(watchlist.0, watchlist.1, &fresh, da.now(), true)
         .expect("fresh quotes verify");

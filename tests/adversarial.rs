@@ -44,7 +44,7 @@ fn schemes() -> Vec<SchemeKind> {
 fn authenticity_value_forgery_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records[7].attrs[1] = 12345;
         assert_eq!(
             v.verify_selection(100, 300, &ans, da.now(), true),
@@ -59,7 +59,7 @@ fn completeness_omission_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
         for victim in [0usize, 5, 40] {
-            let mut ans = qs.select_range(100, 300);
+            let mut ans = qs.select_range(100, 300).unwrap();
             ans.records.remove(victim);
             assert!(
                 v.verify_selection(100, 300, &ans, da.now(), true).is_err(),
@@ -74,7 +74,7 @@ fn completeness_boundary_shrink_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
         // Drop the first two records and pretend the range started later.
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.drain(0..2);
         ans.left_key = 105;
         assert!(
@@ -89,7 +89,7 @@ fn record_injection_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
         // Duplicate a legitimate record inside the answer.
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         let dup = ans.records[3].clone();
         ans.records.insert(4, dup);
         assert!(
@@ -104,8 +104,8 @@ fn cross_query_signature_reuse_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
         // Take the aggregate from one range and attach it to another.
-        let other = qs.select_range(300, 400);
-        let mut ans = qs.select_range(100, 200);
+        let other = qs.select_range(300, 400).unwrap();
+        let mut ans = qs.select_range(100, 200).unwrap();
         ans.agg = other.agg;
         assert_eq!(
             v.verify_selection(100, 200, &ans, da.now(), true),
@@ -119,7 +119,7 @@ fn cross_query_signature_reuse_rejected() {
 fn reordered_records_rejected() {
     for scheme in schemes() {
         let (da, mut qs, v) = system(scheme);
-        let mut ans = qs.select_range(100, 300);
+        let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.swap(2, 9);
         assert!(
             v.verify_selection(100, 300, &ans, da.now(), true).is_err(),
@@ -132,7 +132,7 @@ fn reordered_records_rejected() {
 fn stale_version_with_valid_signature_rejected() {
     for scheme in schemes() {
         let (mut da, mut qs, v) = system(scheme);
-        let stale = qs.select_range(100, 200);
+        let stale = qs.select_range(100, 200).unwrap();
         da.advance_clock(3);
         for m in da.update_record(25, vec![125, 4242]) {
             qs.apply(&m);
@@ -169,7 +169,7 @@ fn withheld_summary_detected_as_gap() {
     for m in da.update_record(10, vec![50, 1]) {
         qs.apply(&m);
     }
-    let mut ans = qs.select_range(0, 495);
+    let mut ans = qs.select_range(0, 495).unwrap();
     ans.summaries = vec![sums[0].clone(), sums[2].clone()]; // gap at seq 1
     assert!(matches!(
         v.verify_selection(0, 495, &ans, da.now(), true),
@@ -184,7 +184,7 @@ fn empty_range_cannot_hide_records() {
         // The server claims 150..200 is empty (it contains 10 records).
         // It must forge a gap proof — the only honest one available brackets
         // some other range and fails.
-        let honest_gap = qs.select_range(101, 104); // genuinely empty
+        let honest_gap = qs.select_range(101, 104).unwrap(); // genuinely empty
         let mut forged = honest_gap.clone();
         forged.left_key = 145;
         forged.right_key = 205;

@@ -130,7 +130,7 @@ fn concurrent_queries_verify_during_update_stream() {
                 while stop.load(Ordering::Relaxed) == 0 {
                     let lo = rng.gen_range(0..300i64);
                     let hi = lo + rng.gen_range(0..60);
-                    let ans = qs.write().select_range(lo, hi);
+                    let ans = qs.write().select_range(lo, hi).expect("chained mode");
                     verifier
                         .verify_selection(lo, hi, &ans, 0, false)
                         .expect("every observed answer verifies");

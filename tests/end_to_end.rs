@@ -43,7 +43,7 @@ fn lifecycle_with_real_bas() {
     let (mut da, mut qs, verifier) = bas_system(200, SchemeKind::Bas, 1);
 
     // Initial range query verifies.
-    let ans = qs.select_range(100, 160);
+    let ans = qs.select_range(100, 160).unwrap();
     let rep = verifier
         .verify_selection(100, 160, &ans, da.now(), true)
         .unwrap();
@@ -69,7 +69,7 @@ fn lifecycle_with_real_bas() {
 
     // Everything still verifies; the updated value and the insert are
     // visible, the deleted record is gone.
-    let ans = qs.select_range(100, 160);
+    let ans = qs.select_range(100, 160).unwrap();
     let rep = verifier
         .verify_selection(100, 160, &ans, da.now(), true)
         .unwrap();
@@ -82,7 +82,7 @@ fn lifecycle_with_real_bas() {
 #[test]
 fn lifecycle_with_condensed_rsa() {
     let (mut da, mut qs, verifier) = bas_system(60, SchemeKind::CondensedRsa, 2);
-    let ans = qs.select_range(20, 80);
+    let ans = qs.select_range(20, 80).unwrap();
     verifier
         .verify_selection(20, 80, &ans, da.now(), true)
         .unwrap();
@@ -90,7 +90,7 @@ fn lifecycle_with_condensed_rsa() {
     for m in da.update_record(20, vec![40, 1, 2]) {
         qs.apply(&m);
     }
-    let ans2 = qs.select_range(40, 40);
+    let ans2 = qs.select_range(40, 40).unwrap();
     verifier
         .verify_selection(40, 40, &ans2, da.now(), true)
         .unwrap();
@@ -114,7 +114,7 @@ fn emb_baseline_equivalent_answers() {
     let everifier = EmbVerifier::new(epp, schema, DigestKind::Sha256);
 
     for (lo, hi) in [(0, 100), (333, 444), (598, 598), (9, 9)] {
-        let bas_ans = qs.select_range(lo, hi);
+        let bas_ans = qs.select_range(lo, hi).unwrap();
         let emb_ans = eserver.range_query(lo, hi);
         let n = everifier.verify(lo, hi, &emb_ans).expect("EMB- verifies");
         assert_eq!(bas_ans.records.len(), n, "range {lo}..{hi}");
@@ -185,7 +185,7 @@ fn update_stream_keeps_both_systems_consistent() {
                 let a = rng.gen_range(0..200i64);
                 (a, (a + rng.gen_range(0..40)).min(199))
             };
-            let ans = qs.select_range(lo, hi);
+            let ans = qs.select_range(lo, hi).unwrap();
             verifier
                 .verify_selection(lo, hi, &ans, da.now(), true)
                 .unwrap_or_else(|e| panic!("BAS verify failed at step {step}: {e:?}"));
@@ -223,7 +223,7 @@ fn projection_end_to_end() {
     );
     let verifier = Verifier::new(da.public_params(), schema, 5);
     // Project two non-contiguous attributes: VO is still one signature.
-    let ans = qs.project(5, 25, &[1, 3]);
+    let ans = qs.project(5, 25, &[1, 3]).unwrap();
     assert_eq!(ans.rows.len(), 21);
     assert_eq!(
         ans.vo_size(&da.public_params()),

@@ -151,7 +151,7 @@ proptest! {
             da.public_params(), schema, SigningMode::Chained, &boot, 512, 2.0 / 3.0,
         );
         let verifier = Verifier::new(da.public_params(), schema, 10);
-        let ans = qs.select_range(lo, hi);
+        let ans = qs.select_range(lo, hi).unwrap();
         prop_assert!(verifier.verify_selection(lo, hi, &ans, 0, true).is_ok());
         if !ans.records.is_empty() {
             let mut bad = ans.clone();
@@ -281,7 +281,7 @@ proptest! {
             if update_ticks.iter().any(|&t| start < t && t <= end) {
                 bm.set(3);
             }
-            summaries.push(UpdateSummary::create(&kp, seq, start, end, &bm));
+            summaries.push(UpdateSummary::create(&kp, 0, seq, start, end, &bm));
             seq += 1;
             start = end;
         }
