@@ -87,7 +87,7 @@ pub enum UpdateKind {
 
 /// A certified change pushed from the DA to the query server immediately
 /// (decoupled from summary publication).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UpdateMsg {
     /// What happened.
     pub kind: UpdateKind,

@@ -42,7 +42,7 @@ use crate::record::Tick;
 /// genuinely-signed summaries to another shard's stale answer — the bitmaps
 /// would simply not mark the withheld update. Single-server deployments use
 /// shard 0.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UpdateSummary {
     /// Which shard's update stream this summary covers (0 for unsharded).
     pub shard: u64,
@@ -128,7 +128,7 @@ impl UpdateSummary {
 /// Minted by the DA at an empty bootstrap and re-minted whenever a delete
 /// empties the table; superseded by any later insertion, which the client
 /// detects through the update summaries ([`check_vacancy`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmptyTableProof {
     /// Which shard's key range the claim covers (0 for unsharded). Bound
     /// into the signed message so an empty shard's proof cannot be replayed

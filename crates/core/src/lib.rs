@@ -18,6 +18,8 @@
 //!   server whose proofs the verifier stitches.
 //! * [`sigcache`] — the Section 4 aggregate-signature cache, wired into
 //!   [`qs::QueryServer::select_range`] via [`qs::AggCacheConfig`].
+//! * [`wire`] — canonical wire codecs for every proof-carrying type and
+//!   the QS request/response protocol (served over TCP by `authdb-net`).
 //! * [`locks`] — two-phase-locking lock manager (Section 5.1).
 
 pub mod adversary;
@@ -31,3 +33,4 @@ pub mod record;
 pub mod shard;
 pub mod sigcache;
 pub mod verify;
+pub mod wire;

@@ -46,6 +46,21 @@ pub enum QueryError {
         /// The mode the server runs in.
         actual: SigningMode,
     },
+    /// The operation is not available on this deployment (currently:
+    /// projection over a multi-shard fan-out, whose per-shard proofs the
+    /// verifier cannot stitch yet).
+    Unsupported,
+    /// A projection named an attribute index past the schema. A networked
+    /// server receives attribute lists from untrusted clients, so this is a
+    /// refusal, not a panic.
+    AttributeOutOfSchema {
+        /// The offending attribute index.
+        index: usize,
+    },
+    /// The constructed answer exceeds the wire format's frame cap, so the
+    /// server refuses rather than ship a frame every client must reject
+    /// (split the query range and retry).
+    AnswerTooLarge,
 }
 
 impl fmt::Display for QueryError {
@@ -55,6 +70,15 @@ impl fmt::Display for QueryError {
                 f,
                 "query requires signing mode {required:?} but the server runs {actual:?}"
             ),
+            QueryError::Unsupported => {
+                write!(f, "operation not supported by this deployment")
+            }
+            QueryError::AttributeOutOfSchema { index } => {
+                write!(f, "attribute index {index} is outside the schema")
+            }
+            QueryError::AnswerTooLarge => {
+                write!(f, "answer exceeds the wire frame cap; narrow the query")
+            }
         }
     }
 }
@@ -70,7 +94,7 @@ impl std::error::Error for QueryError {}
 /// summary-freshness check as returned records. (Shipping only the hash
 /// would let a server claim an arbitrary rid/ts for the bracket and dodge
 /// staleness detection on deleted or superseded chain records.)
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GapProof {
     /// The bracketing record.
     pub record: Record,
@@ -96,7 +120,7 @@ impl GapProof {
 }
 
 /// An authenticated selection answer (Section 3.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SelectionAnswer {
     /// Matching records in key order.
     pub records: Vec<Record>,
@@ -143,7 +167,7 @@ impl SelectionAnswer {
 }
 
 /// One projected row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProjectedRow {
     /// Record identifier.
     pub rid: u64,
@@ -155,7 +179,7 @@ pub struct ProjectedRow {
 
 /// An authenticated projection answer (Section 3.4): one aggregate
 /// signature regardless of how many attributes were dropped.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProjectionAnswer {
     /// Projected rows.
     pub rows: Vec<ProjectedRow>,
@@ -174,7 +198,7 @@ impl ProjectionAnswer {
 }
 
 /// Proof-construction statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QsStats {
     /// Signature aggregation operations performed.
     pub agg_ops: u64,
@@ -684,6 +708,9 @@ impl QueryServer {
                 required: SigningMode::PerAttribute,
                 actual: self.mode,
             });
+        }
+        if let Some(&index) = attrs.iter().find(|&&i| i >= self.schema.num_attrs) {
+            return Err(QueryError::AttributeOutOfSchema { index });
         }
         self.stats.queries += 1;
         let scan = self.tree.range(lo, hi);

@@ -139,7 +139,7 @@ impl Default for ShardScope {
 /// shards, and the signature pins the partition so the server cannot
 /// re-draw shard responsibilities. Shard `i` owns keys `k` with
 /// `splits[i-1] <= k < splits[i]` (unbounded at the extremes).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardMap {
     splits: Vec<i64>,
     signature: Signature,
@@ -175,6 +175,27 @@ impl ShardMap {
         );
         let signature = keypair.sign(&Self::message(&splits));
         ShardMap { splits, signature }
+    }
+
+    /// Reassemble a map from decoded wire parts without re-signing.
+    /// Returns `None` when the splits violate the structural invariants
+    /// [`ShardMap::create`] asserts — wire decoders must reject malformed
+    /// partitions with a typed error, never panic on attacker bytes. The
+    /// signature is *not* checked here; [`ShardMap::verify`] stays the
+    /// verifier's job.
+    pub fn from_parts(splits: Vec<i64>, signature: Signature) -> Option<Self> {
+        let sorted = splits.windows(2).all(|w| w[0] < w[1]);
+        let fenced = splits.iter().all(|&s| s > i64::MIN + 1 && s < i64::MAX);
+        if sorted && fenced {
+            Some(ShardMap { splits, signature })
+        } else {
+            None
+        }
+    }
+
+    /// The DA's signature over the partition.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
     }
 
     /// Verify the DA's signature over the partition.
@@ -383,7 +404,7 @@ impl ShardedAggregator {
 }
 
 /// One shard's contribution to a sharded selection answer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardAnswer {
     /// Which shard answered.
     pub shard: usize,
@@ -393,7 +414,7 @@ pub struct ShardAnswer {
 
 /// A fanned-out selection answer: the certified partition plus one
 /// [`SelectionAnswer`] per overlapping shard, in shard order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardedSelectionAnswer {
     /// The DA-signed partition the answer claims to follow.
     pub map: ShardMap,
@@ -479,6 +500,40 @@ impl ShardedQueryServer {
     /// Store a shard's newly published summary.
     pub fn add_summary(&mut self, shard: usize, s: UpdateSummary) {
         self.shards[shard].add_summary(s);
+    }
+
+    /// Proof-construction statistics aggregated across every shard, so a
+    /// sharded deployment (and the networked [`QsServer`] fronting one)
+    /// reports one set of counters instead of per-shard fragments.
+    ///
+    /// [`QsServer`]: ../../authdb_net/struct.QsServer.html
+    pub fn stats(&self) -> crate::qs::QsStats {
+        let mut total = crate::qs::QsStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.agg_ops += st.agg_ops;
+            total.queries += st.queries;
+            total.updates += st.updates;
+            total.cache_hits += st.cache_hits;
+            total.cache_misses += st.cache_misses;
+        }
+        total
+    }
+
+    /// Answer a projection. Only a single-shard deployment can serve one —
+    /// the verifier has no cross-shard projection stitching yet — so a
+    /// multi-shard fan-out refuses with [`QueryError::Unsupported`] instead
+    /// of inventing an unverifiable answer shape.
+    pub fn project(
+        &mut self,
+        lo: i64,
+        hi: i64,
+        attrs: &[usize],
+    ) -> Result<crate::qs::ProjectionAnswer, QueryError> {
+        if self.shards.len() != 1 {
+            return Err(QueryError::Unsupported);
+        }
+        self.shards[0].project(lo, hi, attrs)
     }
 
     /// Answer `lo <= Aind <= hi` by fanning out to every overlapping shard.

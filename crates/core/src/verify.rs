@@ -31,6 +31,7 @@
 //! | [`VerifyError::FreshnessIndeterminate`] | withholding or reordering summaries so staleness cannot be decided (the 2ρ-recency gate) |
 //! | [`VerifyError::StaleVacancy`] | replaying an empty-table proof after an insertion |
 //! | [`VerifyError::VacancyIndeterminate`] | withholding the summaries that would expose a stale vacancy claim |
+//! | [`VerifyError::MalformedRecord`] | a wire-decoded record or projected row whose shape disagrees with the schema (wrong attribute arity, out-of-schema attribute index) — reachable only through the network path, where the decoder cannot know the schema |
 //!
 //! Sharded deployments ([`crate::shard`]) add cross-shard attack surface;
 //! [`Verifier::verify_sharded_selection`] extends the table:
@@ -110,6 +111,14 @@ pub enum VerifyError {
     /// Not enough summaries to decide whether the empty-table proof is
     /// still current.
     VacancyIndeterminate,
+    /// A record (or projected row) does not fit the schema: wrong attribute
+    /// arity, or an attribute index past the schema. The wire codec is
+    /// schema-agnostic, so a malicious peer can ship such shapes; they must
+    /// be rejected before any schema-indexed access, never panic.
+    MalformedRecord {
+        /// The offending rid.
+        rid: u64,
+    },
     /// The shard map's signature failed: the server presented a partition
     /// the DA never certified.
     BadShardMap,
@@ -253,6 +262,20 @@ impl Verifier {
 
         if ans.records.is_empty() {
             if let Some(gap) = &ans.gap {
+                // A gap proof and a vacancy claim are mutually exclusive by
+                // construction; a co-attached vacancy would ride through
+                // unchecked (only the gap's signature joins the aggregate),
+                // so its presence is itself a forgery.
+                if ans.vacancy.is_some() {
+                    return Err(VerifyError::BadGapProof);
+                }
+                // A wire-decoded bracketing record may have any attribute
+                // arity; reject schema mismatches before indexing into it.
+                if gap.record.attrs.len() != self.schema.num_attrs {
+                    return Err(VerifyError::MalformedRecord {
+                        rid: gap.record.rid,
+                    });
+                }
                 // The bracketing record sits on one side of the range; the
                 // gap it certifies must contain [lo, hi].
                 let own_key = gap.own_key(&self.schema);
@@ -310,7 +333,22 @@ impl Verifier {
             return Err(VerifyError::MissingGapProof);
         }
 
-        // Records must be in range and sorted.
+        // A non-empty answer certifies through its records' chained
+        // aggregate alone; an attached gap or vacancy artifact would never
+        // be signature-checked on this path, so (as on the inverted-range
+        // path) it must be rejected rather than ride along on a verified
+        // answer. Honest servers never attach either to a non-empty result.
+        if ans.gap.is_some() || ans.vacancy.is_some() {
+            return Err(VerifyError::BadGapProof);
+        }
+
+        // Records must fit the schema (the wire codec cannot check arity),
+        // then be in range and sorted.
+        for r in &ans.records {
+            if r.attrs.len() != self.schema.num_attrs {
+                return Err(VerifyError::MalformedRecord { rid: r.rid });
+            }
+        }
         let keys: Vec<i64> = ans.records.iter().map(|r| r.key(&self.schema)).collect();
         for (r, &k) in ans.records.iter().zip(&keys) {
             if k < lo || k > hi {
@@ -528,6 +566,12 @@ impl Verifier {
         let mut messages = Vec::new();
         for row in &ans.rows {
             for &(idx, value) in &row.values {
+                // A wire-decoded row can claim any attribute index; bound it
+                // by the schema before building the probe (an unchecked
+                // index would size the probe's attribute vector).
+                if idx >= self.schema.num_attrs {
+                    return Err(VerifyError::MalformedRecord { rid: row.rid });
+                }
                 // Rebuild the attribute message without the full record.
                 let probe = Record {
                     rid: row.rid,
@@ -685,6 +729,45 @@ mod tests {
             v.verify_selection(301, 309, &ans, 0, true),
             Err(VerifyError::BadBoundary) | Err(VerifyError::BadGapProof)
         ));
+    }
+
+    #[test]
+    fn unchecked_artifacts_cannot_ride_on_nonempty_answers() {
+        // Nothing on the non-empty path signature-checks a gap or vacancy
+        // artifact, so a forged one attached to an otherwise-honest answer
+        // must be rejected, not delivered inside a verified result. (These
+        // shapes are network-reachable: the wire codec accepts them.)
+        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let honest = qs.select_range(100, 300).unwrap();
+        assert!(v.verify_selection(100, 300, &honest, 0, true).is_ok());
+
+        let mut with_gap = honest.clone();
+        with_gap.gap = qs.select_range(2001, 2009).unwrap().gap;
+        assert!(with_gap.gap.is_some());
+        assert_eq!(
+            v.verify_selection(100, 300, &with_gap, 0, true),
+            Err(VerifyError::BadGapProof)
+        );
+
+        let mut with_vacancy = honest.clone();
+        with_vacancy.vacancy = Some(crate::freshness::EmptyTableProof {
+            shard: 0,
+            ts: 0,
+            signature: qs.public_params().identity(),
+        });
+        assert_eq!(
+            v.verify_selection(100, 300, &with_vacancy, 0, true),
+            Err(VerifyError::BadGapProof)
+        );
+
+        // Same for a vacancy co-attached to a genuine gap-proof answer.
+        let mut gap_ans = qs.select_range(101, 109).unwrap();
+        assert!(gap_ans.gap.is_some());
+        gap_ans.vacancy = with_vacancy.vacancy.clone();
+        assert_eq!(
+            v.verify_selection(101, 109, &gap_ans, 0, true),
+            Err(VerifyError::BadGapProof)
+        );
     }
 
     #[test]

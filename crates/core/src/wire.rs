@@ -1,0 +1,780 @@
+//! Wire codecs for every proof-carrying type, plus the QS request/response
+//! protocol.
+//!
+//! The encoding rules (framing, integer widths, collection and option
+//! forms, canonicality discipline) are specified in the [`authdb_wire`]
+//! crate docs; this module applies them to the concrete types. Two
+//! properties carry the design:
+//!
+//! 1. **Canonical** — `decode(encode(x)) == x` for every value, and
+//!    re-encoding a decoded value is bit-identical. Signatures bind hashes
+//!    of messages rebuilt from these fields downstream, so one value must
+//!    have exactly one byte form (`wire_roundtrip` property-tests this for
+//!    every type here).
+//! 2. **Total** — decoding attacker-controlled bytes returns a typed
+//!    [`WireError`]; it never panics and never allocates beyond the
+//!    received input. Schema-dependent shape checks the codec cannot make
+//!    (attribute arity, attribute index bounds) are the verifier's job
+//!    ([`crate::verify::VerifyError::MalformedRecord`]).
+//!
+//! Layouts (field order = struct order unless noted):
+//!
+//! | type | encoding |
+//! |---|---|
+//! | [`Record`] | `rid:u64, ts:u64, attrs:vec<i64>` |
+//! | [`GapProof`] | `record, left:i64, right:i64, signature` |
+//! | [`EmptyTableProof`] | `shard:u64, ts:u64, signature` |
+//! | [`UpdateSummary`] | `shard:u64, seq:u64, period_start:u64, ts:u64, compressed:bytes, signature` |
+//! | [`SelectionAnswer`] | `records:vec, agg, left:i64, right:i64, gap:opt, vacancy:opt, summaries:vec` |
+//! | [`ProjectedRow`] | `rid:u64, ts:u64, values:vec<(idx:u32, value:i64)>` |
+//! | [`ProjectionAnswer`] | `rows:vec, agg, summaries:vec` |
+//! | [`UpdateMsg`] | `kind:u8, record, signature, attr_sigs:vec, old_key:opt<i64>, vacancy:opt` |
+//! | [`ShardMap`] | `splits:vec<i64>, signature` (decode re-checks the split invariants) |
+//! | [`ShardedSelectionAnswer`] | `map, parts:vec<(shard:u64, answer)>` |
+//! | [`QsStats`] | five `u64` counters |
+//! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
+
+use authdb_wire::{put_bytes, Reader, WireDecode, WireEncode, WireError};
+
+use authdb_crypto::signer::Signature;
+
+use crate::da::{UpdateKind, UpdateMsg};
+use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::qs::{GapProof, ProjectedRow, ProjectionAnswer, QsStats, QueryError, SelectionAnswer};
+use crate::record::Record;
+use crate::shard::{ShardAnswer, ShardMap, ShardedSelectionAnswer};
+
+// -- records and proofs -----------------------------------------------------
+
+impl WireEncode for Record {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.rid.encode_into(out);
+        self.ts.encode_into(out);
+        self.attrs.encode_into(out);
+    }
+}
+
+impl WireDecode for Record {
+    const MIN_WIRE_LEN: usize = 20;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Record {
+            rid: r.u64()?,
+            ts: r.u64()?,
+            attrs: Vec::<i64>::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for GapProof {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.record.encode_into(out);
+        self.left_key.encode_into(out);
+        self.right_key.encode_into(out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for GapProof {
+    const MIN_WIRE_LEN: usize = Record::MIN_WIRE_LEN + 16 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GapProof {
+            record: Record::decode_from(r)?,
+            left_key: r.i64()?,
+            right_key: r.i64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for EmptyTableProof {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.shard.encode_into(out);
+        self.ts.encode_into(out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for EmptyTableProof {
+    const MIN_WIRE_LEN: usize = 16 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EmptyTableProof {
+            shard: r.u64()?,
+            ts: r.u64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for UpdateSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.shard.encode_into(out);
+        self.seq.encode_into(out);
+        self.period_start.encode_into(out);
+        self.ts.encode_into(out);
+        put_bytes(out, &self.compressed);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for UpdateSummary {
+    const MIN_WIRE_LEN: usize = 36 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(UpdateSummary {
+            shard: r.u64()?,
+            seq: r.u64()?,
+            period_start: r.u64()?,
+            ts: r.u64()?,
+            compressed: r.bytes("summary bitmap")?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for SelectionAnswer {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.records.encode_into(out);
+        self.agg.encode_into(out);
+        self.left_key.encode_into(out);
+        self.right_key.encode_into(out);
+        self.gap.encode_into(out);
+        self.vacancy.encode_into(out);
+        self.summaries.encode_into(out);
+    }
+}
+
+impl WireDecode for SelectionAnswer {
+    const MIN_WIRE_LEN: usize = 4 + Signature::MIN_WIRE_LEN + 16 + 1 + 1 + 4;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SelectionAnswer {
+            records: Vec::<Record>::decode_from(r)?,
+            agg: Signature::decode_from(r)?,
+            left_key: r.i64()?,
+            right_key: r.i64()?,
+            gap: Option::<GapProof>::decode_from(r)?,
+            vacancy: Option::<EmptyTableProof>::decode_from(r)?,
+            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for ProjectedRow {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.rid.encode_into(out);
+        self.ts.encode_into(out);
+        out.extend_from_slice(&(self.values.len() as u32).to_be_bytes());
+        for &(idx, value) in &self.values {
+            (idx as u32).encode_into(out);
+            value.encode_into(out);
+        }
+    }
+}
+
+impl WireDecode for ProjectedRow {
+    const MIN_WIRE_LEN: usize = 20;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let rid = r.u64()?;
+        let ts = r.u64()?;
+        let n = r.seq_len("projected values", 12)?;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u32()? as usize;
+            let value = r.i64()?;
+            values.push((idx, value));
+        }
+        Ok(ProjectedRow { rid, ts, values })
+    }
+}
+
+impl WireEncode for ProjectionAnswer {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.rows.encode_into(out);
+        self.agg.encode_into(out);
+        self.summaries.encode_into(out);
+    }
+}
+
+impl WireDecode for ProjectionAnswer {
+    const MIN_WIRE_LEN: usize = 8 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProjectionAnswer {
+            rows: Vec::<ProjectedRow>::decode_from(r)?,
+            agg: Signature::decode_from(r)?,
+            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+        })
+    }
+}
+
+// -- update stream ----------------------------------------------------------
+
+impl WireEncode for UpdateKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            UpdateKind::Insert => 0,
+            UpdateKind::Modify => 1,
+            UpdateKind::Delete => 2,
+            UpdateKind::Recertify => 3,
+        });
+    }
+}
+
+impl WireDecode for UpdateKind {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(UpdateKind::Insert),
+            1 => Ok(UpdateKind::Modify),
+            2 => Ok(UpdateKind::Delete),
+            3 => Ok(UpdateKind::Recertify),
+            tag => Err(WireError::BadTag {
+                what: "update kind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for UpdateMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.record.encode_into(out);
+        self.signature.encode_into(out);
+        self.attr_sigs.encode_into(out);
+        self.old_key.encode_into(out);
+        self.vacancy.encode_into(out);
+    }
+}
+
+impl WireDecode for UpdateMsg {
+    const MIN_WIRE_LEN: usize = 1 + Record::MIN_WIRE_LEN + Signature::MIN_WIRE_LEN + 6;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(UpdateMsg {
+            kind: UpdateKind::decode_from(r)?,
+            record: Record::decode_from(r)?,
+            signature: Signature::decode_from(r)?,
+            attr_sigs: Vec::<Signature>::decode_from(r)?,
+            old_key: Option::<i64>::decode_from(r)?,
+            vacancy: Option::<EmptyTableProof>::decode_from(r)?,
+        })
+    }
+}
+
+// -- sharding ---------------------------------------------------------------
+
+impl WireEncode for ShardMap {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.splits().len() as u32).to_be_bytes());
+        for s in self.splits() {
+            s.encode_into(out);
+        }
+        self.signature().encode_into(out);
+    }
+}
+
+impl WireDecode for ShardMap {
+    const MIN_WIRE_LEN: usize = 4 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let splits = Vec::<i64>::decode_from(r)?;
+        let signature = Signature::decode_from(r)?;
+        // Honest encoders only produce maps `ShardMap::create` certified,
+        // so rejecting malformed splits preserves canonicality while
+        // keeping the partition invariants panic-free paths downstream.
+        ShardMap::from_parts(splits, signature).ok_or(WireError::NonCanonical {
+            what: "shard map split keys",
+        })
+    }
+}
+
+impl WireEncode for ShardAnswer {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.shard as u64).encode_into(out);
+        self.answer.encode_into(out);
+    }
+}
+
+impl WireDecode for ShardAnswer {
+    const MIN_WIRE_LEN: usize = 8 + SelectionAnswer::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shard = r.u64()?;
+        let shard = usize::try_from(shard).map_err(|_| WireError::NonCanonical {
+            what: "shard index",
+        })?;
+        Ok(ShardAnswer {
+            shard,
+            answer: SelectionAnswer::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for ShardedSelectionAnswer {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.map.encode_into(out);
+        self.parts.encode_into(out);
+    }
+}
+
+impl WireDecode for ShardedSelectionAnswer {
+    const MIN_WIRE_LEN: usize = ShardMap::MIN_WIRE_LEN + 4;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardedSelectionAnswer {
+            map: ShardMap::decode_from(r)?,
+            parts: Vec::<ShardAnswer>::decode_from(r)?,
+        })
+    }
+}
+
+// -- diagnostics ------------------------------------------------------------
+
+impl WireEncode for QsStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.agg_ops.encode_into(out);
+        self.queries.encode_into(out);
+        self.updates.encode_into(out);
+        self.cache_hits.encode_into(out);
+        self.cache_misses.encode_into(out);
+    }
+}
+
+impl WireDecode for QsStats {
+    const MIN_WIRE_LEN: usize = 40;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(QsStats {
+            agg_ops: r.u64()?,
+            queries: r.u64()?,
+            updates: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+        })
+    }
+}
+
+impl WireEncode for QueryError {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            QueryError::WrongSigningMode { required, actual } => {
+                out.push(0);
+                out.push(signing_mode_tag(*required));
+                out.push(signing_mode_tag(*actual));
+            }
+            QueryError::Unsupported => out.push(1),
+            QueryError::AttributeOutOfSchema { index } => {
+                out.push(2);
+                (*index as u64).encode_into(out);
+            }
+            QueryError::AnswerTooLarge => out.push(3),
+        }
+    }
+}
+
+impl WireDecode for QueryError {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(QueryError::WrongSigningMode {
+                required: signing_mode_from_tag(r.u8()?)?,
+                actual: signing_mode_from_tag(r.u8()?)?,
+            }),
+            1 => Ok(QueryError::Unsupported),
+            2 => {
+                let index = usize::try_from(r.u64()?).map_err(|_| WireError::NonCanonical {
+                    what: "attribute index",
+                })?;
+                Ok(QueryError::AttributeOutOfSchema { index })
+            }
+            3 => Ok(QueryError::AnswerTooLarge),
+            tag => Err(WireError::BadTag {
+                what: "query error",
+                tag,
+            }),
+        }
+    }
+}
+
+fn signing_mode_tag(mode: crate::da::SigningMode) -> u8 {
+    match mode {
+        crate::da::SigningMode::Chained => 0,
+        crate::da::SigningMode::PerAttribute => 1,
+    }
+}
+
+fn signing_mode_from_tag(tag: u8) -> Result<crate::da::SigningMode, WireError> {
+    match tag {
+        0 => Ok(crate::da::SigningMode::Chained),
+        1 => Ok(crate::da::SigningMode::PerAttribute),
+        tag => Err(WireError::BadTag {
+            what: "signing mode",
+            tag,
+        }),
+    }
+}
+
+// -- the QS network protocol ------------------------------------------------
+
+/// A client request to a networked query server. One request frame yields
+/// exactly one [`Response`] frame on the same connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Range selection `lo <= Aind <= hi`, answered with a sharded fan-out
+    /// the client stitches via `Verifier::verify_sharded_selection`.
+    Select {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Projection of `attrs` over the range (single-shard deployments).
+    Project {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Attribute indices to keep.
+        attrs: Vec<u32>,
+    },
+    /// Aggregated proof-construction statistics.
+    Stats,
+}
+
+impl WireEncode for Request {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => out.push(0),
+            Request::Select { lo, hi } => {
+                out.push(1);
+                lo.encode_into(out);
+                hi.encode_into(out);
+            }
+            Request::Project { lo, hi, attrs } => {
+                out.push(2);
+                lo.encode_into(out);
+                hi.encode_into(out);
+                attrs.encode_into(out);
+            }
+            Request::Stats => out.push(3),
+        }
+    }
+}
+
+impl WireDecode for Request {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Request::Ping),
+            1 => Ok(Request::Select {
+                lo: r.i64()?,
+                hi: r.i64()?,
+            }),
+            2 => Ok(Request::Project {
+                lo: r.i64()?,
+                hi: r.i64()?,
+                attrs: Vec::<u32>::decode_from(r)?,
+            }),
+            3 => Ok(Request::Stats),
+            tag => Err(WireError::BadTag {
+                what: "request",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A networked query server's reply. The variants mirror [`Request`];
+/// [`Response::Refused`] carries the server's own typed refusal (as opposed
+/// to a verification failure, which is the client's verdict about the
+/// payload).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// A sharded selection answer.
+    Selection(ShardedSelectionAnswer),
+    /// A projection answer.
+    Projection(ProjectionAnswer),
+    /// Aggregated statistics.
+    Stats(QsStats),
+    /// The server refused to construct an answer.
+    Refused(QueryError),
+}
+
+impl WireEncode for Response {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Pong => out.push(0),
+            Response::Selection(a) => {
+                out.push(1);
+                a.encode_into(out);
+            }
+            Response::Projection(a) => {
+                out.push(2);
+                a.encode_into(out);
+            }
+            Response::Stats(s) => {
+                out.push(3);
+                s.encode_into(out);
+            }
+            Response::Refused(e) => {
+                out.push(4);
+                e.encode_into(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for Response {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Response::Pong),
+            1 => Ok(Response::Selection(ShardedSelectionAnswer::decode_from(r)?)),
+            2 => Ok(Response::Projection(ProjectionAnswer::decode_from(r)?)),
+            3 => Ok(Response::Stats(QsStats::decode_from(r)?)),
+            4 => Ok(Response::Refused(QueryError::decode_from(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "response",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::da::{DaConfig, DataAggregator, SigningMode};
+    use crate::qs::{QsOptions, QueryServer};
+    use crate::record::Schema;
+    use crate::shard::{ShardedAggregator, ShardedQueryServer};
+    use authdb_crypto::signer::SchemeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(scheme: SchemeKind, mode: SigningMode) -> DaConfig {
+        DaConfig {
+            schema: Schema::new(2, 64),
+            scheme,
+            mode,
+            rho: 10,
+            rho_prime: 10_000,
+            buffer_pages: 256,
+            fill: 2.0 / 3.0,
+        }
+    }
+
+    /// Round-trip plus the canonicality check every wire type must pass.
+    fn assert_canonical<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(x: &T) {
+        let enc = x.encode();
+        let dec = T::decode(&enc).expect("canonical bytes decode");
+        assert_eq!(&dec, x, "decode . encode = id");
+        assert_eq!(dec.encode(), enc, "re-encoding is bit-identical");
+    }
+
+    #[test]
+    fn selection_answers_round_trip_all_shapes() {
+        for scheme in [SchemeKind::Mock, SchemeKind::Bas] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut da = DataAggregator::new(cfg(scheme, SigningMode::Chained), &mut rng);
+            let boot = da.bootstrap((0..12).map(|i| vec![i * 10, i]).collect(), 2);
+            let mut qs = QueryServer::from_bootstrap(
+                da.public_params(),
+                da.config().schema,
+                SigningMode::Chained,
+                &boot,
+                256,
+                2.0 / 3.0,
+            );
+            da.advance_clock(12);
+            let (s, _) = da.maybe_publish_summary().unwrap();
+            qs.add_summary(s);
+            // Non-empty, gap-proof, and inverted shapes.
+            for (lo, hi) in [(20, 70), (21, 29), (70, 20)] {
+                assert_canonical(&qs.select_range(lo, hi).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn vacancy_answer_round_trips() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut da = DataAggregator::new(cfg(SchemeKind::Mock, SigningMode::Chained), &mut rng);
+        let boot = da.bootstrap(Vec::new(), 1);
+        let mut qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::Chained,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        let ans = qs.select_range(0, 100).unwrap();
+        assert!(ans.vacancy.is_some());
+        assert_canonical(&ans);
+    }
+
+    #[test]
+    fn projection_answer_round_trips() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut da =
+            DataAggregator::new(cfg(SchemeKind::Mock, SigningMode::PerAttribute), &mut rng);
+        let boot = da.bootstrap((0..10).map(|i| vec![i * 5, i]).collect(), 2);
+        let mut qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::PerAttribute,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        assert_canonical(&qs.project(0, 40, &[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn update_stream_round_trips() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut da = DataAggregator::new(cfg(SchemeKind::Mock, SigningMode::Chained), &mut rng);
+        da.bootstrap((0..6).map(|i| vec![i * 10, i]).collect(), 1);
+        da.advance_clock(1);
+        let mut msgs = da.insert(vec![35, 9]);
+        msgs.extend(da.update_record(2, vec![125, 0])); // key move
+        msgs.extend(da.delete_record(0));
+        for m in &msgs {
+            assert_canonical(m);
+        }
+        // Empty out the table so a delete carries a vacancy proof.
+        for rid in 1..7u64 {
+            for m in da.delete_record(rid) {
+                assert_canonical(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_answers_round_trip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sa = ShardedAggregator::new(
+            cfg(SchemeKind::Mock, SigningMode::Chained),
+            vec![100],
+            &mut rng,
+        );
+        let boots = sa.bootstrap((0..20).map(|i| vec![i * 10, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        assert_canonical(sa.map());
+        assert_canonical(&sqs.select_range(50, 150).unwrap());
+    }
+
+    #[test]
+    fn protocol_messages_round_trip() {
+        assert_canonical(&Request::Ping);
+        assert_canonical(&Request::Select { lo: -5, hi: 900 });
+        assert_canonical(&Request::Project {
+            lo: 0,
+            hi: 10,
+            attrs: vec![0, 1],
+        });
+        assert_canonical(&Request::Stats);
+        assert_canonical(&Response::Pong);
+        assert_canonical(&Response::Stats(QsStats {
+            agg_ops: 1,
+            queries: 2,
+            updates: 3,
+            cache_hits: 4,
+            cache_misses: 5,
+        }));
+        assert_canonical(&Response::Refused(QueryError::WrongSigningMode {
+            required: SigningMode::Chained,
+            actual: SigningMode::PerAttribute,
+        }));
+        assert_canonical(&Response::Refused(QueryError::Unsupported));
+        assert_canonical(&Response::Refused(QueryError::AttributeOutOfSchema {
+            index: 9,
+        }));
+        assert_canonical(&Response::Refused(QueryError::AnswerTooLarge));
+    }
+
+    #[test]
+    fn malformed_shard_map_rejected_not_panicking() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let kp = authdb_crypto::signer::Keypair::generate(SchemeKind::Mock, &mut rng);
+        let good = ShardMap::create(&kp, vec![10, 20]);
+        let enc = good.encode();
+        // Corrupt the second split so the splits are no longer increasing.
+        let mut bad = enc.clone();
+        // splits vec: 4-byte count, then two i64s; flip the sign bit of the
+        // second split's first byte.
+        bad[4 + 8] = 0xFF;
+        assert!(matches!(
+            ShardMap::decode(&bad),
+            Err(WireError::NonCanonical { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_across_shards() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sa = ShardedAggregator::new(
+            cfg(SchemeKind::Mock, SigningMode::Chained),
+            vec![100],
+            &mut rng,
+        );
+        let boots = sa.bootstrap((0..20).map(|i| vec![i * 10, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        sqs.select_range(50, 150).unwrap(); // touches both shards
+        sqs.select_range(0, 50).unwrap(); // shard 0 only
+        let total = sqs.stats();
+        assert_eq!(total.queries, 3, "2 fan-out parts + 1 single-shard");
+        assert_eq!(
+            total.queries,
+            sqs.shard(0).stats().queries + sqs.shard(1).stats().queries
+        );
+        assert!(total.agg_ops > 0);
+    }
+
+    #[test]
+    fn sharded_projection_requires_single_shard() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut sa = ShardedAggregator::new(
+            cfg(SchemeKind::Mock, SigningMode::PerAttribute),
+            vec![100],
+            &mut rng,
+        );
+        let boots = sa.bootstrap((0..10).map(|i| vec![i * 10, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        assert_eq!(
+            sqs.project(0, 50, &[1]).unwrap_err(),
+            QueryError::Unsupported
+        );
+
+        let mut sa = ShardedAggregator::new(
+            cfg(SchemeKind::Mock, SigningMode::PerAttribute),
+            Vec::new(),
+            &mut rng,
+        );
+        let boots = sa.bootstrap((0..10).map(|i| vec![i * 10, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &QsOptions::default(),
+        );
+        assert_eq!(sqs.project(0, 50, &[1]).unwrap().rows.len(), 6);
+    }
+}

@@ -98,6 +98,22 @@ impl G1 {
             _ => None,
         }
     }
+
+    /// Strictly canonical decompression for wire use: accepts exactly the
+    /// byte strings [`G1::to_compressed`] produces. On top of the curve
+    /// membership check this rejects an x-coordinate at or above the field
+    /// modulus (which `from_bytes_be_reduce` would silently reduce) and an
+    /// infinity tag with a nonzero tail — either would give two encodings
+    /// of one point and break the bit-identical re-encoding guarantee
+    /// signatures downstream depend on.
+    pub fn from_compressed_canonical(bytes: &[u8; G1_COMPRESSED_LEN]) -> Option<Self> {
+        let p = Self::from_compressed(bytes)?;
+        if &p.to_compressed() == bytes {
+            Some(p)
+        } else {
+            None
+        }
+    }
 }
 
 /// The group order r as little-endian limbs (the Fr modulus).

@@ -143,6 +143,19 @@ impl G2 {
             _ => None,
         }
     }
+
+    /// Strictly canonical decompression for wire use: accepts exactly the
+    /// byte strings [`G2::to_compressed`] produces (see
+    /// [`super::g1::G1::from_compressed_canonical`] for why re-encoding
+    /// must be bit-identical).
+    pub fn from_compressed_canonical(bytes: &[u8; G2_COMPRESSED_LEN]) -> Option<Self> {
+        let p = Self::from_compressed(bytes)?;
+        if &p.to_compressed() == bytes {
+            Some(p)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,8 +22,11 @@
 //! `verify`/`verify_aggregate` call is a single multi-Miller-loop plus one
 //! final exponentiation against the prepared key and generator.
 
+use authdb_wire::{put_bytes, Reader, WireDecode, WireEncode, WireError};
+
 use crate::bigint::BigUint;
 use crate::bls::{BlsPrivateKey, BlsPublicKey, BlsSignature};
+use crate::bn254::g1::G1_COMPRESSED_LEN;
 use crate::bn254::G1;
 use crate::rsa::{CondensedRsaSignature, RsaPrivateKey, RsaPublicKey, RsaSignature};
 use crate::sha256::Sha256;
@@ -321,6 +324,67 @@ impl PublicParams {
     }
 }
 
+// -- wire codec -------------------------------------------------------------
+
+/// Wire scheme tags (one byte, part of the canonical encoding).
+const WIRE_TAG_BAS: u8 = 0;
+const WIRE_TAG_RSA: u8 = 1;
+const WIRE_TAG_MOCK: u8 = 2;
+
+/// Canonical encoding: scheme tag, then the scheme's fixed form.
+///
+/// * BAS — the 33-byte canonical compressed G1 point;
+/// * Condensed RSA — length-prefixed minimal big-endian magnitude (no
+///   leading zero byte; empty = zero);
+/// * Mock — the raw 32-byte accumulator.
+impl WireEncode for Signature {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Signature::Bas(s) => {
+                out.push(WIRE_TAG_BAS);
+                out.extend_from_slice(&s.0.to_compressed());
+            }
+            Signature::CondensedRsa(n) => {
+                out.push(WIRE_TAG_RSA);
+                put_bytes(out, &n.to_bytes_be());
+            }
+            Signature::Mock(b) => {
+                out.push(WIRE_TAG_MOCK);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+}
+
+impl WireDecode for Signature {
+    // tag + empty RSA magnitude is the shortest legal form.
+    const MIN_WIRE_LEN: usize = 5;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            WIRE_TAG_BAS => {
+                let bytes: [u8; G1_COMPRESSED_LEN] = r.array()?;
+                let point = G1::from_compressed_canonical(&bytes).ok_or(WireError::InvalidPoint)?;
+                Ok(Signature::Bas(BlsSignature(point)))
+            }
+            WIRE_TAG_RSA => {
+                let bytes = r.bytes("rsa signature magnitude")?;
+                if bytes.first() == Some(&0) {
+                    return Err(WireError::NonCanonical {
+                        what: "rsa signature magnitude",
+                    });
+                }
+                Ok(Signature::CondensedRsa(BigUint::from_bytes_be(&bytes)))
+            }
+            WIRE_TAG_MOCK => Ok(Signature::Mock(r.array()?)),
+            tag => Err(WireError::BadTag {
+                what: "signature scheme",
+                tag,
+            }),
+        }
+    }
+}
+
 fn modulus_of(pk: &RsaPublicKey) -> BigUint {
     // Recover n from a dummy: sign-free path — RsaPublicKey exposes only
     // verification; we reconstruct n by serializing a max-length value.
@@ -451,5 +515,70 @@ mod tests {
             let sig = kp.sign(b"x");
             assert!(!sig.to_bytes().is_empty());
         }
+    }
+
+    #[test]
+    fn signature_wire_round_trip_all_schemes() {
+        for kp in all_schemes() {
+            let sig = kp.sign(b"wire me");
+            let enc = sig.encode();
+            let dec = Signature::decode(&enc)
+                .unwrap_or_else(|e| panic!("{:?} signature failed to decode: {e}", kp.kind()));
+            assert_eq!(dec, sig, "{:?}", kp.kind());
+            // Canonicality: re-encoding a decoded value is bit-identical.
+            assert_eq!(dec.encode(), enc, "{:?}", kp.kind());
+            // The aggregate identity round-trips too (infinity point /
+            // unit / zero accumulator).
+            let id = kp.public_params().identity();
+            let enc = id.encode();
+            assert_eq!(Signature::decode(&enc).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn non_canonical_signature_encodings_rejected() {
+        let mut rng = StdRng::seed_from_u64(305);
+        let kp = Keypair::generate(SchemeKind::Bas, &mut rng);
+        let enc = kp.sign(b"m").encode();
+
+        // Unknown scheme tag.
+        let mut bad = enc.clone();
+        bad[0] = 9;
+        assert!(matches!(
+            Signature::decode(&bad),
+            Err(WireError::BadTag { .. })
+        ));
+
+        // Infinity tag with a nonzero x tail: two encodings of one point.
+        let mut bad = enc.clone();
+        bad[1] = 0x00;
+        assert_eq!(Signature::decode(&bad), Err(WireError::InvalidPoint));
+
+        // x-coordinate >= p (all-ones) would be silently reduced by the
+        // permissive decoder; the canonical path must reject it.
+        let mut bad = enc.clone();
+        for b in &mut bad[2..] {
+            *b = 0xFF;
+        }
+        assert_eq!(Signature::decode(&bad), Err(WireError::InvalidPoint));
+
+        // Truncation is an error, not a panic.
+        assert_eq!(
+            Signature::decode(&enc[..enc.len() - 1]),
+            Err(WireError::Truncated)
+        );
+
+        // RSA magnitude with a leading zero byte is non-canonical.
+        let rsa = Keypair::generate_rsa_with_bits(512, &mut rng).sign(b"m");
+        let enc = rsa.encode();
+        let mut padded = vec![enc[0]];
+        let len = u32::from_be_bytes(enc[1..5].try_into().unwrap()) + 1;
+        padded.extend_from_slice(&len.to_be_bytes());
+        padded.push(0);
+        padded.extend_from_slice(&enc[5..]);
+        assert!(matches!(
+            Signature::decode(&padded),
+            Err(WireError::NonCanonical { .. })
+        ));
     }
 }

@@ -1,0 +1,122 @@
+//! The blocking query-server client.
+//!
+//! A [`QsClient`] owns one TCP connection and exchanges framed
+//! request/response pairs. It decodes — nothing more: every answer must
+//! still go through the existing `Verifier` on the caller's side, with the
+//! caller's own clock and independently obtained public parameters. The
+//! client also meters bytes in both directions, which is what the `fig_net`
+//! bench uses to check the simulator's message-size model against reality.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use authdb_core::qs::{ProjectionAnswer, QsStats};
+use authdb_core::shard::ShardedSelectionAnswer;
+use authdb_core::wire::{Request, Response};
+use authdb_wire::{deframe, frame, DEFAULT_MAX_FRAME_LEN};
+
+use crate::{read_frame_body, NetError};
+
+/// A connected client.
+pub struct QsClient {
+    stream: TcpStream,
+    max_frame_len: usize,
+    bytes_sent: u64,
+    bytes_received: u64,
+    last_response_bytes: usize,
+}
+
+impl QsClient {
+    /// Connect with the default response-frame cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with_cap(addr, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Connect with an explicit cap on a response frame's declared length —
+    /// the client-side guard against a malicious server's oversized length
+    /// prefix.
+    pub fn connect_with_cap(
+        addr: impl ToSocketAddrs,
+        max_frame_len: usize,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(QsClient {
+            stream,
+            max_frame_len,
+            bytes_sent: 0,
+            bytes_received: 0,
+            last_response_bytes: 0,
+        })
+    }
+
+    /// Total bytes written to the server.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes read from the server (frame headers included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Size of the most recent response, header included — the per-answer
+    /// bytes-on-wire measurement.
+    pub fn last_response_bytes(&self) -> usize {
+        self.last_response_bytes
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let out = frame(request);
+        self.stream.write_all(&out)?;
+        self.bytes_sent += out.len() as u64;
+        let body = read_frame_body(&mut self.stream, self.max_frame_len)?;
+        self.last_response_bytes = 4 + body.len();
+        self.bytes_received += self.last_response_bytes as u64;
+        Ok(deframe(&body)?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Pong")),
+        }
+    }
+
+    /// Range selection `lo <= Aind <= hi`. The returned fan-out answer is
+    /// exactly what `Verifier::verify_sharded_selection` consumes.
+    pub fn select_range(&mut self, lo: i64, hi: i64) -> Result<ShardedSelectionAnswer, NetError> {
+        match self.call(&Request::Select { lo, hi })? {
+            Response::Selection(answer) => Ok(answer),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Selection")),
+        }
+    }
+
+    /// Projection of `attrs` over the range, for
+    /// `Verifier::verify_projection`.
+    pub fn project(
+        &mut self,
+        lo: i64,
+        hi: i64,
+        attrs: &[usize],
+    ) -> Result<ProjectionAnswer, NetError> {
+        let attrs: Vec<u32> = attrs.iter().map(|&a| a as u32).collect();
+        match self.call(&Request::Project { lo, hi, attrs })? {
+            Response::Projection(answer) => Ok(answer),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Projection")),
+        }
+    }
+
+    /// The server's aggregated proof-construction statistics.
+    pub fn stats(&mut self) -> Result<QsStats, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Stats")),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # authdb-net — the networked query server
+//!
+//! The paper's setting is an *outsourced* publisher answering clients over
+//! a network (Section 5 models an OC-12 DA uplink and a 14.4 Mbps HSDPA
+//! user link); this crate turns the in-process
+//! [`ShardedQueryServer`](authdb_core::shard::ShardedQueryServer) into an
+//! actual TCP service speaking the canonical [`authdb_wire`] format:
+//!
+//! * [`QsServer`] — a blocking, thread-per-connection server. Each
+//!   connection carries a sequence of framed
+//!   [`Request`](authdb_core::wire::Request)s, each answered with exactly
+//!   one framed [`Response`](authdb_core::wire::Response).
+//! * [`QsClient`] — a blocking client whose decoded answers feed straight
+//!   into the **existing** `Verifier` (`verify_sharded_selection` /
+//!   `verify_projection`). The verifier is not weakened or forked for the
+//!   network path: the client performs *no* trust decisions of its own —
+//!   it only decodes, and decoding failures are typed [`WireError`]s.
+//! * [`WireTamper`] — the byte-level arm of the adversary catalog: frame
+//!   corruptions a malicious server (or the network) can apply, each pinned
+//!   to the typed error it must surface as. A server handle can be armed
+//!   with one to play the adversary in integration tests.
+//!
+//! A peer speaking garbage can at worst make the other side drop the
+//! connection: frames are length-capped before allocation, decoding is
+//! panic-free, and a request the server cannot decode closes the stream
+//! (once framing is lost there is no way to resynchronize, and answering
+//! unparseable bytes would mean guessing what was asked).
+
+pub mod client;
+pub mod server;
+pub mod tamper;
+
+pub use client::QsClient;
+pub use server::{QsServer, QsServerOptions};
+pub use tamper::WireTamper;
+
+use std::fmt;
+use std::io::Read;
+
+use authdb_core::qs::QueryError;
+use authdb_wire::WireError;
+
+/// Why a network operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write, EOF mid-frame).
+    Io(std::io::Error),
+    /// The peer's bytes failed canonical decoding.
+    Wire(WireError),
+    /// The server refused the request with its own typed error.
+    Refused(QueryError),
+    /// The server answered with a well-formed but wrong-kinded response
+    /// (e.g. a projection to a selection request).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Refused(e) => write!(f, "server refused: {e}"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// Read one frame body (version byte + payload) from a stream. The header's
+/// declared length is checked against `max` **before** the body buffer is
+/// allocated, so a lying prefix cannot reserve memory.
+pub(crate) fn read_frame_body(stream: &mut impl Read, max: usize) -> Result<Vec<u8>, NetError> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let body_len = authdb_wire::frame_body_len(header, max)?;
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}

@@ -1,0 +1,197 @@
+//! The blocking TCP query server.
+//!
+//! [`QsServer::spawn`] wraps a bootstrapped
+//! [`ShardedQueryServer`] in a listener and serves each connection on its
+//! own thread. The handle keeps shared access to the underlying server so
+//! the DA-side driver can keep pushing update messages and summaries while
+//! queries are being answered — exactly the Section 3.1 deployment, where
+//! fresh data dissemination is decoupled from query traffic.
+//!
+//! Proof construction runs under one server-wide lock (the fan-out mutates
+//! per-shard caches and stats); the thread-per-connection model therefore
+//! parallelizes transport and decoding but serializes answer construction.
+//! The async/epoll follow-on in the ROADMAP lifts that.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use authdb_core::qs::QueryError;
+use authdb_core::shard::ShardedQueryServer;
+use authdb_core::wire::{Request, Response};
+use authdb_wire::{deframe, frame, try_frame, DEFAULT_MAX_FRAME_LEN};
+
+use crate::tamper::WireTamper;
+use crate::{read_frame_body, NetError};
+
+/// Construction options for [`QsServer::spawn`].
+#[derive(Clone, Copy, Debug)]
+pub struct QsServerOptions {
+    /// Cap on an *incoming* request frame's declared body length. Requests
+    /// are tiny; the default (64 KiB) bounds what a hostile client's length
+    /// prefix can make the server allocate.
+    pub max_request_len: usize,
+}
+
+impl Default for QsServerOptions {
+    fn default() -> Self {
+        QsServerOptions {
+            max_request_len: 64 << 10,
+        }
+    }
+}
+
+struct Shared {
+    server: Mutex<ShardedQueryServer>,
+    /// Outbound frame corruption for adversarial tests (None = honest).
+    tamper: Mutex<Option<WireTamper>>,
+    opts: QsServerOptions,
+    stop: AtomicBool,
+}
+
+/// A running networked query server. Dropping the handle stops the accept
+/// loop; established connections wind down when their clients disconnect.
+pub struct QsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl QsServer {
+    /// Serve `server` on a loopback port chosen by the OS. Returns once the
+    /// listener is bound, with the accept loop running in the background.
+    pub fn spawn(server: ShardedQueryServer, opts: QsServerOptions) -> Result<Self, NetError> {
+        Self::bind(server, "127.0.0.1:0", opts)
+    }
+
+    /// Serve `server` on an explicit bind address.
+    pub fn bind(
+        server: ShardedQueryServer,
+        bind_addr: &str,
+        opts: QsServerOptions,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server: Mutex::new(server),
+            tamper: Mutex::new(None),
+            opts,
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || handle_connection(stream, conn_shared));
+            }
+        });
+        Ok(QsServer {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run `f` against the underlying sharded server — the DA-side path for
+    /// applying update messages and publishing summaries while serving.
+    pub fn with_server<R>(&self, f: impl FnOnce(&mut ShardedQueryServer) -> R) -> R {
+        f(&mut self.shared.server.lock())
+    }
+
+    /// Arm (or disarm) outbound frame corruption. Test-only adversarial
+    /// control: the server keeps constructing honest answers, then mangles
+    /// the bytes on their way out.
+    pub fn set_tamper(&self, tamper: Option<WireTamper>) {
+        *self.shared.tamper.lock() = tamper;
+    }
+
+    /// Stop accepting new connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QsServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Serve one connection: framed request in, framed response out, until the
+/// client disconnects or sends bytes that do not decode (after which the
+/// stream cannot be resynchronized and is dropped).
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let body = match read_frame_body(&mut stream, shared.opts.max_request_len) {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        let request: Request = match deframe(&body) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let response = {
+            let mut server = shared.server.lock();
+            dispatch(&mut server, request)
+        };
+        // Writer-side frame cap: an answer too large for any client's
+        // default reader cap (or the u32 length prefix itself) becomes a
+        // typed refusal instead of a frame the peer must reject.
+        let mut bytes = match try_frame(&response, DEFAULT_MAX_FRAME_LEN) {
+            Ok(b) => b,
+            Err(_) => frame(&Response::Refused(QueryError::AnswerTooLarge)),
+        };
+        if let Some(t) = *shared.tamper.lock() {
+            t.apply(&mut bytes);
+        }
+        if std::io::Write::write_all(&mut stream, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Map one request onto the sharded server. Server-side refusals travel as
+/// [`Response::Refused`]; nothing here panics on hostile input (the codec
+/// already rejected malformed frames, and `project` bounds attribute
+/// indices itself).
+fn dispatch(server: &mut ShardedQueryServer, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Select { lo, hi } => match server.select_range(lo, hi) {
+            Ok(answer) => Response::Selection(answer),
+            Err(e) => Response::Refused(e),
+        },
+        Request::Project { lo, hi, attrs } => {
+            let attrs: Vec<usize> = attrs.into_iter().map(|a| a as usize).collect();
+            match server.project(lo, hi, &attrs) {
+                Ok(answer) => Response::Projection(answer),
+                Err(e) => Response::Refused(e),
+            }
+        }
+        Request::Stats => Response::Stats(server.stats()),
+    }
+}

@@ -126,6 +126,122 @@ impl CostModel {
     }
 }
 
+/// Message-size model for the canonical wire format.
+///
+/// These formulas mirror `authdb-wire`'s encoding byte-for-byte (frame
+/// header, tag/count/presence bytes, fixed-width integers), so the DES
+/// transaction programs charge network delays for the bytes the real codec
+/// ships, not a guess. The `fig_net` bench closes the loop: it measures
+/// bytes-on-wire through a real TCP loopback server and asserts agreement
+/// with these constants within 20% — if the codec drifts, recalibrate
+/// *here* (not in the bench) so the simulator stays honest.
+pub mod wire_model {
+    /// Frame header: `u32` length prefix + format-version byte.
+    pub const FRAME: usize = 5;
+    /// One enum tag byte (e.g. the response kind).
+    pub const TAG: usize = 1;
+    /// A collection's `u32` count prefix.
+    pub const VEC: usize = 4;
+    /// An option's presence byte.
+    pub const OPT: usize = 1;
+
+    /// The shape of one per-shard selection answer, for predicting a
+    /// response's size from what it actually carried.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnswerShape {
+        /// Result records in this part.
+        pub records: usize,
+        /// Whether a gap proof is attached.
+        pub gap: bool,
+        /// Whether an empty-table proof is attached.
+        pub vacancy: bool,
+        /// Total compressed-bitmap bytes across attached summaries.
+        pub summary_bitmap_bytes: usize,
+        /// Number of attached summaries.
+        pub summaries: usize,
+    }
+
+    /// An encoded signature: scheme tag + the scheme's `sig_len` bytes.
+    pub fn signature(sig_len: usize) -> usize {
+        1 + sig_len
+    }
+
+    /// One record: rid + ts + length-prefixed attributes.
+    pub fn record(num_attrs: usize) -> usize {
+        16 + VEC + 8 * num_attrs
+    }
+
+    /// A gap proof: the bracketing record, two neighbour keys, and its
+    /// chained signature.
+    pub fn gap_proof(num_attrs: usize, sig_len: usize) -> usize {
+        record(num_attrs) + 16 + signature(sig_len)
+    }
+
+    /// An empty-table proof: shard tag, timestamp, signature.
+    pub fn vacancy_proof(sig_len: usize) -> usize {
+        16 + signature(sig_len)
+    }
+
+    /// One certified summary: four `u64` header fields, the compressed
+    /// bitmap, the signature.
+    pub fn summary(bitmap_bytes: usize, sig_len: usize) -> usize {
+        32 + VEC + bitmap_bytes + signature(sig_len)
+    }
+
+    /// One per-shard [`SelectionAnswer`]'s encoding.
+    ///
+    /// [`SelectionAnswer`]: ../../authdb_core/qs/struct.SelectionAnswer.html
+    pub fn selection_answer(shape: &AnswerShape, num_attrs: usize, sig_len: usize) -> usize {
+        VEC + shape.records * record(num_attrs)
+            + signature(sig_len)
+            + 16
+            + OPT
+            + if shape.gap {
+                gap_proof(num_attrs, sig_len)
+            } else {
+                0
+            }
+            + OPT
+            + if shape.vacancy {
+                vacancy_proof(sig_len)
+            } else {
+                0
+            }
+            + VEC
+            + shape.summaries * summary(0, sig_len)
+            + shape.summary_bitmap_bytes
+    }
+
+    /// The DA-signed shard map.
+    pub fn shard_map(splits: usize, sig_len: usize) -> usize {
+        VEC + 8 * splits + signature(sig_len)
+    }
+
+    /// A complete framed `Response::Selection` carrying one answer per
+    /// overlapping shard.
+    pub fn sharded_selection_response(
+        splits: usize,
+        parts: &[AnswerShape],
+        num_attrs: usize,
+        sig_len: usize,
+    ) -> usize {
+        FRAME
+            + TAG
+            + shard_map(splits, sig_len)
+            + VEC
+            + parts
+                .iter()
+                .map(|p| 8 + selection_answer(p, num_attrs, sig_len))
+                .sum::<usize>()
+    }
+
+    /// A framed DA→QS update message (no attribute signatures, no key move,
+    /// no vacancy — the common in-place case the DES models charge for).
+    pub fn update_msg(num_attrs: usize, sig_len: usize) -> usize {
+        FRAME + TAG + record(num_attrs) + signature(sig_len) + VEC + 2 * OPT
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +271,42 @@ mod tests {
         let m = CostModel::pinned();
         assert!((m.lan(1800) - 0.001).abs() < 1e-4); // 1.8 KB at 14.4 Mbps ≈ 1 ms
         assert!(m.wan(1800) < m.lan(1800) / 10.0);
+    }
+
+    #[test]
+    fn wire_model_component_arithmetic() {
+        use super::wire_model::*;
+        // A BAS-signed (33-byte point + tag), 2-attribute deployment — the
+        // parameters fig_net measures against a live server.
+        let (m, sig) = (2usize, 33usize);
+        assert_eq!(record(m), 36);
+        assert_eq!(signature(sig), 34);
+        let one = AnswerShape {
+            records: 10,
+            ..Default::default()
+        };
+        // records vec + agg + boundary keys + two absent options + empty
+        // summaries vec.
+        assert_eq!(
+            selection_answer(&one, m, sig),
+            4 + 360 + 34 + 16 + 1 + 1 + 4
+        );
+        // Adding a summary adds exactly its header + bitmap + signature.
+        let with_summary = AnswerShape {
+            summaries: 1,
+            summary_bitmap_bytes: 7,
+            ..one
+        };
+        assert_eq!(
+            selection_answer(&with_summary, m, sig) - selection_answer(&one, m, sig),
+            summary(7, sig)
+        );
+        // A framed single-part response = frame + tag + map + parts vec +
+        // shard index + the part.
+        assert_eq!(
+            sharded_selection_response(0, &[one], m, sig),
+            FRAME + TAG + shard_map(0, sig) + VEC + 8 + selection_answer(&one, m, sig)
+        );
     }
 
     #[test]

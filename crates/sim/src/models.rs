@@ -16,7 +16,7 @@
 
 use rand::Rng;
 
-use crate::cost::CostModel;
+use crate::cost::{wire_model, CostModel};
 use crate::des::{self, ClassStats, Mode, Res, SimConfig, Step, TxnKind, TxnSpec};
 
 /// Calibrated per-transaction server costs (seconds), linear in the number
@@ -61,8 +61,11 @@ impl ServiceTimes {
 pub struct SystemModel {
     /// Records in the relation.
     pub n: u64,
-    /// Record length in bytes.
+    /// Record length in bytes (heap layout; the wire format ships only the
+    /// meaningful fields, see [`wire_model::record`]).
     pub record_len: usize,
+    /// Attributes per record (drives the wire-format record size).
+    pub num_attrs: usize,
     /// Digest/signature wire length.
     pub sig_len: usize,
     /// Calibrated service times.
@@ -75,6 +78,7 @@ impl SystemModel {
         SystemModel {
             n: 1_000_000,
             record_len: 512,
+            num_attrs: 4,
             sig_len: 20,
             service: ServiceTimes::paper_table4(),
         }
@@ -91,10 +95,19 @@ fn server_use(total: f64) -> [Step; 2] {
     ]
 }
 
-/// Build a BAS range-query program for `q` result records.
+/// Build a BAS range-query program for `q` result records. The answer
+/// travels in the canonical wire format (one framed single-shard selection
+/// response; summaries amortized per Section 5.3), so the LAN delay charges
+/// the bytes `authdb-net` actually ships — `fig_net` regression-checks this
+/// against a live loopback server.
 pub fn bas_query(q: usize, sys: &SystemModel, cost: &CostModel) -> Vec<Step> {
     let service = ServiceTimes::linear(sys.service.bas_query, q);
-    let answer_bytes = q * sys.record_len + sys.sig_len + 16;
+    let shape = wire_model::AnswerShape {
+        records: q,
+        ..Default::default()
+    };
+    let answer_bytes =
+        wire_model::sharded_selection_response(0, &[shape], sys.num_attrs, sys.sig_len);
     let [cpu, disk] = server_use(service);
     vec![
         cpu,
@@ -105,9 +118,13 @@ pub fn bas_query(q: usize, sys: &SystemModel, cost: &CostModel) -> Vec<Step> {
 }
 
 /// Build a BAS update program for `k` records (record-level locks only).
+/// Dissemination ships framed wire-format [`UpdateMsg`]s
+/// ([`wire_model::update_msg`]).
+///
+/// [`UpdateMsg`]: ../../authdb_core/da/struct.UpdateMsg.html
 pub fn bas_update(k: usize, sys: &SystemModel, cost: &CostModel) -> Vec<Step> {
     let service = ServiceTimes::linear(sys.service.bas_update, k);
-    let wire = cost.wan(k * (sys.record_len + sys.sig_len));
+    let wire = cost.wan(k * wire_model::update_msg(sys.num_attrs, sys.sig_len));
     let [cpu, disk] = server_use(service);
     vec![Step::Delay(cost.bas_sign * k as f64 + wire), cpu, disk]
 }
