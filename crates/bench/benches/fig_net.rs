@@ -25,7 +25,7 @@ use authdb_core::da::SigningMode;
 use authdb_core::qs::{QsOptions, SelectionAnswer};
 use authdb_core::record::Schema;
 use authdb_core::shard::{ShardedAggregator, ShardedQueryServer, ShardedSelectionAnswer};
-use authdb_core::verify::Verifier;
+use authdb_core::verify::{EpochView, Verifier};
 use authdb_crypto::signer::SchemeKind;
 use authdb_net::{QsClient, QsServer, QsServerOptions};
 use authdb_sim::cost::wire_model;
@@ -108,7 +108,13 @@ struct Phase {
 
 /// Run the query set against a live server: round-trip timing, per-answer
 /// bytes vs the cost model, and full stitched verification at `now`.
-fn run_phase(client: &mut QsClient, verifier: &Verifier, now: u64, rng: &mut StdRng) -> Phase {
+fn run_phase(
+    client: &mut QsClient,
+    verifier: &Verifier,
+    view: &EpochView,
+    now: u64,
+    rng: &mut StdRng,
+) -> Phase {
     let qs_list = queries();
     let reps = 5;
     // Timed round trips (decode included, verification excluded).
@@ -146,7 +152,7 @@ fn run_phase(client: &mut QsClient, verifier: &Verifier, now: u64, rng: &mut Std
     let t = Instant::now();
     for (&(lo, hi), ans) in qs_list.iter().zip(&answers) {
         verifier
-            .verify_sharded_selection(lo, hi, ans, now, true, rng)
+            .verify_sharded_selection(lo, hi, ans, view, now, true, rng)
             .expect("honest network answer verifies");
     }
     let verify = t.elapsed().as_secs_f64() / qs_list.len() as f64;
@@ -184,12 +190,13 @@ fn main() {
     let mut worst_drift: f64 = 0.0;
     for &shards in &[1i64, 8] {
         let (mut sa, sqs, verifier) = sharded_system(shards);
+        let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis view");
         let server = QsServer::spawn(sqs, QsServerOptions::default()).expect("bind loopback");
         let mut client = QsClient::connect(server.addr()).expect("connect");
 
         // Phase 1: before any summary is published (freshness trivially
         // inside the first 2ρ window) — the pure proof payload.
-        let bare = run_phase(&mut client, &verifier, 0, &mut rng);
+        let bare = run_phase(&mut client, &verifier, &view, 0, &mut rng);
 
         // Phase 2: the DA publishes two summary periods and the answers
         // carry the freshness stream.
@@ -204,7 +211,7 @@ fn main() {
                 });
             }
         }
-        let with_sums = run_phase(&mut client, &verifier, sa.now(), &mut rng);
+        let with_sums = run_phase(&mut client, &verifier, &view, sa.now(), &mut rng);
 
         for (label, phase) in [("no", &bare), ("yes", &with_sums)] {
             println!(

@@ -27,7 +27,7 @@ use authdb_core::qs::{AggCacheConfig, CacheDistribution, QsOptions, QueryServer}
 use authdb_core::record::Schema;
 use authdb_core::shard::{ShardedAggregator, ShardedQueryServer};
 use authdb_core::sigcache::RefreshStrategy;
-use authdb_core::verify::Verifier;
+use authdb_core::verify::{EpochView, Verifier};
 use authdb_crypto::signer::SchemeKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,7 +129,8 @@ fn main() {
     let mut verify_by_count = Vec::new();
     let mut answer_by_count = Vec::new();
     for &shards in &[1i64, 2, 4, 8] {
-        let (_sa, mut sqs, v) = sharded_system(shards);
+        let (sa, mut sqs, v) = sharded_system(shards);
+        let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis view");
         let mut rng = StdRng::seed_from_u64(9);
 
         let t = Instant::now();
@@ -145,7 +146,7 @@ fn main() {
         let t = Instant::now();
         for _ in 0..reps {
             for (&(lo, hi), ans) in qs_list.iter().zip(&answers) {
-                v.verify_sharded_selection(lo, hi, ans, 0, true, &mut rng)
+                v.verify_sharded_selection(lo, hi, ans, &view, 0, true, &mut rng)
                     .expect("honest fan-out verifies");
             }
         }

@@ -32,8 +32,8 @@ use authdb_crypto::signer::SchemeKind;
 use crate::da::{DaConfig, DataAggregator, SigningMode};
 use crate::qs::{ProjectionAnswer, QsOptions, QueryServer, SelectionAnswer};
 use crate::record::{Schema, KEY_NEG_INF, KEY_POS_INF};
-use crate::shard::{ShardedAggregator, ShardedQueryServer, ShardedSelectionAnswer};
-use crate::verify::{Verifier, VerifyError, VerifyReport};
+use crate::shard::{RebalancePlan, ShardedAggregator, ShardedQueryServer, ShardedSelectionAnswer};
+use crate::verify::{EpochView, Verifier, VerifyError, VerifyReport};
 
 /// One way a malicious query server can doctor an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -693,11 +693,12 @@ fn shard_scenario(scheme: SchemeKind, tamper: ShardTamper) -> ShardConformance {
         }
     }
     let now = sa.now();
+    let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis view");
     let tampered = mal.select_range(lo, hi);
-    let outcome = v.verify_sharded_selection(lo, hi, &tampered, now, true, &mut rng);
+    let outcome = v.verify_sharded_selection(lo, hi, &tampered, &view, now, true, &mut rng);
     let honest = mal.inner_mut().select_range(lo, hi).expect("chained mode");
     let honest_ok = v
-        .verify_sharded_selection(lo, hi, &honest, now, true, &mut rng)
+        .verify_sharded_selection(lo, hi, &honest, &view, now, true, &mut rng)
         .is_ok();
     ShardConformance {
         tamper,
@@ -713,6 +714,212 @@ pub fn run_shard_catalog(scheme: SchemeKind) -> Vec<ShardConformance> {
     ShardTamper::CATALOG
         .iter()
         .map(|&t| shard_scenario(scheme, t))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancing (cross-epoch) strategies
+// ---------------------------------------------------------------------------
+
+/// One way a malicious server can exploit an epoch transition. These target
+/// exactly the surface a *static* partition never exposes: two
+/// genuinely-certified partitions existing at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebalanceTamper {
+    /// Replay a complete pre-rebalance answer — old map, old parts — after
+    /// the client has observed the epoch transition.
+    StaleEpochReplay,
+    /// Serve records signed under the *old* fences inside the new epoch's
+    /// fan-out: the pre-split shard's answer, which spans past the new
+    /// seam, presented as the split-off shard's part (dressed with the new
+    /// epoch's genuine summaries so only the seam structure can object).
+    HandoffForgery,
+    /// Split brain: answer one sub-query from epoch-N state (old records,
+    /// old summary stream) while the rest of the fan-out is epoch-N+1.
+    SplitBrain,
+    /// Break the transition chain the client advances its epoch with:
+    /// splice in a transition whose parent hash does not extend the
+    /// pinned map.
+    TransitionBreak,
+}
+
+impl RebalanceTamper {
+    /// Every rebalancing strategy, in catalog order.
+    pub const CATALOG: [RebalanceTamper; 4] = [
+        RebalanceTamper::StaleEpochReplay,
+        RebalanceTamper::HandoffForgery,
+        RebalanceTamper::SplitBrain,
+        RebalanceTamper::TransitionBreak,
+    ];
+
+    /// Short printable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebalanceTamper::StaleEpochReplay => "stale-epoch-replay",
+            RebalanceTamper::HandoffForgery => "handoff-forgery",
+            RebalanceTamper::SplitBrain => "split-brain",
+            RebalanceTamper::TransitionBreak => "transition-break",
+        }
+    }
+
+    /// Whether `err` is the rejection this strategy must produce.
+    pub fn expects(self, err: &VerifyError) -> bool {
+        use VerifyError::*;
+        match self {
+            RebalanceTamper::StaleEpochReplay => matches!(err, StaleEpoch { .. }),
+            // The old-fence records spill past the new seam's sub-range.
+            RebalanceTamper::HandoffForgery => matches!(err, RecordOutOfRange { .. }),
+            RebalanceTamper::SplitBrain => matches!(err, EpochMismatch { .. }),
+            RebalanceTamper::TransitionBreak => matches!(err, BrokenTransition),
+        }
+    }
+}
+
+/// Outcome of one rebalancing catalog entry.
+pub struct RebalanceConformance {
+    /// The strategy exercised.
+    pub tamper: RebalanceTamper,
+    /// Whether the honest answer (or honest transition) was accepted.
+    pub honest_ok: bool,
+    /// What the verifier said about the tampered artifact.
+    pub outcome: Result<VerifyReport, VerifyError>,
+}
+
+impl RebalanceConformance {
+    /// Tampered artifact rejected with the expected error AND the honest
+    /// counterpart accepted.
+    pub fn ok(&self) -> bool {
+        self.honest_ok
+            && match &self.outcome {
+                Ok(_) => false,
+                Err(e) => self.tamper.expects(e),
+            }
+    }
+}
+
+/// Run one rebalancing scenario: a 2-shard deployment (split at 200) runs
+/// the shared three-period timeline, then the DA splits shard 1 at key 300
+/// (epoch 1 → 2). The strategy attacks the transition or the first
+/// post-transition answers.
+fn rebalance_scenario(scheme: SchemeKind, tamper: RebalanceTamper) -> RebalanceConformance {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut sa = ShardedAggregator::new(cfg(scheme, SigningMode::Chained), vec![200], &mut rng);
+    let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+    let sqs = ShardedQueryServer::from_bootstraps(
+        sa.public_params(),
+        sa.config(),
+        sa.map().clone(),
+        &boots,
+        &QsOptions::default(),
+    );
+    let v = Verifier::new(sa.public_params(), sa.config().schema, sa.config().rho);
+    let pp = sa.public_params();
+    let mut view = EpochView::genesis(sa.map(), &pp).expect("genesis view");
+    // The attacker controls an honest replica directly and hoards old
+    // answers itself; no MaliciousShardedServer strategy applies here.
+    let mut sqs = sqs;
+    // The shared timeline: summaries exist, an update lands in shard 1.
+    sa.advance_clock(12);
+    for (s, summary, recerts) in sa.maybe_publish_summaries() {
+        sqs.add_summary(s, summary);
+        for m in recerts {
+            sqs.apply(s, &m);
+        }
+    }
+    sa.advance_clock(2);
+    let (_, msgs) = sa.update_record(1, 5, vec![250, 777]);
+    for (s, m) in msgs {
+        sqs.apply(s, &m);
+    }
+    for dt in [10, 10] {
+        sa.advance_clock(dt);
+        for (s, summary, recerts) in sa.maybe_publish_summaries() {
+            sqs.add_summary(s, summary);
+            for m in recerts {
+                sqs.apply(s, &m);
+            }
+        }
+    }
+    // Epoch-1 state the attacker hoards on the eve of the transition: a
+    // seam-straddling answer (with the epoch-1 summary streams attached)
+    // and the pre-split shard's answer spanning what will become the new
+    // seam.
+    let old_straddle = sqs.select_range(150, 250).expect("chained");
+    let old_span = sqs.select_range(250, 350).expect("chained");
+    // The rebalance: split shard 1 (keys >= 200) at 300.
+    let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+    sqs.apply_rebalance(&rb).expect("honest rebalance applies");
+
+    if tamper == RebalanceTamper::TransitionBreak {
+        // The attack happens at view-advance time: a spliced transition
+        // whose parent hash does not extend the pinned map.
+        let mut forged = rb.transition.clone();
+        forged.parent_hash[0] ^= 0xFF;
+        let outcome = view.advance(&forged, &pp).map(|()| VerifyReport {
+            max_staleness: 0,
+            records: 0,
+        });
+        let honest_ok = view.advance(&rb.transition, &pp).is_ok();
+        return RebalanceConformance {
+            tamper,
+            honest_ok,
+            outcome,
+        };
+    }
+
+    view.advance(&rb.transition, &pp)
+        .expect("honest transition");
+    let now = sa.now();
+    let (lo, hi, tampered) = match tamper {
+        RebalanceTamper::StaleEpochReplay => (150, 250, old_straddle),
+        RebalanceTamper::HandoffForgery => {
+            // New fan-out for a range straddling the NEW seam (300); the
+            // part for new shard 1 is replaced by the pre-split shard's
+            // answer to the whole range — genuinely signed, but its chain
+            // terminates at the old fences and its records spill past the
+            // new seam. The forger dresses it with the new epoch's genuine
+            // stream so only the seam structure can object.
+            let mut ans = sqs.select_range(250, 350).expect("chained");
+            assert_eq!(ans.parts[0].shard, 1);
+            let mut forged_part = old_span.parts[0].answer.clone();
+            forged_part.summaries = sqs.shard(1).summaries().to_vec();
+            // The forger also clamps the claimed right boundary onto the
+            // new fence so the seam check cannot object; the records
+            // spilling past the new seam are the remaining giveaway.
+            forged_part.right_key = 300;
+            ans.parts[0].answer = forged_part;
+            (250, 350, ans)
+        }
+        RebalanceTamper::SplitBrain => {
+            // Shard 0 survived the split; serve its sub-query from epoch-1
+            // state (old records, old epoch-1 summary stream) while shard
+            // 1 answers under epoch 2.
+            let mut ans = sqs.select_range(150, 250).expect("chained");
+            assert_eq!(ans.parts[0].shard, 0);
+            ans.parts[0].answer = old_straddle.parts[0].answer.clone();
+            (150, 250, ans)
+        }
+        RebalanceTamper::TransitionBreak => unreachable!("handled above"),
+    };
+    let outcome = v.verify_sharded_selection(lo, hi, &tampered, &view, now, true, &mut rng);
+    let honest = sqs.select_range(lo, hi).expect("chained mode");
+    let honest_ok = v
+        .verify_sharded_selection(lo, hi, &honest, &view, now, true, &mut rng)
+        .is_ok();
+    RebalanceConformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run every rebalancing strategy under `scheme`, one outcome per
+/// strategy. Used by the unit-test conformance suite and the
+/// `fig_rebalance` bench scenario.
+pub fn run_rebalance_catalog(scheme: SchemeKind) -> Vec<RebalanceConformance> {
+    RebalanceTamper::CATALOG
+        .iter()
+        .map(|&t| rebalance_scenario(scheme, t))
         .collect()
 }
 
@@ -798,6 +1005,48 @@ mod tests {
         // rest are structural and scheme-independent.
         for t in [ShardTamper::SeamWiden, ShardTamper::StaleShardReplay] {
             let c = shard_scenario(SchemeKind::Bas, t);
+            assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
+        }
+    }
+
+    #[test]
+    fn rebalance_catalog_rejects_every_tamper_mock() {
+        for c in run_rebalance_catalog(SchemeKind::Mock) {
+            assert!(
+                c.honest_ok,
+                "{}: honest answer/transition must be accepted",
+                c.tamper.name()
+            );
+            match &c.outcome {
+                Ok(_) => panic!("{}: tampered artifact accepted", c.tamper.name()),
+                Err(e) => assert!(
+                    c.tamper.expects(e),
+                    "{}: rejected with unexpected error {:?}",
+                    c.tamper.name(),
+                    e
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_catalog_names_are_unique() {
+        let mut names: Vec<&str> = RebalanceTamper::CATALOG.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RebalanceTamper::CATALOG.len());
+    }
+
+    #[test]
+    fn rebalance_spot_check_with_bas_scheme() {
+        // Full crypto for the two strategies whose rejection depends on
+        // signed content: the transition chain's signature and the
+        // epoch-bound summary stream.
+        for t in [
+            RebalanceTamper::TransitionBreak,
+            RebalanceTamper::SplitBrain,
+        ] {
+            let c = rebalance_scenario(SchemeKind::Bas, t);
             assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
         }
     }

@@ -135,6 +135,10 @@ pub struct DataAggregator {
     current_updates: HashMap<u64, u32>,
     /// rids to re-certify right after the next summary (multi-update rule).
     recert_next: Vec<u64>,
+    /// Every summary this aggregator has published, oldest first. Kept so
+    /// an epoch transition can re-bind the stream to a new (epoch, shard)
+    /// tag ([`DataAggregator::retag`]) without the query server's copy.
+    summary_log: Vec<UpdateSummary>,
     /// Background renewal scan position.
     renewal_cursor: u64,
     /// Standing empty-table proof (present only while the table is empty).
@@ -179,6 +183,7 @@ impl DataAggregator {
             next_seq: 0,
             current_updates: HashMap::new(),
             recert_next: Vec::new(),
+            summary_log: Vec::new(),
             renewal_cursor: 0,
             empty_proof: None,
             scope,
@@ -272,6 +277,104 @@ impl DataAggregator {
             .iter()
             .filter_map(|e| self.record(e.rid))
             .collect()
+    }
+
+    /// Every live record's attribute row, in `(key, rid)` index order —
+    /// the order an epoch transition hands records off in (and the order
+    /// the successor shard's bootstrap assigns fresh rids by).
+    pub fn live_rows(&self) -> Vec<Vec<i64>> {
+        self.tree
+            .range(KEY_NEG_INF, KEY_POS_INF)
+            .matches
+            .iter()
+            .filter_map(|e| self.record(e.rid).map(|r| r.attrs))
+            .collect()
+    }
+
+    /// Bootstrap this (empty, freshly scoped) aggregator as the successor
+    /// of a rebalanced shard: certify `rows` under the new fences, then
+    /// open the summary stream with a seq-0 **baseline** whose bitmap is
+    /// all-ones over `max(mark_width, new slot count)` rids.
+    ///
+    /// The wide all-ones baseline is the cross-epoch staleness gate: a
+    /// pre-transition version — any rid of the donor shard(s), certified
+    /// strictly before this tick — is marked by a summary whose period
+    /// started at or after its timestamp and is therefore provably
+    /// [`Stale`](crate::freshness::Freshness::Stale) under the new stream,
+    /// even though donor and successor rid spaces do not line up. The
+    /// handoff's own re-certifications are stamped *inside* the baseline
+    /// period (the transition occupies its own tick), so the marking reads
+    /// as their own version and honest answers stay fresh.
+    ///
+    /// # Panics
+    /// Panics if the aggregator already holds records, or at clock 0 (the
+    /// caller must advance the clock to the transition tick first).
+    pub fn handoff_bootstrap(
+        &mut self,
+        rows: Vec<Vec<i64>>,
+        mark_width: u64,
+        jobs: usize,
+    ) -> (Bootstrap, UpdateSummary) {
+        assert!(self.clock >= 1, "epoch transitions occupy their own tick");
+        assert!(self.heap.is_empty(), "handoff into a non-empty aggregator");
+        // Back-date the period start one tick so the bootstrap stamps
+        // (ts = clock) sit strictly inside the baseline period while every
+        // pre-transition stamp (<= clock - 1) strictly predates it.
+        self.period_start = self.clock - 1;
+        let boot = self.bootstrap(rows, jobs);
+        let width = mark_width.max(self.heap.len()) as usize;
+        let mut bitmap = Bitmap::new(width);
+        for i in 0..width {
+            bitmap.set(i);
+        }
+        let baseline = UpdateSummary::create(
+            &self.keypair,
+            self.scope.epoch,
+            self.scope.shard,
+            self.next_seq,
+            self.period_start,
+            self.clock,
+            &bitmap,
+        );
+        self.summary_log.push(baseline.clone());
+        self.next_seq += 1;
+        self.period_start = self.clock;
+        self.current_updates.clear();
+        (boot, baseline)
+    }
+
+    /// Re-bind this shard's freshness artifacts to a new `(epoch, shard)`
+    /// tag at an epoch transition: every logged summary and the standing
+    /// vacancy proof (if any) are re-signed under the new tag. The chains
+    /// and records are untouched — the fences must not move — so the cost
+    /// is one signature per summary, not per record. Returns the re-bound
+    /// artifacts for the query server to adopt.
+    ///
+    /// # Panics
+    /// Panics if the new scope's fences differ from the current ones.
+    pub fn retag(&mut self, scope: ShardScope) -> (Vec<UpdateSummary>, Option<EmptyTableProof>) {
+        assert_eq!(
+            (self.scope.left_fence, self.scope.right_fence),
+            (scope.left_fence, scope.right_fence),
+            "retag must not move fences"
+        );
+        self.scope = scope;
+        for s in &mut self.summary_log {
+            s.epoch = scope.epoch;
+            s.shard = scope.shard;
+            s.signature = self.keypair.sign(&UpdateSummary::message(
+                s.epoch,
+                s.shard,
+                s.seq,
+                s.period_start,
+                s.ts,
+                &s.compressed,
+            ));
+        }
+        if let Some(p) = &mut self.empty_proof {
+            *p = EmptyTableProof::create(&self.keypair, scope.epoch, scope.shard, p.ts);
+        }
+        (self.summary_log.clone(), self.empty_proof.clone())
     }
 
     // -- signing ----------------------------------------------------------
@@ -452,7 +555,8 @@ impl DataAggregator {
         // A bootstrap of zero records still needs an authenticated answer
         // for every query: certify the vacancy.
         let vacancy = if records.is_empty() {
-            let proof = EmptyTableProof::create(&self.keypair, self.scope.shard, ts);
+            let proof =
+                EmptyTableProof::create(&self.keypair, self.scope.epoch, self.scope.shard, ts);
             self.empty_proof = Some(proof.clone());
             Some(proof)
         } else {
@@ -621,7 +725,12 @@ impl DataAggregator {
         // If this delete emptied the relation, certify the vacancy so
         // servers can keep answering with an authenticated proof.
         let vacancy = if self.heap.live_count() == 0 {
-            let proof = EmptyTableProof::create(&self.keypair, self.scope.shard, self.cert_clock());
+            let proof = EmptyTableProof::create(
+                &self.keypair,
+                self.scope.epoch,
+                self.scope.shard,
+                self.cert_clock(),
+            );
             self.empty_proof = Some(proof.clone());
             Some(proof)
         } else {
@@ -705,12 +814,14 @@ impl DataAggregator {
         }
         let summary = UpdateSummary::create(
             &self.keypair,
+            self.scope.epoch,
             self.scope.shard,
             self.next_seq,
             self.period_start,
             self.clock,
             &bitmap,
         );
+        self.summary_log.push(summary.clone());
         self.next_seq += 1;
         self.period_start = self.clock;
         self.current_updates.clear();

@@ -36,14 +36,25 @@ use crate::record::Tick;
 
 /// A certified compressed bitmap summary for one ρ-period.
 ///
-/// The `shard` tag is part of the signed message: in a sharded deployment
-/// every shard runs its own summary stream over its own (shard-local) rids,
-/// and without the tag a malicious server could attach one shard's fresh,
-/// genuinely-signed summaries to another shard's stale answer — the bitmaps
-/// would simply not mark the withheld update. Single-server deployments use
-/// shard 0.
+/// The `(epoch, shard)` tags are part of the signed message: in a sharded
+/// deployment every shard runs its own summary stream over its own
+/// (shard-local) rids, and without the shard tag a malicious server could
+/// attach one shard's fresh, genuinely-signed summaries to another shard's
+/// stale answer — the bitmaps would simply not mark the withheld update.
+/// The epoch tag extends the same argument across re-partitionings: shard
+/// indices (and rid spaces) are only meaningful relative to one certified
+/// [`ShardMap`](crate::shard::ShardMap) epoch, so a summary stream from
+/// epoch N must never vouch for an answer assembled under epoch N+1 (or
+/// vice versa). At an epoch transition the DA re-binds surviving shards'
+/// streams to the new tag ([`DataAggregator::retag`]) and mints fresh
+/// baseline streams for the handed-off shards. Unsharded deployments use
+/// epoch 0, shard 0.
+///
+/// [`DataAggregator::retag`]: crate::da::DataAggregator::retag
 #[derive(Clone, Debug, PartialEq)]
 pub struct UpdateSummary {
+    /// Which map epoch the stream belongs to (0 for unsharded).
+    pub epoch: u64,
     /// Which shard's update stream this summary covers (0 for unsharded).
     pub shard: u64,
     /// Monotone sequence number (consecutive — gaps mean withheld summaries).
@@ -61,14 +72,16 @@ pub struct UpdateSummary {
 impl UpdateSummary {
     /// The canonical signing message.
     pub fn message(
+        epoch: u64,
         shard: u64,
         seq: u64,
         period_start: Tick,
         ts: Tick,
         compressed: &[u8],
     ) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(40 + compressed.len());
+        let mut msg = Vec::with_capacity(48 + compressed.len());
         msg.extend_from_slice(b"summary:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
         msg.extend_from_slice(&shard.to_be_bytes());
         msg.extend_from_slice(&seq.to_be_bytes());
         msg.extend_from_slice(&period_start.to_be_bytes());
@@ -80,6 +93,7 @@ impl UpdateSummary {
     /// Build and sign a summary from a bitmap.
     pub fn create(
         keypair: &authdb_crypto::signer::Keypair,
+        epoch: u64,
         shard: u64,
         seq: u64,
         period_start: Tick,
@@ -87,8 +101,16 @@ impl UpdateSummary {
         bitmap: &Bitmap,
     ) -> Self {
         let compressed = compress(bitmap);
-        let signature = keypair.sign(&Self::message(shard, seq, period_start, ts, &compressed));
+        let signature = keypair.sign(&Self::message(
+            epoch,
+            shard,
+            seq,
+            period_start,
+            ts,
+            &compressed,
+        ));
         UpdateSummary {
+            epoch,
             shard,
             seq,
             period_start,
@@ -102,6 +124,7 @@ impl UpdateSummary {
     pub fn verify(&self, pp: &PublicParams) -> bool {
         pp.verify(
             &Self::message(
+                self.epoch,
                 self.shard,
                 self.seq,
                 self.period_start,
@@ -130,6 +153,10 @@ impl UpdateSummary {
 /// detects through the update summaries ([`check_vacancy`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct EmptyTableProof {
+    /// Which map epoch the claim belongs to (0 for unsharded). Bound into
+    /// the signed message so a proof minted under one partition cannot deny
+    /// records after a re-partitioning changed what the shard covers.
+    pub epoch: u64,
     /// Which shard's key range the claim covers (0 for unsharded). Bound
     /// into the signed message so an empty shard's proof cannot be replayed
     /// to deny a different shard's records.
@@ -142,26 +169,32 @@ pub struct EmptyTableProof {
 
 impl EmptyTableProof {
     /// The canonical signing message.
-    pub fn message(shard: u64, ts: Tick) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(28);
+    pub fn message(epoch: u64, shard: u64, ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(36);
         msg.extend_from_slice(b"empty-table:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
         msg.extend_from_slice(&shard.to_be_bytes());
         msg.extend_from_slice(&ts.to_be_bytes());
         msg
     }
 
-    /// Sign a vacancy claim for `shard`'s key range as of `ts`.
-    pub fn create(keypair: &Keypair, shard: u64, ts: Tick) -> Self {
+    /// Sign a vacancy claim for `shard`'s key range as of `ts` under map
+    /// epoch `epoch`.
+    pub fn create(keypair: &Keypair, epoch: u64, shard: u64, ts: Tick) -> Self {
         EmptyTableProof {
+            epoch,
             shard,
             ts,
-            signature: keypair.sign(&Self::message(shard, ts)),
+            signature: keypair.sign(&Self::message(epoch, shard, ts)),
         }
     }
 
     /// Verify the DA's signature.
     pub fn verify(&self, pp: &PublicParams) -> bool {
-        pp.verify(&Self::message(self.shard, self.ts), &self.signature)
+        pp.verify(
+            &Self::message(self.epoch, self.shard, self.ts),
+            &self.signature,
+        )
     }
 }
 
@@ -341,7 +374,7 @@ mod tests {
         for &rid in marked {
             b.set(rid as usize);
         }
-        UpdateSummary::create(kp, 0, seq, start, ts, &b)
+        UpdateSummary::create(kp, 0, 0, seq, start, ts, &b)
     }
 
     #[test]
@@ -526,7 +559,7 @@ mod tests {
     #[test]
     fn vacancy_holds_while_no_marks() {
         let kp = keypair();
-        let proof = EmptyTableProof::create(&kp, 0, 0);
+        let proof = EmptyTableProof::create(&kp, 0, 0, 0);
         assert!(proof.verify(&kp.public_params()));
         let sums = vec![summary(&kp, 0, 0, 10, &[]), summary(&kp, 1, 10, 20, &[])];
         assert!(matches!(

@@ -61,6 +61,12 @@ pub enum QueryError {
     /// server refuses rather than ship a frame every client must reject
     /// (split the query range and retry).
     AnswerTooLarge,
+    /// A rebalance package is structurally inconsistent with the server's
+    /// current map (wrong plan, wrong epoch, malformed handoff). The
+    /// networked server accepts these frames from untrusted peers, so this
+    /// is a refusal — applied atomically: a refused package changes
+    /// nothing.
+    BadRebalance,
 }
 
 impl fmt::Display for QueryError {
@@ -78,6 +84,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::AnswerTooLarge => {
                 write!(f, "answer exceeds the wire frame cap; narrow the query")
+            }
+            QueryError::BadRebalance => {
+                write!(f, "rebalance package inconsistent with the current map")
             }
         }
     }
@@ -520,6 +529,23 @@ impl QueryServer {
     /// The stored certified summaries, oldest first.
     pub fn summaries(&self) -> &[UpdateSummary] {
         &self.summaries
+    }
+
+    /// Re-tag this replica's key-range responsibility at an epoch
+    /// transition (the fences stay put for survivors; only the bound
+    /// `(epoch, shard)` tag changes).
+    pub(crate) fn set_scope(&mut self, scope: ShardScope) {
+        self.scope = scope;
+    }
+
+    /// Swap in the DA's re-bound summary stream at an epoch transition.
+    pub(crate) fn replace_summaries(&mut self, summaries: Vec<UpdateSummary>) {
+        self.summaries = summaries;
+    }
+
+    /// Swap in the DA's re-bound standing vacancy proof (or clear it).
+    pub(crate) fn set_vacancy(&mut self, vacancy: Option<EmptyTableProof>) {
+        self.vacancy = vacancy;
     }
 
     fn read_record(&self, rid: u64) -> Record {

@@ -56,20 +56,77 @@
 //! The cross-shard attack catalog in [`crate::adversary`] (seam splice,
 //! shard withholding, seam widening, stale-shard replay, summary swap)
 //! regression-checks every clause of this argument.
+//!
+//! # Epoch soundness
+//!
+//! A static partition turns a hot shard into a permanent ceiling, so the DA
+//! can **rebalance**: split one shard at a new key or merge two adjacent
+//! shards ([`RebalancePlan`]), producing a new [`ShardMap`] whose signed
+//! message carries an incremented **epoch** tag, plus a certified
+//! [`Rebalance`] package. Re-partitioning is exactly where verified
+//! outsourcing schemes quietly lose soundness — two genuinely-signed
+//! partitions now exist, and a server free to mix them can route any query
+//! to whichever epoch's proofs suit the lie. Three mechanisms close the
+//! hole:
+//!
+//! 1. **One live epoch.** The client pins an [`EpochView`] — the epoch and
+//!    map hash it currently accepts — advanced only through a signed
+//!    [`EpochTransition`] whose message chains `hash(map_N) →
+//!    hash(map_{N+1})`. `Verifier::verify_sharded_selection` rejects any
+//!    answer whose map is not the pinned one (`StaleEpoch`), so an answer
+//!    assembled under epoch N verifies only until the client observes the
+//!    N+1 transition, and a fabricated or replayed partition can never be
+//!    swapped in (`BrokenTransition` breaks the hash chain).
+//! 2. **Certified handoff.** The shards a rebalance touches are rebuilt
+//!    from scratch under the new scope: every handed-off record is
+//!    re-signed with chains terminating at the *new* fences, and the new
+//!    stream's seq-0 **baseline summary** marks the whole old rid space
+//!    (all-ones over the wider of the donor and successor rid spaces), so
+//!    any pre-transition version — whose certification necessarily
+//!    predates the baseline period, because the transition occupies its own
+//!    clock tick — is provably `Stale` under the new stream. Records
+//!    signed under the old fences cannot be served under the new ones: the
+//!    old seam-adjacent chains and gap proofs claim neighbour keys beyond
+//!    the new fences (`SeamViolation`/`RecordOutOfRange`).
+//! 3. **Epoch-tagged freshness domains.** Summaries and vacancy proofs
+//!    bind `(epoch, shard)` into their signed messages. Surviving shards'
+//!    streams are re-signed under the new tag at the transition
+//!    (`DataAggregator::retag` — cost proportional to the summary count,
+//!    not the data), so an answer mixing epochs — one sub-query served
+//!    from epoch-N state, another from N+1 ("split brain") — is rejected
+//!    with `EpochMismatch` before any pairing work.
+//!
+//! The rebalancing attack catalog in [`crate::adversary`] (stale-epoch map
+//! replay, handoff forgery, split brain, transition-chain break)
+//! regression-checks each clause, and the `epoch_equivalence` property
+//! suite checks that a rebalancing deployment stays observably equivalent
+//! to a single server across random split/merge schedules.
 
+use authdb_crypto::sha256::{sha256, Digest};
 use authdb_crypto::signer::{Keypair, PublicParams, Signature};
 
-use crate::da::{Bootstrap, DaConfig, DataAggregator, UpdateMsg};
-use crate::freshness::UpdateSummary;
+use crate::da::{Bootstrap, DaConfig, DataAggregator, SigningMode, UpdateMsg};
+use crate::freshness::{EmptyTableProof, UpdateSummary};
 use crate::qs::{QsOptions, QueryError, QueryServer, SelectionAnswer};
-use crate::record::{Tick, KEY_NEG_INF, KEY_POS_INF};
+use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
+
+/// The epoch tag of an unsharded deployment's artifacts. Certified shard
+/// maps start at [`GENESIS_EPOCH`]; wire decoding refuses a map claiming
+/// the unsharded sentinel ([`ShardMap::from_parts`]).
+pub const UNSHARDED_EPOCH: u64 = 0;
+/// The epoch of the first certified partition.
+pub const GENESIS_EPOCH: u64 = 1;
 
 /// One aggregator-or-server's key-range responsibility inside a sharded
 /// deployment: the chain *fences* (the neighbour values signed at the
-/// shard's extremes) and the shard tag bound into summaries and vacancy
-/// proofs. The shard owns exactly the keys strictly between its fences.
+/// shard's extremes) and the `(epoch, shard)` tag bound into summaries and
+/// vacancy proofs. The shard owns exactly the keys strictly between its
+/// fences.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardScope {
+    /// Map epoch, bound into summary and vacancy-proof messages
+    /// ([`UNSHARDED_EPOCH`] for an unsharded deployment).
+    pub epoch: u64,
     /// Shard index, bound into summary and vacancy-proof messages.
     pub shard: u64,
     /// Largest key value outside the shard on the left
@@ -84,6 +141,7 @@ impl ShardScope {
     /// The whole key space: what an unsharded deployment certifies.
     pub fn global() -> Self {
         ShardScope {
+            epoch: UNSHARDED_EPOCH,
             shard: 0,
             left_fence: KEY_NEG_INF,
             right_fence: KEY_POS_INF,
@@ -138,18 +196,25 @@ impl Default for ShardScope {
 /// The DA-certified partition: `m` split keys define `m + 1` key-range
 /// shards, and the signature pins the partition so the server cannot
 /// re-draw shard responsibilities. Shard `i` owns keys `k` with
-/// `splits[i-1] <= k < splits[i]` (unbounded at the extremes).
+/// `splits[i-1] <= k < splits[i]` (unbounded at the extremes). The signed
+/// message also binds the map's **epoch**, so two certified partitions
+/// from different points in a deployment's life can never be confused:
+/// the verifier accepts exactly one epoch at a time ([`EpochView`]).
+///
+/// [`EpochView`]: crate::verify::EpochView
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardMap {
+    epoch: u64,
     splits: Vec<i64>,
     signature: Signature,
 }
 
 impl ShardMap {
     /// The canonical signing message.
-    pub fn message(splits: &[i64]) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(16 + 8 * splits.len());
+    pub fn message(epoch: u64, splits: &[i64]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(26 + 8 * splits.len());
         msg.extend_from_slice(b"shard-map:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
         msg.extend_from_slice(&(splits.len() as u64).to_be_bytes());
         for s in splits {
             msg.extend_from_slice(&s.to_be_bytes());
@@ -157,14 +222,29 @@ impl ShardMap {
         msg
     }
 
-    /// Certify a partition. `splits` may be empty (one shard = the whole
-    /// key space, scope-equivalent to an unsharded deployment).
+    /// Certify a deployment's first partition (epoch [`GENESIS_EPOCH`]).
+    /// `splits` may be empty (one shard = the whole key space,
+    /// scope-equivalent to an unsharded deployment).
     ///
     /// # Panics
     /// Panics unless the splits are strictly increasing and leave room for
     /// the seam fences (each split must exceed `i64::MIN + 1` and be below
     /// `i64::MAX`, so `split - 1` never collides with the −∞ sentinel).
     pub fn create(keypair: &Keypair, splits: Vec<i64>) -> Self {
+        Self::create_at_epoch(keypair, splits, GENESIS_EPOCH)
+    }
+
+    /// Certify a partition at an explicit epoch (rebalancing mints
+    /// epoch N+1 maps through this).
+    ///
+    /// # Panics
+    /// Panics on the same structural violations as [`ShardMap::create`],
+    /// or when `epoch` is the reserved [`UNSHARDED_EPOCH`] sentinel.
+    pub fn create_at_epoch(keypair: &Keypair, splits: Vec<i64>, epoch: u64) -> Self {
+        assert!(
+            epoch != UNSHARDED_EPOCH,
+            "epoch 0 is the unsharded sentinel; certified maps start at 1"
+        );
         assert!(
             splits.windows(2).all(|w| w[0] < w[1]),
             "split keys must be strictly increasing"
@@ -173,21 +253,32 @@ impl ShardMap {
             splits.iter().all(|&s| s > i64::MIN + 1 && s < i64::MAX),
             "split keys must leave room for seam fences"
         );
-        let signature = keypair.sign(&Self::message(&splits));
-        ShardMap { splits, signature }
+        let signature = keypair.sign(&Self::message(epoch, &splits));
+        ShardMap {
+            epoch,
+            splits,
+            signature,
+        }
     }
 
     /// Reassemble a map from decoded wire parts without re-signing.
     /// Returns `None` when the splits violate the structural invariants
-    /// [`ShardMap::create`] asserts — wire decoders must reject malformed
-    /// partitions with a typed error, never panic on attacker bytes. The
-    /// signature is *not* checked here; [`ShardMap::verify`] stays the
-    /// verifier's job.
-    pub fn from_parts(splits: Vec<i64>, signature: Signature) -> Option<Self> {
+    /// [`ShardMap::create`] asserts, or when the claimed epoch is the
+    /// reserved [`UNSHARDED_EPOCH`] sentinel (an epoch-0 map would collide
+    /// with the tag unsharded artifacts carry, letting a single-server
+    /// summary stream vouch for a sharded answer) — wire decoders must
+    /// reject malformed partitions with a typed error, never panic on
+    /// attacker bytes. The signature is *not* checked here;
+    /// [`ShardMap::verify`] stays the verifier's job.
+    pub fn from_parts(epoch: u64, splits: Vec<i64>, signature: Signature) -> Option<Self> {
         let sorted = splits.windows(2).all(|w| w[0] < w[1]);
         let fenced = splits.iter().all(|&s| s > i64::MIN + 1 && s < i64::MAX);
-        if sorted && fenced {
-            Some(ShardMap { splits, signature })
+        if epoch != UNSHARDED_EPOCH && sorted && fenced {
+            Some(ShardMap {
+                epoch,
+                splits,
+                signature,
+            })
         } else {
             None
         }
@@ -200,7 +291,20 @@ impl ShardMap {
 
     /// Verify the DA's signature over the partition.
     pub fn verify(&self, pp: &PublicParams) -> bool {
-        pp.verify(&Self::message(&self.splits), &self.signature)
+        pp.verify(&Self::message(self.epoch, &self.splits), &self.signature)
+    }
+
+    /// The map's epoch tag.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Content hash of the canonical signing message — what
+    /// [`EpochTransition`]s chain and [`EpochView`]s pin.
+    ///
+    /// [`EpochView`]: crate::verify::EpochView
+    pub fn hash(&self) -> Digest {
+        sha256(&Self::message(self.epoch, &self.splits))
     }
 
     /// The split keys.
@@ -225,6 +329,7 @@ impl ShardMap {
     pub fn scope(&self, i: usize) -> ShardScope {
         assert!(i < self.shard_count(), "shard index out of range");
         ShardScope {
+            epoch: self.epoch,
             shard: i as u64,
             left_fence: if i == 0 {
                 KEY_NEG_INF
@@ -262,6 +367,193 @@ impl ShardMap {
     }
 }
 
+/// A DA-signed link between two consecutive map epochs: the client-side
+/// [`EpochView`] advances along a chain of these, so the server can neither
+/// fabricate a partition (the new map's hash is signed) nor replay an old
+/// one (the parent hash pins exactly one predecessor, and the view accepts
+/// exactly one live epoch).
+///
+/// [`EpochView`]: crate::verify::EpochView
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochTransition {
+    /// The epoch this transition creates (`parent epoch + 1`).
+    pub epoch: u64,
+    /// Hash of the epoch-N map's signing message.
+    pub parent_hash: Digest,
+    /// Hash of the epoch-N+1 map's signing message.
+    pub map_hash: Digest,
+    /// When the DA performed the rebalance.
+    pub ts: Tick,
+    /// DA signature over [`EpochTransition::message`].
+    pub signature: Signature,
+}
+
+impl EpochTransition {
+    /// The canonical signing message.
+    pub fn message(epoch: u64, parent_hash: &Digest, map_hash: &Digest, ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(96);
+        msg.extend_from_slice(b"epoch-transition:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        msg.extend_from_slice(parent_hash);
+        msg.extend_from_slice(map_hash);
+        msg.extend_from_slice(&ts.to_be_bytes());
+        msg
+    }
+
+    /// Sign the link `old → new` at time `ts`.
+    pub fn create(keypair: &Keypair, old: &ShardMap, new: &ShardMap, ts: Tick) -> Self {
+        let parent_hash = old.hash();
+        let map_hash = new.hash();
+        EpochTransition {
+            epoch: new.epoch(),
+            parent_hash,
+            map_hash,
+            ts,
+            signature: keypair.sign(&Self::message(new.epoch(), &parent_hash, &map_hash, ts)),
+        }
+    }
+
+    /// Verify the DA's signature.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(
+            &Self::message(self.epoch, &self.parent_hash, &self.map_hash, self.ts),
+            &self.signature,
+        )
+    }
+}
+
+/// What a rebalance does to the partition: split one shard at a new key,
+/// or merge two adjacent shards. Indices refer to the **old** (epoch-N)
+/// map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebalancePlan {
+    /// Split shard `shard` at key `at`: keys `< at` stay in shard `shard`,
+    /// keys `>= at` move to a new shard `shard + 1`; later shards shift up.
+    Split {
+        /// The (old-epoch) shard to split.
+        shard: usize,
+        /// The new split key, strictly between the shard's existing bounds.
+        at: i64,
+    },
+    /// Merge shards `left` and `left + 1` into one shard at index `left`;
+    /// later shards shift down.
+    Merge {
+        /// The left member of the adjacent pair to merge.
+        left: usize,
+    },
+}
+
+impl RebalancePlan {
+    /// The epoch-N+1 split keys this plan produces from the epoch-N ones,
+    /// or `None` when the plan is invalid for them (out-of-range shard
+    /// index, split key outside the shard or colliding with a sentinel).
+    pub fn apply_to(&self, splits: &[i64]) -> Option<Vec<i64>> {
+        match *self {
+            RebalancePlan::Split { shard, at } => {
+                if shard > splits.len() {
+                    return None;
+                }
+                let above_left = shard == 0 || splits[shard - 1] < at;
+                let below_right = shard == splits.len() || at < splits[shard];
+                if !(above_left && below_right && at > i64::MIN + 1 && at < i64::MAX) {
+                    return None;
+                }
+                let mut out = splits.to_vec();
+                out.insert(shard, at);
+                Some(out)
+            }
+            RebalancePlan::Merge { left } => {
+                if left >= splits.len() {
+                    return None;
+                }
+                let mut out = splits.to_vec();
+                out.remove(left);
+                Some(out)
+            }
+        }
+    }
+
+    /// The new-map indices of the shards this plan creates (the handed-off
+    /// ones), in order.
+    pub fn created_shards(&self) -> Vec<usize> {
+        match *self {
+            RebalancePlan::Split { shard, .. } => vec![shard, shard + 1],
+            RebalancePlan::Merge { left } => vec![left],
+        }
+    }
+
+    /// Where old shard `old` lives in the new map, or `None` if the plan
+    /// dissolves it (its records travel through a [`ShardHandoff`]).
+    pub fn survivor_index(&self, old: usize) -> Option<usize> {
+        match *self {
+            RebalancePlan::Split { shard, .. } => match old.cmp(&shard) {
+                std::cmp::Ordering::Less => Some(old),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(old + 1),
+            },
+            RebalancePlan::Merge { left } => {
+                if old < left {
+                    Some(old)
+                } else if old <= left + 1 {
+                    None
+                } else {
+                    Some(old - 1)
+                }
+            }
+        }
+    }
+}
+
+/// One rebuilt shard's certified handoff: every record re-signed with
+/// chains terminating at the new fences, plus the new stream's baseline
+/// summary (seq 0, marking the whole predecessor rid space so replays of
+/// pre-transition versions are provably stale).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardHandoff {
+    /// New-map index of the rebuilt shard.
+    pub shard: usize,
+    /// Handed-off records in rid order (rid = position).
+    pub records: Vec<Record>,
+    /// Their fresh chained signatures, in rid order.
+    pub sigs: Vec<Signature>,
+    /// Vacancy certificate when the new shard is empty.
+    pub vacancy: Option<EmptyTableProof>,
+    /// The new summary stream's seq-0 baseline.
+    pub baseline: UpdateSummary,
+}
+
+/// A surviving shard's freshness artifacts re-signed under the new
+/// `(epoch, shard)` tag — its chains and records are untouched (the
+/// fences did not move), so re-binding costs one signature per stored
+/// summary instead of one per record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardRebind {
+    /// New-map index of the surviving shard.
+    pub shard: usize,
+    /// Its full summary log, re-signed under the new tag.
+    pub summaries: Vec<UpdateSummary>,
+    /// Its standing vacancy proof (if currently empty), re-signed.
+    pub vacancy: Option<EmptyTableProof>,
+}
+
+/// The complete DA-certified epoch transition package: everything a query
+/// server needs to cross from epoch N to N+1 without a restart, and
+/// everything a client needs to keep verifying across the bump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rebalance {
+    /// What changed, relative to the epoch-N map.
+    pub plan: RebalancePlan,
+    /// The certified epoch-N+1 partition.
+    pub new_map: ShardMap,
+    /// The signed link `map_N → map_{N+1}` clients advance their
+    /// [`EpochView`](crate::verify::EpochView) through.
+    pub transition: EpochTransition,
+    /// Fresh bootstraps for the shards the plan creates, in index order.
+    pub handoffs: Vec<ShardHandoff>,
+    /// Re-tagged freshness artifacts for every surviving shard.
+    pub rebound: Vec<ShardRebind>,
+}
+
 /// The DA side of a sharded deployment: one trusted signer, one certified
 /// [`ShardMap`], and one scoped [`DataAggregator`] per shard sharing the
 /// key. Updates are routed by key; a key change that crosses a seam becomes
@@ -269,6 +561,8 @@ impl ShardMap {
 pub struct ShardedAggregator {
     map: ShardMap,
     shards: Vec<DataAggregator>,
+    keypair: Keypair,
+    transitions: Vec<EpochTransition>,
 }
 
 impl ShardedAggregator {
@@ -286,12 +580,23 @@ impl ShardedAggregator {
                 DataAggregator::with_keypair_scoped(cfg.clone(), keypair.clone(), map.scope(i))
             })
             .collect();
-        ShardedAggregator { map, shards }
+        ShardedAggregator {
+            map,
+            shards,
+            keypair,
+            transitions: Vec::new(),
+        }
     }
 
     /// The certified partition.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// Every epoch transition this deployment has performed, oldest first
+    /// (the chain a late-joining client walks from the genesis map).
+    pub fn transitions(&self) -> &[EpochTransition] {
+        &self.transitions
     }
 
     /// Verification parameters (shared by every shard).
@@ -401,6 +706,122 @@ impl ShardedAggregator {
         }
         out
     }
+
+    /// Re-partition the deployment: certify the epoch-N+1 map, rebuild the
+    /// shards the plan touches (fresh scoped chains + baseline summary
+    /// streams), re-tag every survivor's freshness artifacts, and sign the
+    /// [`EpochTransition`] linking the two maps. Returns the complete
+    /// [`Rebalance`] package for the query servers.
+    ///
+    /// The transition occupies its own clock tick (every shard's clock
+    /// advances by one first), which is what lets the handed-off shards'
+    /// baseline summaries cleanly separate pre-transition certifications
+    /// (provably stale under the new stream) from the handoff's own
+    /// re-certifications.
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid for the current map, or in
+    /// [`SigningMode::PerAttribute`] (rebalancing re-chains records, which
+    /// only chained mode certifies).
+    pub fn rebalance(&mut self, plan: RebalancePlan, jobs: usize) -> Rebalance {
+        assert_eq!(
+            self.config().mode,
+            SigningMode::Chained,
+            "rebalancing requires chained signing"
+        );
+        let new_splits = plan
+            .apply_to(self.map.splits())
+            .expect("rebalance plan invalid for the current map");
+        // The transition gets its own tick: every certification already
+        // disseminated now strictly predates the baseline period.
+        self.advance_clock(1);
+        let now = self.now();
+        let old_map = self.map.clone();
+        let new_map = ShardMap::create_at_epoch(&self.keypair, new_splits, old_map.epoch() + 1);
+        let transition = EpochTransition::create(&self.keypair, &old_map, &new_map, now);
+
+        let cfg = self.config().clone();
+        let idx_attr = cfg.schema.indexed_attr;
+        let mut handoffs = Vec::new();
+        match plan {
+            RebalancePlan::Split { shard, at } => {
+                let donor = self.shards.remove(shard);
+                let width = donor.record_slots();
+                let (left_rows, right_rows): (Vec<_>, Vec<_>) = donor
+                    .live_rows()
+                    .into_iter()
+                    .partition(|row| row[idx_attr] < at);
+                for (idx, rows) in [(shard, left_rows), (shard + 1, right_rows)] {
+                    let (da, handoff) =
+                        self.handoff_shard(&cfg, new_map.scope(idx), rows, width, now, jobs);
+                    self.shards.insert(idx, da);
+                    handoffs.push(handoff);
+                }
+            }
+            RebalancePlan::Merge { left } => {
+                let right_donor = self.shards.remove(left + 1);
+                let left_donor = self.shards.remove(left);
+                let width = left_donor.record_slots().max(right_donor.record_slots());
+                let mut rows = left_donor.live_rows();
+                rows.extend(right_donor.live_rows());
+                let (da, handoff) =
+                    self.handoff_shard(&cfg, new_map.scope(left), rows, width, now, jobs);
+                self.shards.insert(left, da);
+                handoffs.push(handoff);
+            }
+        }
+
+        // Every survivor's summary stream (and standing vacancy) re-binds
+        // to the new (epoch, shard) tag; chains are untouched.
+        let created = plan.created_shards();
+        let mut rebound = Vec::new();
+        for (idx, shard_da) in self.shards.iter_mut().enumerate() {
+            if created.contains(&idx) {
+                continue;
+            }
+            let (summaries, vacancy) = shard_da.retag(new_map.scope(idx));
+            rebound.push(ShardRebind {
+                shard: idx,
+                summaries,
+                vacancy,
+            });
+        }
+
+        self.map = new_map.clone();
+        self.transitions.push(transition.clone());
+        Rebalance {
+            plan,
+            new_map,
+            transition,
+            handoffs,
+            rebound,
+        }
+    }
+
+    /// Build one handed-off shard: a fresh scoped aggregator at the current
+    /// clock, bootstrapped with `rows` and opening its summary stream with
+    /// the all-ones baseline over `mark_width` rid slots.
+    fn handoff_shard(
+        &self,
+        cfg: &DaConfig,
+        scope: ShardScope,
+        rows: Vec<Vec<i64>>,
+        mark_width: u64,
+        now: Tick,
+        jobs: usize,
+    ) -> (DataAggregator, ShardHandoff) {
+        let mut da = DataAggregator::with_keypair_scoped(cfg.clone(), self.keypair.clone(), scope);
+        da.advance_clock(now);
+        let (boot, baseline) = da.handoff_bootstrap(rows, mark_width, jobs);
+        let handoff = ShardHandoff {
+            shard: scope.shard as usize,
+            records: boot.records,
+            sigs: boot.sigs,
+            vacancy: boot.vacancy,
+            baseline,
+        };
+        (da, handoff)
+    }
 }
 
 /// One shard's contribution to a sharded selection answer.
@@ -437,10 +858,17 @@ impl ShardedSelectionAnswer {
 
 /// The untrusted side of a sharded deployment: one scoped [`QueryServer`]
 /// per shard plus the certified map, fanning range selections out to every
-/// overlapping shard.
+/// overlapping shard. A live server crosses epoch transitions in place:
+/// [`ShardedQueryServer::apply_rebalance`] swaps in the handed-off shard
+/// replicas and re-tagged freshness artifacts without a restart.
 pub struct ShardedQueryServer {
     map: ShardMap,
     shards: Vec<QueryServer>,
+    pp: PublicParams,
+    schema: Schema,
+    mode: SigningMode,
+    opts: QsOptions,
+    transitions: Vec<EpochTransition>,
 }
 
 impl ShardedQueryServer {
@@ -474,12 +902,122 @@ impl ShardedQueryServer {
                 )
             })
             .collect();
-        ShardedQueryServer { map, shards }
+        ShardedQueryServer {
+            map,
+            shards,
+            pp,
+            schema: cfg.schema,
+            mode: cfg.mode,
+            opts: opts.clone(),
+            transitions: Vec::new(),
+        }
     }
 
     /// The partition this server follows.
     pub fn map(&self) -> &ShardMap {
         &self.map
+    }
+
+    /// The epoch transitions this server has applied, oldest first —
+    /// served to clients so they can advance their `EpochView` from the
+    /// genesis map to the live epoch.
+    pub fn transitions(&self) -> &[EpochTransition] {
+        &self.transitions
+    }
+
+    /// Cross one epoch transition in place: validate the package's shape
+    /// against the current map, rebuild the handed-off shards from their
+    /// certified bootstraps, move the survivors to their new indices with
+    /// re-tagged scopes and re-bound freshness artifacts, and adopt the
+    /// epoch-N+1 map.
+    ///
+    /// The server is untrusted, so no signature here is checked — a forged
+    /// package only breaks the server's *own* answers (the verifier rejects
+    /// them). What **is** checked is structural consistency: a hostile
+    /// package (the net path accepts these frames from any peer) must yield
+    /// a typed [`QueryError::BadRebalance`] refusal, never a panic or a
+    /// partial mutation. Validation happens entirely before any state
+    /// changes.
+    pub fn apply_rebalance(&mut self, rb: &Rebalance) -> Result<(), QueryError> {
+        if self.mode != SigningMode::Chained {
+            return Err(QueryError::Unsupported);
+        }
+        let Some(expected_splits) = rb.plan.apply_to(self.map.splits()) else {
+            return Err(QueryError::BadRebalance);
+        };
+        if rb.new_map.splits() != expected_splits
+            || rb.new_map.epoch() != self.map.epoch().wrapping_add(1)
+        {
+            return Err(QueryError::BadRebalance);
+        }
+        let created = rb.plan.created_shards();
+        if rb.handoffs.len() != created.len() {
+            return Err(QueryError::BadRebalance);
+        }
+        for (h, &want) in rb.handoffs.iter().zip(&created) {
+            if h.shard != want || h.sigs.len() != h.records.len() {
+                return Err(QueryError::BadRebalance);
+            }
+            for (k, r) in h.records.iter().enumerate() {
+                // Bootstrap invariants the replica build relies on: rid =
+                // position, schema-conformant arity (a wire-decoded record
+                // can claim any shape).
+                if r.rid != k as u64 || r.attrs.len() != self.schema.num_attrs {
+                    return Err(QueryError::BadRebalance);
+                }
+            }
+        }
+        let new_count = expected_splits.len() + 1;
+        for rebind in &rb.rebound {
+            if rebind.shard >= new_count || created.contains(&rebind.shard) {
+                return Err(QueryError::BadRebalance);
+            }
+        }
+
+        // Commit: survivors move to their new indices, handoffs fill the
+        // created ones (the two sets tile 0..new_count by construction).
+        let old_shards = std::mem::take(&mut self.shards);
+        let mut new_shards: Vec<Option<QueryServer>> = (0..new_count).map(|_| None).collect();
+        for (old_idx, mut qs) in old_shards.into_iter().enumerate() {
+            if let Some(new_idx) = rb.plan.survivor_index(old_idx) {
+                qs.set_scope(rb.new_map.scope(new_idx));
+                new_shards[new_idx] = Some(qs);
+            }
+        }
+        for h in &rb.handoffs {
+            let boot = Bootstrap {
+                records: h.records.clone(),
+                sigs: h.sigs.clone(),
+                attr_sigs: vec![Vec::new(); h.records.len()],
+                vacancy: h.vacancy.clone(),
+            };
+            let mut qs = QueryServer::with_options(
+                self.pp.clone(),
+                self.schema,
+                self.mode,
+                &boot,
+                QsOptions {
+                    scope: rb.new_map.scope(h.shard),
+                    ..self.opts.clone()
+                },
+            );
+            qs.add_summary(h.baseline.clone());
+            new_shards[h.shard] = Some(qs);
+        }
+        for rebind in &rb.rebound {
+            let qs = new_shards[rebind.shard]
+                .as_mut()
+                .expect("survivor slot populated");
+            qs.replace_summaries(rebind.summaries.clone());
+            qs.set_vacancy(rebind.vacancy.clone());
+        }
+        self.shards = new_shards
+            .into_iter()
+            .map(|s| s.expect("every new shard populated"))
+            .collect();
+        self.map = rb.new_map.clone();
+        self.transitions.push(rb.transition.clone());
+        Ok(())
     }
 
     /// One shard's server.

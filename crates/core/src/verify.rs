@@ -44,11 +44,24 @@
 //! | [`VerifyError::SeamViolation`] | forging a per-shard boundary key past the shard's signed seam fence to shrink its responsibility |
 //! | [`VerifyError::ShardMismatch`] | vouching for one shard's stale answer with another shard's (fresh, genuinely signed) summaries or vacancy proof |
 //! | [`VerifyError::RecordOutOfRange`] | seam splice: moving a record across the split into a shard that does not own its key |
-//! | [`VerifyError::Stale`] | stale-shard replay: one shard answering from an old epoch while the others are fresh |
+//! | [`VerifyError::Stale`] | stale-shard replay: one shard answering from a pre-update snapshot while the others are fresh |
+//!
+//! Rebalancing ([`crate::shard`]'s epoch machinery) re-partitions the
+//! relation at runtime, so two genuinely-signed partitions exist; the
+//! client pins an [`EpochView`] and the verifier adds:
+//!
+//! | error | rejected attack |
+//! |---|---|
+//! | [`VerifyError::StaleEpoch`] | stale-epoch map replay / split brain across answers: assembling an answer under a superseded (or not-yet-observed) certified partition |
+//! | [`VerifyError::EpochMismatch`] | split brain within one answer: a part vouched for by a different epoch's (genuinely signed) summary stream or vacancy proof — including handoff forgery backed by pre-transition artifacts |
+//! | [`VerifyError::BrokenTransition`] | transition-chain break: advancing the client's epoch with a transition whose signature, parent hash, epoch number, or map hash does not extend the pinned chain |
+//! | [`VerifyError::Stale`] | handoff replay: serving a pre-transition record version under the new epoch's stream (the handoff baseline summary marks the entire donor rid space) |
+//! | [`VerifyError::RecordOutOfRange`] / [`VerifyError::SeamViolation`] | handoff forgery: records or boundary keys signed under the old fences served under the new, narrower ones |
 //!
 //! The conformance suites in [`crate::adversary`] exercise every row of
-//! both tables against a [`crate::adversary::MaliciousServer`] /
-//! [`crate::adversary::MaliciousShardedServer`].
+//! all three tables against a [`crate::adversary::MaliciousServer`] /
+//! [`crate::adversary::MaliciousShardedServer`] (plus the rebalancing
+//! scenarios of `run_rebalance_catalog`).
 //!
 //! Under the BAS scheme the [`Verifier`]'s [`PublicParams`] carry the DA
 //! key's precomputed pairing lines (built once at key generation, shared
@@ -59,12 +72,13 @@
 //! [`Verifier::verify_selection_batch`] goes further and folds many
 //! answers into a *single* random-linear-combination multi-pairing.
 
+use authdb_crypto::sha256::Digest;
 use authdb_crypto::signer::{PublicParams, Signature};
 
 use crate::freshness::{DecodedSummaries, EmptyTableProof, Freshness, UpdateSummary};
 use crate::qs::{ProjectionAnswer, SelectionAnswer};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
-use crate::shard::ShardedSelectionAnswer;
+use crate::shard::{EpochTransition, ShardMap, ShardedSelectionAnswer};
 
 /// Why verification failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -145,6 +159,26 @@ pub enum VerifyError {
         /// The shard whose answer carried the alien artifact.
         shard: usize,
     },
+    /// The answer was assembled under a certified partition that is not
+    /// the client's live epoch: a replayed pre-rebalance map, or a map the
+    /// client has not yet observed the transition to.
+    StaleEpoch {
+        /// The epoch the answer's map claims.
+        answer_epoch: u64,
+        /// The epoch the client's [`EpochView`] currently pins.
+        live_epoch: u64,
+    },
+    /// A per-shard answer's summary or vacancy artifacts are bound to a
+    /// different epoch than the answer's map — a split-brain answer mixing
+    /// pre- and post-rebalance state.
+    EpochMismatch {
+        /// The shard whose answer carried the cross-epoch artifact.
+        shard: usize,
+    },
+    /// An epoch transition does not extend the client's pinned chain: bad
+    /// signature, non-successor epoch, wrong parent hash, or a new map
+    /// that does not match the signed hash.
+    BrokenTransition,
 }
 
 /// A failure localized inside a batch verification.
@@ -164,6 +198,89 @@ pub struct VerifyReport {
     pub max_staleness: Tick,
     /// Number of records checked.
     pub records: usize,
+}
+
+/// The client's pinned epoch: which certified partition it currently
+/// accepts answers under. **Exactly one epoch is live at a time** — an
+/// answer assembled under epoch N verifies only until the client observes
+/// the N+1 transition, after which epoch-N answers are [`StaleEpoch`]
+/// replays.
+///
+/// The view starts from a signature-verified genesis map and advances only
+/// along DA-signed [`EpochTransition`]s whose hash chain extends the
+/// pinned map (`parent_hash` must equal the pinned hash). Because every
+/// link is signed and the genesis was verified, the pinned hash *is* the
+/// certified partition — `verify_sharded_selection` compares the answer's
+/// map against it by hash and needs no per-answer map signature check
+/// (one pairing saved per answer under BAS).
+///
+/// [`StaleEpoch`]: VerifyError::StaleEpoch
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochView {
+    epoch: u64,
+    map_hash: Digest,
+}
+
+impl EpochView {
+    /// Pin the deployment's genesis map (its signature is checked here,
+    /// once).
+    pub fn genesis(map: &ShardMap, pp: &PublicParams) -> Result<Self, VerifyError> {
+        if !map.verify(pp) {
+            return Err(VerifyError::BadShardMap);
+        }
+        Ok(EpochView {
+            epoch: map.epoch(),
+            map_hash: map.hash(),
+        })
+    }
+
+    /// The pinned epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned map's content hash.
+    pub fn map_hash(&self) -> &Digest {
+        &self.map_hash
+    }
+
+    /// Advance one epoch along a signed transition. Rejects with
+    /// [`VerifyError::BrokenTransition`] unless the transition's signature
+    /// verifies, its epoch is the pinned epoch + 1, and its parent hash is
+    /// the pinned map hash. On success the view pins the transition's new
+    /// map hash.
+    pub fn advance(&mut self, t: &EpochTransition, pp: &PublicParams) -> Result<(), VerifyError> {
+        if !t.verify(pp) || t.epoch != self.epoch.wrapping_add(1) || t.parent_hash != self.map_hash
+        {
+            return Err(VerifyError::BrokenTransition);
+        }
+        self.epoch = t.epoch;
+        self.map_hash = t.map_hash;
+        Ok(())
+    }
+
+    /// Catch up along a server-provided transition chain (links at or
+    /// below the pinned epoch are skipped — a client that already observed
+    /// them re-fetching the full chain is not an error), then require
+    /// `map` to be exactly the partition the chain ends at. This is what a
+    /// client runs on a `Response::Epoch` payload.
+    pub fn observe(
+        &mut self,
+        transitions: &[EpochTransition],
+        map: &ShardMap,
+        pp: &PublicParams,
+    ) -> Result<(), VerifyError> {
+        for t in transitions {
+            if t.epoch <= self.epoch {
+                continue;
+            }
+            self.advance(t, pp)?;
+        }
+        if map.epoch() != self.epoch || map.hash() != self.map_hash {
+            return Err(VerifyError::BrokenTransition);
+        }
+        Ok(())
+    }
 }
 
 /// The client-side verifier.
@@ -322,7 +439,7 @@ impl Verifier {
                     }
                 }
                 return Ok(AnswerClaim {
-                    messages: vec![EmptyTableProof::message(vac.shard, vac.ts)],
+                    messages: vec![EmptyTableProof::message(vac.epoch, vac.shard, vac.ts)],
                     agg: vac.signature.clone(),
                     report: VerifyReport {
                         max_staleness,
@@ -459,28 +576,43 @@ impl Verifier {
     /// Verify a sharded selection answer (see [`crate::shard`]) for the
     /// query `lo <= Aind <= hi` by stitching the per-shard proofs:
     ///
-    /// 1. the shard map's own signature (the server cannot re-partition);
+    /// 1. the epoch gate — the answer's map must be *exactly* the
+    ///    partition the client's [`EpochView`] pins (same epoch, same
+    ///    content hash), so the server can neither re-partition nor replay
+    ///    a superseded certified epoch;
     /// 2. the fan-out shape — exactly one answer per overlapping shard, for
-    ///    the sub-range the *signed* map assigns it (the sub-ranges tile
+    ///    the sub-range the *pinned* map assigns it (the sub-ranges tile
     ///    `[lo, hi]`, so seams cannot swallow records);
-    /// 3. per-shard seam checks — boundary keys must stay within the
-    ///    shard's fences, and summaries/vacancy proofs must carry the
-    ///    answering shard's tag;
+    /// 3. per-shard seam and domain checks — boundary keys must stay
+    ///    within the shard's fences, and summaries/vacancy proofs must
+    ///    carry the answering shard's `(epoch, shard)` tag;
     /// 4. every per-shard structural/freshness pipeline
     ///    ([`Verifier::verify_selection`]'s checks against the sub-range);
     /// 5. one random-linear-combination fold of all per-shard aggregates —
     ///    a single multi-Miller loop regardless of shard count, with
     ///    per-shard fallback localization on mismatch.
+    #[allow(clippy::too_many_arguments)]
     pub fn verify_sharded_selection(
         &self,
         lo: i64,
         hi: i64,
         ans: &ShardedSelectionAnswer,
+        view: &EpochView,
         now: Tick,
         check_fresh: bool,
         rng: &mut impl rand::Rng,
     ) -> Result<VerifyReport, VerifyError> {
-        if !ans.map.verify(&self.pp) {
+        // The epoch gate. Hash equality against the pinned view subsumes
+        // the per-answer map signature check: the pinned hash descends
+        // from a verified genesis through signed transitions, so byte
+        // equality of the signing message *is* certification.
+        if ans.map.epoch() != view.epoch() {
+            return Err(VerifyError::StaleEpoch {
+                answer_epoch: ans.map.epoch(),
+                live_epoch: view.epoch(),
+            });
+        }
+        if &ans.map.hash() != view.map_hash() {
             return Err(VerifyError::BadShardMap);
         }
         let expected = ans.map.overlapping(lo, hi);
@@ -508,13 +640,22 @@ impl Verifier {
             let scope = ans.map.scope(shard);
             let a = &part.answer;
             // Domain binding: freshness artifacts must come from this
-            // shard's own stream — another shard's genuinely-signed
-            // summaries say nothing about this shard's rids.
+            // shard's own stream *in this epoch* — another shard's (or
+            // another epoch's) genuinely-signed summaries say nothing
+            // about this shard's rids under the pinned partition.
+            if a.summaries.iter().any(|s| s.epoch != scope.epoch) {
+                return Err(VerifyError::EpochMismatch { shard });
+            }
             if a.summaries.iter().any(|s| s.shard != scope.shard) {
                 return Err(VerifyError::ShardMismatch { shard });
             }
-            if a.vacancy.as_ref().is_some_and(|v| v.shard != scope.shard) {
-                return Err(VerifyError::ShardMismatch { shard });
+            if let Some(v) = a.vacancy.as_ref() {
+                if v.epoch != scope.epoch {
+                    return Err(VerifyError::EpochMismatch { shard });
+                }
+                if v.shard != scope.shard {
+                    return Err(VerifyError::ShardMismatch { shard });
+                }
             }
             // Seam containment: the DA never signs a neighbour value
             // outside the fences, so a claimed boundary past them is a
@@ -751,6 +892,7 @@ mod tests {
 
         let mut with_vacancy = honest.clone();
         with_vacancy.vacancy = Some(crate::freshness::EmptyTableProof {
+            epoch: 0,
             shard: 0,
             ts: 0,
             signature: qs.public_params().identity(),
@@ -1146,6 +1288,7 @@ mod tests {
         );
         let mut with_summary = qs.select_range(300, 200).unwrap();
         with_summary.summaries = vec![crate::freshness::UpdateSummary {
+            epoch: 0,
             shard: 0,
             seq: 7,
             period_start: 0,
@@ -1162,12 +1305,12 @@ mod tests {
     mod sharded {
         use super::*;
         use crate::qs::QsOptions;
-        use crate::shard::{ShardedAggregator, ShardedQueryServer};
+        use crate::shard::{RebalancePlan, ShardedAggregator, ShardedQueryServer};
 
         fn sharded_system(
             splits: Vec<i64>,
             n: i64,
-        ) -> (ShardedAggregator, ShardedQueryServer, Verifier) {
+        ) -> (ShardedAggregator, ShardedQueryServer, Verifier, EpochView) {
             let mut rng = StdRng::seed_from_u64(77);
             let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), splits, &mut rng);
             let boots = sa.bootstrap((0..n).map(|i| vec![i * 10, i]).collect(), 2);
@@ -1179,13 +1322,14 @@ mod tests {
                 &QsOptions::default(),
             );
             let v = Verifier::new(sa.public_params(), sa.config().schema, sa.config().rho);
-            (sa, sqs, v)
+            let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis");
+            (sa, sqs, v, view)
         }
 
         #[test]
         fn honest_sharded_answers_verify() {
             let mut rng = StdRng::seed_from_u64(7);
-            let (_, mut sqs, v) = sharded_system(vec![100, 200, 300], 40);
+            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
             for (lo, hi) in [
                 (0, 390),     // all four shards
                 (150, 250),   // straddles two seams
@@ -1196,7 +1340,7 @@ mod tests {
             ] {
                 let ans = sqs.select_range(lo, hi).unwrap();
                 let rep = v
-                    .verify_sharded_selection(lo, hi, &ans, 0, true, &mut rng)
+                    .verify_sharded_selection(lo, hi, &ans, &view, 0, true, &mut rng)
                     .unwrap_or_else(|e| panic!("[{lo},{hi}] rejected: {e:?}"));
                 let total: usize = ans.parts.iter().map(|p| p.answer.records.len()).sum();
                 assert_eq!(rep.records, total);
@@ -1206,13 +1350,13 @@ mod tests {
         #[test]
         fn forged_map_rejected() {
             let mut rng = StdRng::seed_from_u64(8);
-            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
             let mut ans = sqs.select_range(150, 250).unwrap();
             // Re-partitioning: shift the split without the DA's signature.
             let forged = forge_map(&ans.map);
             ans.map = forged;
             assert_eq!(
-                v.verify_sharded_selection(150, 250, &ans, 0, true, &mut rng),
+                v.verify_sharded_selection(150, 250, &ans, &view, 0, true, &mut rng),
                 Err(VerifyError::BadShardMap)
             );
         }
@@ -1230,13 +1374,13 @@ mod tests {
         #[test]
         fn withheld_and_alien_parts_rejected() {
             let mut rng = StdRng::seed_from_u64(9);
-            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
             let full = sqs.select_range(150, 250).unwrap();
             // Withhold the second shard's contribution.
             let mut withheld = full.clone();
             withheld.parts.remove(1);
             assert_eq!(
-                v.verify_sharded_selection(150, 250, &withheld, 0, true, &mut rng),
+                v.verify_sharded_selection(150, 250, &withheld, &view, 0, true, &mut rng),
                 Err(VerifyError::ShardWithheld { shard: 1 })
             );
             // Duplicate a part.
@@ -1244,21 +1388,21 @@ mod tests {
             let extra = dup.parts[0].clone();
             dup.parts.push(extra);
             assert_eq!(
-                v.verify_sharded_selection(150, 250, &dup, 0, true, &mut rng),
+                v.verify_sharded_selection(150, 250, &dup, &view, 0, true, &mut rng),
                 Err(VerifyError::UnexpectedShardAnswer { shard: 0 })
             );
             // Attach an answer for a shard the query does not overlap.
             let mut alien = full.clone();
             let inside = sqs.select_range(120, 180).unwrap();
             assert_eq!(
-                v.verify_sharded_selection(120, 180, &inside, 0, true, &mut rng)
+                v.verify_sharded_selection(120, 180, &inside, &view, 0, true, &mut rng)
                     .unwrap()
                     .records,
                 7
             );
             alien.parts[1].shard = 5;
             assert_eq!(
-                v.verify_sharded_selection(150, 250, &alien, 0, true, &mut rng),
+                v.verify_sharded_selection(150, 250, &alien, &view, 0, true, &mut rng),
                 Err(VerifyError::UnexpectedShardAnswer { shard: 5 })
             );
         }
@@ -1266,11 +1410,11 @@ mod tests {
         #[test]
         fn sharded_batch_localizes_tampered_shard() {
             let mut rng = StdRng::seed_from_u64(10);
-            let (_, mut sqs, v) = sharded_system(vec![200], 40);
+            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
             let mut ans = sqs.select_range(150, 250).unwrap();
             ans.parts[1].answer.records[2].attrs[1] = 31337;
             assert_eq!(
-                v.verify_sharded_selection(150, 250, &ans, 0, true, &mut rng),
+                v.verify_sharded_selection(150, 250, &ans, &view, 0, true, &mut rng),
                 Err(VerifyError::BadAggregate)
             );
         }
@@ -1278,13 +1422,224 @@ mod tests {
         #[test]
         fn single_shard_map_matches_unsharded_behaviour() {
             let mut rng = StdRng::seed_from_u64(11);
-            let (_, mut sqs, v) = sharded_system(vec![], 20);
+            let (_, mut sqs, v, view) = sharded_system(vec![], 20);
             let ans = sqs.select_range(50, 120).unwrap();
             assert_eq!(ans.parts.len(), 1);
             let rep = v
-                .verify_sharded_selection(50, 120, &ans, 0, true, &mut rng)
+                .verify_sharded_selection(50, 120, &ans, &view, 0, true, &mut rng)
                 .expect("valid");
             assert_eq!(rep.records, 8);
+        }
+
+        #[test]
+        fn live_server_survives_split_and_merge_with_zero_rejections() {
+            // The acceptance-criterion scenario: a live deployment crosses
+            // a split and then a merge, and every honest answer — before,
+            // between, and after the transitions — verifies.
+            let mut rng = StdRng::seed_from_u64(12);
+            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let queries = [(0, 390), (150, 250), (250, 350), (290, 310), (395, 500)];
+            let check_all = |sqs: &mut ShardedQueryServer,
+                             view: &EpochView,
+                             now: Tick,
+                             rng: &mut StdRng,
+                             label: &str| {
+                for &(lo, hi) in &queries {
+                    let ans = sqs.select_range(lo, hi).unwrap();
+                    v.verify_sharded_selection(lo, hi, &ans, view, now, true, rng)
+                        .unwrap_or_else(|e| panic!("{label}: [{lo},{hi}] rejected: {e:?}"));
+                }
+            };
+            check_all(&mut sqs, &view, sa.now(), &mut rng, "epoch 1");
+
+            // Split shard 1 (keys >= 200) at 300.
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb).expect("honest split applies");
+            view.advance(&rb.transition, v.public_params())
+                .expect("honest transition");
+            assert_eq!(view.epoch(), 2);
+            assert_eq!(sqs.map().splits(), &[200, 300]);
+            check_all(&mut sqs, &view, sa.now(), &mut rng, "epoch 2 (post-split)");
+
+            // Keep the deployment live: an update and a summary in the new
+            // epoch, then verify again.
+            sa.advance_clock(2);
+            let (_, msgs) = sa.update_record(0, 3, vec![35, 999]);
+            for (s, m) in msgs {
+                sqs.apply(s, &m);
+            }
+            sa.advance_clock(10);
+            for (s, summary, recerts) in sa.maybe_publish_summaries() {
+                sqs.add_summary(s, summary);
+                for m in recerts {
+                    sqs.apply(s, &m);
+                }
+            }
+            check_all(&mut sqs, &view, sa.now(), &mut rng, "epoch 2 (live)");
+
+            // Merge the split pair back together.
+            let rb = sa.rebalance(RebalancePlan::Merge { left: 1 }, 2);
+            sqs.apply_rebalance(&rb).expect("honest merge applies");
+            view.advance(&rb.transition, v.public_params())
+                .expect("honest transition");
+            assert_eq!(view.epoch(), 3);
+            assert_eq!(sqs.map().splits(), &[200]);
+            check_all(&mut sqs, &view, sa.now(), &mut rng, "epoch 3 (post-merge)");
+            assert_eq!(sa.transitions().len(), 2);
+            assert_eq!(sqs.transitions().len(), 2);
+        }
+
+        #[test]
+        fn stale_epoch_answers_rejected_after_observation() {
+            let mut rng = StdRng::seed_from_u64(13);
+            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let old_ans = sqs.select_range(150, 250).unwrap();
+            assert!(v
+                .verify_sharded_selection(150, 250, &old_ans, &view, 0, true, &mut rng)
+                .is_ok());
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            // Until the client observes the transition, the in-flight
+            // epoch-1 answer still verifies — and the epoch-2 answer is
+            // *premature*.
+            assert!(v
+                .verify_sharded_selection(150, 250, &old_ans, &view, 0, true, &mut rng)
+                .is_ok());
+            let new_ans = sqs.select_range(150, 250).unwrap();
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &new_ans, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::StaleEpoch {
+                    answer_epoch: 2,
+                    live_epoch: 1
+                })
+            );
+            // After observation the situation flips exactly.
+            view.advance(&rb.transition, v.public_params()).unwrap();
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &old_ans, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::StaleEpoch {
+                    answer_epoch: 1,
+                    live_epoch: 2
+                })
+            );
+            assert!(v
+                .verify_sharded_selection(150, 250, &new_ans, &view, sa.now(), true, &mut rng)
+                .is_ok());
+        }
+
+        #[test]
+        fn broken_transitions_rejected() {
+            let (mut sa, mut sqs, v, view) = sharded_system(vec![200], 40);
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 0, at: 100 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            let pp = v.public_params();
+            // Wrong parent hash (chain splice).
+            let mut spliced = rb.transition.clone();
+            spliced.parent_hash[0] ^= 1;
+            assert_eq!(
+                view.clone().advance(&spliced, pp),
+                Err(VerifyError::BrokenTransition)
+            );
+            // Skipped epoch.
+            let mut skipped = rb.transition.clone();
+            skipped.epoch += 1;
+            assert_eq!(
+                view.clone().advance(&skipped, pp),
+                Err(VerifyError::BrokenTransition)
+            );
+            // Tampered map hash (signature no longer covers it).
+            let mut redirected = rb.transition.clone();
+            redirected.map_hash[0] ^= 1;
+            assert_eq!(
+                view.clone().advance(&redirected, pp),
+                Err(VerifyError::BrokenTransition)
+            );
+            // The genuine transition advances, and observe() pins the
+            // final map.
+            let mut ok = view.clone();
+            ok.advance(&rb.transition, pp).unwrap();
+            let mut chain = view.clone();
+            chain.observe(sqs.transitions(), sqs.map(), pp).unwrap();
+            assert_eq!(ok, chain);
+            // observe() with the wrong terminal map is a chain break.
+            let wrong = crate::shard::ShardMap::create(
+                &authdb_crypto::signer::Keypair::generate(
+                    SchemeKind::Mock,
+                    &mut StdRng::seed_from_u64(99),
+                ),
+                vec![5],
+            );
+            assert_eq!(
+                view.clone().observe(sqs.transitions(), &wrong, pp),
+                Err(VerifyError::BrokenTransition)
+            );
+        }
+
+        #[test]
+        fn cross_epoch_summaries_rejected() {
+            // Split-brain within one answer: a part backed by the previous
+            // epoch's (genuinely signed) summary stream.
+            let mut rng = StdRng::seed_from_u64(15);
+            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            sa.advance_clock(12);
+            for (s, summary, recerts) in sa.maybe_publish_summaries() {
+                sqs.add_summary(s, summary);
+                for m in recerts {
+                    sqs.apply(s, &m);
+                }
+            }
+            let old = sqs.select_range(150, 250).unwrap();
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            view.advance(&rb.transition, v.public_params()).unwrap();
+            let mut mixed = sqs.select_range(150, 250).unwrap();
+            // Shard 0 survived the split untouched except for the re-bound
+            // stream; vouch for it with its old epoch-1 summaries instead.
+            assert_eq!(mixed.parts[0].shard, 0);
+            mixed.parts[0].answer.summaries = old.parts[0].answer.summaries.clone();
+            assert!(!mixed.parts[0].answer.summaries.is_empty());
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &mixed, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::EpochMismatch { shard: 0 })
+            );
+            // The honest (re-bound) answer passes.
+            let honest = sqs.select_range(150, 250).unwrap();
+            assert!(v
+                .verify_sharded_selection(150, 250, &honest, &view, sa.now(), true, &mut rng)
+                .is_ok());
+        }
+
+        #[test]
+        fn handoff_replay_of_pre_transition_versions_is_stale() {
+            // The rid-space gate: a pre-split answer replayed under the
+            // new epoch (with the new map and the new, genuinely-signed
+            // baseline summaries) must read as Stale — the baseline marks
+            // the whole donor rid space.
+            let mut rng = StdRng::seed_from_u64(16);
+            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let old = sqs.select_range(210, 290).unwrap(); // inside shard 1
+            assert_eq!(old.parts.len(), 1);
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            view.advance(&rb.transition, v.public_params()).unwrap();
+            let honest = sqs.select_range(210, 290).unwrap();
+            assert_eq!(honest.parts.len(), 1);
+            assert_eq!(honest.parts[0].shard, 1);
+            // Forge: old records + old aggregate, dressed with the new
+            // epoch's stream (boundary keys kept plausible: the old
+            // sub-range [210, 290] lies strictly inside the new shard).
+            let mut forged = honest.clone();
+            forged.parts[0].answer.records = old.parts[0].answer.records.clone();
+            forged.parts[0].answer.agg = old.parts[0].answer.agg.clone();
+            forged.parts[0].answer.left_key = old.parts[0].answer.left_key;
+            forged.parts[0].answer.right_key = old.parts[0].answer.right_key;
+            assert!(matches!(
+                v.verify_sharded_selection(210, 290, &forged, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::Stale { .. })
+            ));
+            assert!(v
+                .verify_sharded_selection(210, 290, &honest, &view, sa.now(), true, &mut rng)
+                .is_ok());
         }
     }
 }

@@ -23,14 +23,19 @@
 //! |---|---|
 //! | [`Record`] | `rid:u64, ts:u64, attrs:vec<i64>` |
 //! | [`GapProof`] | `record, left:i64, right:i64, signature` |
-//! | [`EmptyTableProof`] | `shard:u64, ts:u64, signature` |
-//! | [`UpdateSummary`] | `shard:u64, seq:u64, period_start:u64, ts:u64, compressed:bytes, signature` |
+//! | [`EmptyTableProof`] | `epoch:u64, shard:u64, ts:u64, signature` |
+//! | [`UpdateSummary`] | `epoch:u64, shard:u64, seq:u64, period_start:u64, ts:u64, compressed:bytes, signature` |
 //! | [`SelectionAnswer`] | `records:vec, agg, left:i64, right:i64, gap:opt, vacancy:opt, summaries:vec` |
 //! | [`ProjectedRow`] | `rid:u64, ts:u64, values:vec<(idx:u32, value:i64)>` |
 //! | [`ProjectionAnswer`] | `rows:vec, agg, summaries:vec` |
 //! | [`UpdateMsg`] | `kind:u8, record, signature, attr_sigs:vec, old_key:opt<i64>, vacancy:opt` |
-//! | [`ShardMap`] | `splits:vec<i64>, signature` (decode re-checks the split invariants) |
+//! | [`ShardMap`] | `epoch:u64, splits:vec<i64>, signature` (decode re-checks the split and epoch invariants) |
 //! | [`ShardedSelectionAnswer`] | `map, parts:vec<(shard:u64, answer)>` |
+//! | [`EpochTransition`] | `epoch:u64, parent_hash:[32]B, map_hash:[32]B, ts:u64, signature` |
+//! | [`RebalancePlan`] | one tag byte (`0` split / `1` merge), then `shard:u64, at:i64` or `left:u64` |
+//! | [`ShardHandoff`] | `shard:u64, records:vec, sigs:vec, vacancy:opt, baseline:summary` |
+//! | [`ShardRebind`] | `shard:u64, summaries:vec, vacancy:opt` |
+//! | [`Rebalance`] | `plan, new_map, transition, handoffs:vec, rebound:vec` |
 //! | [`QsStats`] | five `u64` counters |
 //! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
 
@@ -42,7 +47,10 @@ use crate::da::{UpdateKind, UpdateMsg};
 use crate::freshness::{EmptyTableProof, UpdateSummary};
 use crate::qs::{GapProof, ProjectedRow, ProjectionAnswer, QsStats, QueryError, SelectionAnswer};
 use crate::record::Record;
-use crate::shard::{ShardAnswer, ShardMap, ShardedSelectionAnswer};
+use crate::shard::{
+    EpochTransition, Rebalance, RebalancePlan, ShardAnswer, ShardHandoff, ShardMap, ShardRebind,
+    ShardedSelectionAnswer,
+};
 
 // -- records and proofs -----------------------------------------------------
 
@@ -88,6 +96,7 @@ impl WireDecode for GapProof {
 
 impl WireEncode for EmptyTableProof {
     fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
         self.shard.encode_into(out);
         self.ts.encode_into(out);
         self.signature.encode_into(out);
@@ -95,9 +104,10 @@ impl WireEncode for EmptyTableProof {
 }
 
 impl WireDecode for EmptyTableProof {
-    const MIN_WIRE_LEN: usize = 16 + Signature::MIN_WIRE_LEN;
+    const MIN_WIRE_LEN: usize = 24 + Signature::MIN_WIRE_LEN;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(EmptyTableProof {
+            epoch: r.u64()?,
             shard: r.u64()?,
             ts: r.u64()?,
             signature: Signature::decode_from(r)?,
@@ -107,6 +117,7 @@ impl WireDecode for EmptyTableProof {
 
 impl WireEncode for UpdateSummary {
     fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
         self.shard.encode_into(out);
         self.seq.encode_into(out);
         self.period_start.encode_into(out);
@@ -117,9 +128,10 @@ impl WireEncode for UpdateSummary {
 }
 
 impl WireDecode for UpdateSummary {
-    const MIN_WIRE_LEN: usize = 36 + Signature::MIN_WIRE_LEN;
+    const MIN_WIRE_LEN: usize = 44 + Signature::MIN_WIRE_LEN;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(UpdateSummary {
+            epoch: r.u64()?,
             shard: r.u64()?,
             seq: r.u64()?,
             period_start: r.u64()?,
@@ -262,6 +274,7 @@ impl WireDecode for UpdateMsg {
 
 impl WireEncode for ShardMap {
     fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch().encode_into(out);
         out.extend_from_slice(&(self.splits().len() as u32).to_be_bytes());
         for s in self.splits() {
             s.encode_into(out);
@@ -271,17 +284,149 @@ impl WireEncode for ShardMap {
 }
 
 impl WireDecode for ShardMap {
-    const MIN_WIRE_LEN: usize = 4 + Signature::MIN_WIRE_LEN;
+    const MIN_WIRE_LEN: usize = 12 + Signature::MIN_WIRE_LEN;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let epoch = r.u64()?;
         let splits = Vec::<i64>::decode_from(r)?;
         let signature = Signature::decode_from(r)?;
         // Honest encoders only produce maps `ShardMap::create` certified,
-        // so rejecting malformed splits preserves canonicality while
-        // keeping the partition invariants panic-free paths downstream.
-        ShardMap::from_parts(splits, signature).ok_or(WireError::NonCanonical {
-            what: "shard map split keys",
+        // so rejecting malformed splits — or the reserved epoch-0 sentinel
+        // unsharded artifacts carry — preserves canonicality while keeping
+        // the partition invariants panic-free paths downstream.
+        ShardMap::from_parts(epoch, splits, signature).ok_or(WireError::NonCanonical {
+            what: "shard map epoch/split keys",
         })
     }
+}
+
+impl WireEncode for EpochTransition {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
+        out.extend_from_slice(&self.parent_hash);
+        out.extend_from_slice(&self.map_hash);
+        self.ts.encode_into(out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for EpochTransition {
+    const MIN_WIRE_LEN: usize = 80 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EpochTransition {
+            epoch: r.u64()?,
+            parent_hash: r.array::<32>()?,
+            map_hash: r.array::<32>()?,
+            ts: r.u64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for RebalancePlan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            RebalancePlan::Split { shard, at } => {
+                out.push(0);
+                (shard as u64).encode_into(out);
+                at.encode_into(out);
+            }
+            RebalancePlan::Merge { left } => {
+                out.push(1);
+                (left as u64).encode_into(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for RebalancePlan {
+    const MIN_WIRE_LEN: usize = 9;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RebalancePlan::Split {
+                shard: decode_shard_index(r)?,
+                at: r.i64()?,
+            }),
+            1 => Ok(RebalancePlan::Merge {
+                left: decode_shard_index(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "rebalance plan",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for ShardHandoff {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.shard as u64).encode_into(out);
+        self.records.encode_into(out);
+        self.sigs.encode_into(out);
+        self.vacancy.encode_into(out);
+        self.baseline.encode_into(out);
+    }
+}
+
+impl WireDecode for ShardHandoff {
+    const MIN_WIRE_LEN: usize = 8 + 4 + 4 + 1 + UpdateSummary::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardHandoff {
+            shard: decode_shard_index(r)?,
+            records: Vec::<Record>::decode_from(r)?,
+            sigs: Vec::<Signature>::decode_from(r)?,
+            vacancy: Option::<EmptyTableProof>::decode_from(r)?,
+            baseline: UpdateSummary::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for ShardRebind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.shard as u64).encode_into(out);
+        self.summaries.encode_into(out);
+        self.vacancy.encode_into(out);
+    }
+}
+
+impl WireDecode for ShardRebind {
+    const MIN_WIRE_LEN: usize = 13;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardRebind {
+            shard: decode_shard_index(r)?,
+            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+            vacancy: Option::<EmptyTableProof>::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for Rebalance {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.plan.encode_into(out);
+        self.new_map.encode_into(out);
+        self.transition.encode_into(out);
+        self.handoffs.encode_into(out);
+        self.rebound.encode_into(out);
+    }
+}
+
+impl WireDecode for Rebalance {
+    const MIN_WIRE_LEN: usize =
+        RebalancePlan::MIN_WIRE_LEN + ShardMap::MIN_WIRE_LEN + EpochTransition::MIN_WIRE_LEN + 8;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Rebalance {
+            plan: RebalancePlan::decode_from(r)?,
+            new_map: ShardMap::decode_from(r)?,
+            transition: EpochTransition::decode_from(r)?,
+            handoffs: Vec::<ShardHandoff>::decode_from(r)?,
+            rebound: Vec::<ShardRebind>::decode_from(r)?,
+        })
+    }
+}
+
+fn decode_shard_index(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    usize::try_from(r.u64()?).map_err(|_| WireError::NonCanonical {
+        what: "shard index",
+    })
 }
 
 impl WireEncode for ShardAnswer {
@@ -361,6 +506,7 @@ impl WireEncode for QueryError {
                 (*index as u64).encode_into(out);
             }
             QueryError::AnswerTooLarge => out.push(3),
+            QueryError::BadRebalance => out.push(4),
         }
     }
 }
@@ -381,6 +527,7 @@ impl WireDecode for QueryError {
                 Ok(QueryError::AttributeOutOfSchema { index })
             }
             3 => Ok(QueryError::AnswerTooLarge),
+            4 => Ok(QueryError::BadRebalance),
             tag => Err(WireError::BadTag {
                 what: "query error",
                 tag,
@@ -411,7 +558,7 @@ fn signing_mode_from_tag(tag: u8) -> Result<crate::da::SigningMode, WireError> {
 
 /// A client request to a networked query server. One request frame yields
 /// exactly one [`Response`] frame on the same connection.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -434,6 +581,13 @@ pub enum Request {
     },
     /// Aggregated proof-construction statistics.
     Stats,
+    /// The live epoch: the current map plus the transition chain from the
+    /// genesis partition, for advancing a client-side `EpochView`.
+    Epoch,
+    /// Apply a DA-certified rebalance package to the live server (the
+    /// epoch-bump push a DA-side driver sends so a deployment re-partitions
+    /// without a restart).
+    Rebalance(Box<Rebalance>),
 }
 
 impl WireEncode for Request {
@@ -452,6 +606,11 @@ impl WireEncode for Request {
                 attrs.encode_into(out);
             }
             Request::Stats => out.push(3),
+            Request::Epoch => out.push(4),
+            Request::Rebalance(rb) => {
+                out.push(5);
+                rb.encode_into(out);
+            }
         }
     }
 }
@@ -471,6 +630,8 @@ impl WireDecode for Request {
                 attrs: Vec::<u32>::decode_from(r)?,
             }),
             3 => Ok(Request::Stats),
+            4 => Ok(Request::Epoch),
+            5 => Ok(Request::Rebalance(Box::new(Rebalance::decode_from(r)?))),
             tag => Err(WireError::BadTag {
                 what: "request",
                 tag,
@@ -495,6 +656,16 @@ pub enum Response {
     Stats(QsStats),
     /// The server refused to construct an answer.
     Refused(QueryError),
+    /// The live epoch: current map + transition chain from genesis.
+    Epoch {
+        /// The partition the server currently follows.
+        map: ShardMap,
+        /// Every transition applied since the genesis map, oldest first.
+        transitions: Vec<EpochTransition>,
+    },
+    /// A rebalance package was applied; the server now serves the new
+    /// epoch.
+    Rebalanced,
 }
 
 impl WireEncode for Response {
@@ -517,6 +688,12 @@ impl WireEncode for Response {
                 out.push(4);
                 e.encode_into(out);
             }
+            Response::Epoch { map, transitions } => {
+                out.push(5);
+                map.encode_into(out);
+                transitions.encode_into(out);
+            }
+            Response::Rebalanced => out.push(6),
         }
     }
 }
@@ -530,6 +707,11 @@ impl WireDecode for Response {
             2 => Ok(Response::Projection(ProjectionAnswer::decode_from(r)?)),
             3 => Ok(Response::Stats(QsStats::decode_from(r)?)),
             4 => Ok(Response::Refused(QueryError::decode_from(r)?)),
+            5 => Ok(Response::Epoch {
+                map: ShardMap::decode_from(r)?,
+                transitions: Vec::<EpochTransition>::decode_from(r)?,
+            }),
+            6 => Ok(Response::Rebalanced),
             tag => Err(WireError::BadTag {
                 what: "response",
                 tag,
@@ -695,6 +877,34 @@ mod tests {
             index: 9,
         }));
         assert_canonical(&Response::Refused(QueryError::AnswerTooLarge));
+        assert_canonical(&Response::Refused(QueryError::BadRebalance));
+        assert_canonical(&Request::Epoch);
+        assert_canonical(&Response::Rebalanced);
+    }
+
+    #[test]
+    fn rebalance_package_round_trips() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut sa = ShardedAggregator::new(
+            cfg(SchemeKind::Mock, SigningMode::Chained),
+            vec![100],
+            &mut rng,
+        );
+        sa.bootstrap((0..20).map(|i| vec![i * 10, i]).collect(), 2);
+        sa.advance_clock(3);
+        let rb = sa.rebalance(crate::shard::RebalancePlan::Split { shard: 1, at: 150 }, 2);
+        assert_canonical(&rb.transition);
+        assert_canonical(&rb.plan);
+        assert_canonical(&rb);
+        assert_canonical(&Request::Rebalance(Box::new(rb.clone())));
+        assert_canonical(&Response::Epoch {
+            map: rb.new_map.clone(),
+            transitions: vec![rb.transition.clone()],
+        });
+        // A merge package round-trips too (single handoff, two donors).
+        let rb2 = sa.rebalance(crate::shard::RebalancePlan::Merge { left: 1 }, 2);
+        assert_canonical(&rb2);
+        assert_canonical(&crate::shard::RebalancePlan::Merge { left: 1 });
     }
 
     #[test]
@@ -705,13 +915,46 @@ mod tests {
         let enc = good.encode();
         // Corrupt the second split so the splits are no longer increasing.
         let mut bad = enc.clone();
-        // splits vec: 4-byte count, then two i64s; flip the sign bit of the
-        // second split's first byte.
-        bad[4 + 8] = 0xFF;
+        // Layout: 8-byte epoch, 4-byte split count, then two i64s; flip the
+        // sign bit of the second split's first byte.
+        bad[8 + 4 + 8] = 0xFF;
         assert!(matches!(
             ShardMap::decode(&bad),
             Err(WireError::NonCanonical { .. })
         ));
+    }
+
+    #[test]
+    fn epoch_zero_shard_map_rejected_on_decode() {
+        // Regression (PR 5 bugfix): a decoded map claiming the reserved
+        // epoch-0 sentinel would collide with the tag unsharded artifacts
+        // carry; from_parts and the codec must both refuse it.
+        let mut rng = StdRng::seed_from_u64(23);
+        let kp = authdb_crypto::signer::Keypair::generate(SchemeKind::Mock, &mut rng);
+        let good = ShardMap::create(&kp, vec![10, 20]);
+        assert_eq!(good.epoch(), crate::shard::GENESIS_EPOCH);
+        assert!(
+            ShardMap::from_parts(0, vec![10, 20], good.signature().clone()).is_none(),
+            "from_parts must refuse the epoch-0 sentinel"
+        );
+        assert!(
+            ShardMap::from_parts(1, vec![10, 20], good.signature().clone()).is_some(),
+            "a genesis-epoch map reassembles"
+        );
+        let mut bad = good.encode();
+        // Zero the 8 leading epoch bytes.
+        for b in bad.iter_mut().take(8) {
+            *b = 0;
+        }
+        assert!(matches!(
+            ShardMap::decode(&bad),
+            Err(WireError::NonCanonical { .. })
+        ));
+        // Decoded maps carry their epoch: round-trip an epoch-7 map.
+        let later = ShardMap::create_at_epoch(&kp, vec![10, 20], 7);
+        let dec = ShardMap::decode(&later.encode()).expect("decodes");
+        assert_eq!(dec.epoch(), 7);
+        assert_eq!(dec, later);
     }
 
     #[test]

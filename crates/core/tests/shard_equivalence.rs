@@ -20,7 +20,7 @@ use authdb_core::da::{DaConfig, DataAggregator, SigningMode};
 use authdb_core::qs::{QsOptions, QueryServer};
 use authdb_core::record::Schema;
 use authdb_core::shard::{ShardedAggregator, ShardedQueryServer};
-use authdb_core::verify::Verifier;
+use authdb_core::verify::{EpochView, Verifier};
 use authdb_crypto::signer::SchemeKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -245,6 +245,8 @@ proptest! {
         );
         let now = pair.da.now();
         prop_assert_eq!(now, pair.sa.now());
+        let view = EpochView::genesis(pair.sa.map(), &pair.sa.public_params())
+            .expect("genesis view");
         let mut rng = StdRng::seed_from_u64(rng_seed);
 
         // Random ranges (some inverted via negative width), plus targeted
@@ -269,7 +271,7 @@ proptest! {
                 "single rejected [{lo},{hi}]: {:?}", rep_single.err()
             );
             let rep_sharded =
-                v_sharded.verify_sharded_selection(lo, hi, &sharded, now, true, &mut rng);
+                v_sharded.verify_sharded_selection(lo, hi, &sharded, &view, now, true, &mut rng);
             prop_assert!(
                 rep_sharded.is_ok(),
                 "sharded rejected [{lo},{hi}] (splits {splits:?}): {:?}",

@@ -218,6 +218,98 @@ proptest! {
     }
 
     #[test]
+    fn rebalance_frames_round_trip_canonically(
+        n0 in 1usize..30,
+        schedule in prop::collection::vec((any::<u64>(), 1i64..37), 1..5),
+    ) {
+        // A random split/merge chain: every Rebalance package and
+        // EpochTransition it produces must round-trip canonically, bare
+        // and framed, as must the protocol messages that carry them.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), vec![], &mut rng);
+        let boots = sa.bootstrap((0..n0 as i64).map(|i| vec![i % 37, i]).collect(), 2);
+        let mut sqs = ShardedQueryServer::from_bootstraps(
+            sa.public_params(),
+            sa.config(),
+            sa.map().clone(),
+            &boots,
+            &authdb_core::qs::QsOptions::default(),
+        );
+        for &(sel, at_raw) in &schedule {
+            let splits = sa.map().splits().to_vec();
+            let plan = if sel % 2 == 1 && !splits.is_empty() {
+                authdb_core::shard::RebalancePlan::Merge {
+                    left: (sel as usize / 2) % splits.len(),
+                }
+            } else {
+                // Split the shard owning `at_raw` (keys live in 0..37, so
+                // at_raw in 1..37 is a valid new split unless taken).
+                if splits.contains(&at_raw) {
+                    continue;
+                }
+                authdb_core::shard::RebalancePlan::Split {
+                    shard: sa.map().shard_of(at_raw),
+                    at: at_raw,
+                }
+            };
+            let rb = sa.rebalance(plan, 2);
+            assert_canonical(&rb.transition);
+            assert_canonical(&rb.plan);
+            assert_canonical(&rb);
+            assert_canonical(&Request::Rebalance(Box::new(rb.clone())));
+            sqs.apply_rebalance(&rb).expect("honest package applies");
+            assert_canonical(&Response::Epoch {
+                map: sqs.map().clone(),
+                transitions: sqs.transitions().to_vec(),
+            });
+            // Post-transition answers (epoch-tagged summaries, handoff
+            // baselines, possibly vacancies) stay canonical too.
+            let ans = sqs.select_range(0, 40).unwrap();
+            assert_canonical(&ans);
+        }
+    }
+
+    #[test]
+    fn mutated_rebalance_frames_never_panic(
+        flips in prop::collection::vec((any::<u16>(), any::<u8>()), 1..12),
+        truncate_to in any::<u16>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), vec![10], &mut rng);
+        sa.bootstrap((0..20i64).map(|i| vec![i, i]).collect(), 2);
+        sa.advance_clock(1);
+        let rb = sa.rebalance(
+            authdb_core::shard::RebalancePlan::Split { shard: 1, at: 15 },
+            2,
+        );
+        let mut bytes = frame(&Request::Rebalance(Box::new(rb)));
+        for &(pos, val) in &flips {
+            let idx = pos as usize % bytes.len();
+            bytes[idx] ^= val;
+        }
+        let keep = (truncate_to as usize) % (bytes.len() + 1);
+        bytes.truncate(keep);
+        let _ = decode_frame::<Request>(&bytes, DEFAULT_MAX_FRAME_LEN);
+        let _ = Request::decode(&bytes);
+        // If the mutated package still decodes, applying it must refuse
+        // or succeed — never panic or corrupt the server into panicking.
+        if let Ok(Request::Rebalance(mutated)) = decode_frame::<Request>(&bytes, DEFAULT_MAX_FRAME_LEN) {
+            let boots_rng = &mut StdRng::seed_from_u64(16);
+            let mut sa2 = ShardedAggregator::new(cfg(SigningMode::Chained), vec![10], boots_rng);
+            let boots = sa2.bootstrap((0..20i64).map(|i| vec![i, i]).collect(), 2);
+            let mut sqs = ShardedQueryServer::from_bootstraps(
+                sa2.public_params(),
+                sa2.config(),
+                sa2.map().clone(),
+                &boots,
+                &authdb_core::qs::QsOptions::default(),
+            );
+            let _ = sqs.apply_rebalance(&mutated);
+            let _ = sqs.select_range(0, 40).unwrap();
+        }
+    }
+
+    #[test]
     fn decoding_mutated_bytes_never_panics(
         seed_query in (-50i64..50, 0i64..30),
         flips in prop::collection::vec((any::<u16>(), any::<u8>()), 1..12),

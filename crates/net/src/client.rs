@@ -11,7 +11,7 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use authdb_core::qs::{ProjectionAnswer, QsStats};
-use authdb_core::shard::ShardedSelectionAnswer;
+use authdb_core::shard::{EpochTransition, Rebalance, ShardMap, ShardedSelectionAnswer};
 use authdb_core::wire::{Request, Response};
 use authdb_wire::{deframe, frame, DEFAULT_MAX_FRAME_LEN};
 
@@ -117,6 +117,28 @@ impl QsClient {
             Response::Stats(stats) => Ok(stats),
             Response::Refused(e) => Err(NetError::Refused(e)),
             _ => Err(NetError::Protocol("expected Stats")),
+        }
+    }
+
+    /// The server's live epoch: its current map plus the transition chain
+    /// from the genesis partition. Feed the pair to
+    /// `EpochView::observe` — the client decides nothing here.
+    pub fn epoch(&mut self) -> Result<(ShardMap, Vec<EpochTransition>), NetError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch { map, transitions } => Ok((map, transitions)),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Epoch")),
+        }
+    }
+
+    /// Push a DA-certified rebalance package to the live server (the
+    /// epoch-bump channel a DA-side driver uses; a structurally
+    /// inconsistent package is refused without touching the server).
+    pub fn rebalance(&mut self, rb: &Rebalance) -> Result<(), NetError> {
+        match self.call(&Request::Rebalance(Box::new(rb.clone())))? {
+            Response::Rebalanced => Ok(()),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Rebalanced")),
         }
     }
 }

@@ -176,8 +176,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 
 /// Map one request onto the sharded server. Server-side refusals travel as
 /// [`Response::Refused`]; nothing here panics on hostile input (the codec
-/// already rejected malformed frames, and `project` bounds attribute
-/// indices itself).
+/// already rejected malformed frames, `project` bounds attribute indices
+/// itself, and `apply_rebalance` validates the package's shape before
+/// touching any state).
 fn dispatch(server: &mut ShardedQueryServer, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong,
@@ -193,5 +194,13 @@ fn dispatch(server: &mut ShardedQueryServer, request: Request) -> Response {
             }
         }
         Request::Stats => Response::Stats(server.stats()),
+        Request::Epoch => Response::Epoch {
+            map: server.map().clone(),
+            transitions: server.transitions().to_vec(),
+        },
+        Request::Rebalance(rb) => match server.apply_rebalance(&rb) {
+            Ok(()) => Response::Rebalanced,
+            Err(e) => Response::Refused(e),
+        },
     }
 }

@@ -13,7 +13,7 @@ use authdb_core::da::{DaConfig, SigningMode};
 use authdb_core::qs::{QsOptions, QueryError};
 use authdb_core::record::Schema;
 use authdb_core::shard::{ShardedAggregator, ShardedQueryServer};
-use authdb_core::verify::{Verifier, VerifyError};
+use authdb_core::verify::{EpochView, Verifier, VerifyError};
 use authdb_crypto::signer::SchemeKind;
 use authdb_net::{NetError, QsClient, QsServer, QsServerOptions, WireTamper};
 use authdb_wire::WireError;
@@ -33,7 +33,7 @@ fn cfg(scheme: SchemeKind) -> DaConfig {
 /// Build a 4-shard system over keys 0..=390, serve it over loopback TCP,
 /// and run the shared timeline (summaries at t=12/24/34, one update at
 /// t=14) so answers carry summaries and freshness checks are live.
-fn serve(scheme: SchemeKind, n: i64) -> (ShardedAggregator, QsServer, Verifier) {
+fn serve(scheme: SchemeKind, n: i64) -> (ShardedAggregator, QsServer, Verifier, EpochView) {
     let mut rng = StdRng::seed_from_u64(4242);
     let span = n * 10;
     let splits = vec![span / 4, span / 2, 3 * span / 4];
@@ -64,7 +64,8 @@ fn serve(scheme: SchemeKind, n: i64) -> (ShardedAggregator, QsServer, Verifier) 
         sa.advance_clock(dt);
         publish(&mut sa, &server);
     }
-    (sa, server, verifier)
+    let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis view");
+    (sa, server, verifier, view)
 }
 
 fn publish(sa: &mut ShardedAggregator, server: &QsServer) {
@@ -81,7 +82,7 @@ fn publish(sa: &mut ShardedAggregator, server: &QsServer) {
 #[test]
 fn honest_answers_over_tcp_verify() {
     let mut rng = StdRng::seed_from_u64(7);
-    let (sa, server, verifier) = serve(SchemeKind::Mock, 40);
+    let (sa, server, verifier, view) = serve(SchemeKind::Mock, 40);
     let now = sa.now();
     let mut client = QsClient::connect(server.addr()).expect("connect");
     client.ping().expect("ping");
@@ -100,7 +101,7 @@ fn honest_answers_over_tcp_verify() {
         assert_eq!(answer, direct, "[{lo}, {hi}] wire round trip");
         // ...and the unmodified verifier accepts it.
         verifier
-            .verify_sharded_selection(lo, hi, &answer, now, true, &mut rng)
+            .verify_sharded_selection(lo, hi, &answer, &view, now, true, &mut rng)
             .unwrap_or_else(|e| panic!("[{lo}, {hi}] rejected: {e:?}"));
     }
 
@@ -128,6 +129,7 @@ enum Outcome {
 fn tampered_outcome(
     server: &QsServer,
     verifier: &Verifier,
+    view: &EpochView,
     tamper: WireTamper,
     now: u64,
     rng: &mut StdRng,
@@ -140,10 +142,12 @@ fn tampered_outcome(
     server.set_tamper(None);
     match result {
         Err(NetError::Wire(e)) => Outcome::Wire(e),
-        Ok(answer) => match verifier.verify_sharded_selection(95, 205, &answer, now, true, rng) {
-            Ok(_) => Outcome::Accepted,
-            Err(e) => Outcome::Verify(e),
-        },
+        Ok(answer) => {
+            match verifier.verify_sharded_selection(95, 205, &answer, view, now, true, rng) {
+                Ok(_) => Outcome::Accepted,
+                Err(e) => Outcome::Verify(e),
+            }
+        }
         Err(other) => panic!("{}: unexpected failure class {other:?}", tamper.name()),
     }
 }
@@ -166,17 +170,17 @@ fn assert_expected(tamper: WireTamper, outcome: &Outcome) {
 #[test]
 fn wire_tamper_catalog_rejected_with_typed_errors() {
     let mut rng = StdRng::seed_from_u64(8);
-    let (sa, server, verifier) = serve(SchemeKind::Mock, 40);
+    let (sa, server, verifier, view) = serve(SchemeKind::Mock, 40);
     let now = sa.now();
     for tamper in WireTamper::CATALOG {
-        let outcome = tampered_outcome(&server, &verifier, tamper, now, &mut rng);
+        let outcome = tampered_outcome(&server, &verifier, &view, tamper, now, &mut rng);
         assert_expected(tamper, &outcome);
     }
     // The server is unharmed: a fresh honest exchange still verifies.
     let mut client = QsClient::connect(server.addr()).expect("connect");
     let answer = client.select_range(95, 205).expect("honest answer");
     assert!(verifier
-        .verify_sharded_selection(95, 205, &answer, now, true, &mut rng)
+        .verify_sharded_selection(95, 205, &answer, &view, now, true, &mut rng)
         .is_ok());
 }
 
@@ -185,16 +189,16 @@ fn bas_spot_check_over_tcp() {
     // Full crypto end-to-end once: honest verification plus the two
     // strategies whose rejection path depends on the scheme's encoding.
     let mut rng = StdRng::seed_from_u64(9);
-    let (sa, server, verifier) = serve(SchemeKind::Bas, 16);
+    let (sa, server, verifier, view) = serve(SchemeKind::Bas, 16);
     let now = sa.now();
     let mut client = QsClient::connect(server.addr()).expect("connect");
     let answer = client.select_range(35, 125).expect("network answer");
     assert!(!answer.parts.is_empty());
     verifier
-        .verify_sharded_selection(35, 125, &answer, now, true, &mut rng)
+        .verify_sharded_selection(35, 125, &answer, &view, now, true, &mut rng)
         .expect("honest BAS answer verifies");
     for tamper in [WireTamper::BitFlipSignature, WireTamper::VersionDowngrade] {
-        let outcome = tampered_outcome(&server, &verifier, tamper, now, &mut rng);
+        let outcome = tampered_outcome(&server, &verifier, &view, tamper, now, &mut rng);
         assert_expected(tamper, &outcome);
     }
 }
@@ -202,7 +206,7 @@ fn bas_spot_check_over_tcp() {
 #[test]
 fn garbage_request_bytes_do_not_kill_the_server() {
     use std::io::{Read, Write};
-    let (_sa, server, _verifier) = serve(SchemeKind::Mock, 40);
+    let (_sa, server, _verifier, _view) = serve(SchemeKind::Mock, 40);
 
     // A hostile client: a lying length prefix, then raw garbage.
     let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
@@ -217,4 +221,100 @@ fn garbage_request_bytes_do_not_kill_the_server() {
     // And keeps serving honest clients.
     let mut client = QsClient::connect(server.addr()).expect("connect");
     client.ping().expect("server still alive");
+}
+
+#[test]
+fn live_rebalance_over_tcp_mid_query_stream() {
+    // The DA→TCP→client pipeline crosses an epoch bump without a restart:
+    // in-flight epoch-1 answers verify until the client observes the
+    // transition, after which epoch-1 replays are rejected as StaleEpoch
+    // and the epoch-2 deployment keeps serving verifiable answers.
+    let mut rng = StdRng::seed_from_u64(10);
+    let (mut sa, server, verifier, mut view) = serve(SchemeKind::Mock, 40);
+    let now = sa.now();
+    let mut client = QsClient::connect(server.addr()).expect("connect");
+
+    // An in-flight epoch-1 answer, captured mid-stream.
+    let in_flight = client.select_range(95, 205).expect("epoch-1 answer");
+    verifier
+        .verify_sharded_selection(95, 205, &in_flight, &view, now, true, &mut rng)
+        .expect("epoch-1 answer verifies under the epoch-1 view");
+
+    // The DA rebalances: split the hot first shard. The package travels to
+    // the live server over the same TCP protocol (Request::Rebalance).
+    let split_at = sa.map().splits()[0] / 2;
+    let rb = sa.rebalance(
+        authdb_core::shard::RebalancePlan::Split {
+            shard: 0,
+            at: split_at,
+        },
+        2,
+    );
+    client
+        .rebalance(&rb)
+        .expect("server applies the epoch bump");
+    let now = sa.now();
+
+    // Until the client observes the transition, its pinned epoch is still
+    // 1: the captured answer verifies, a fresh epoch-2 answer is premature.
+    verifier
+        .verify_sharded_selection(95, 205, &in_flight, &view, now, true, &mut rng)
+        .expect("in-flight epoch-1 answer still verifies before observation");
+    let fresh = client.select_range(95, 205).expect("epoch-2 answer");
+    assert!(matches!(
+        verifier.verify_sharded_selection(95, 205, &fresh, &view, now, true, &mut rng),
+        Err(VerifyError::StaleEpoch {
+            answer_epoch: 2,
+            live_epoch: 1
+        })
+    ));
+
+    // The client fetches the transition chain over the wire and advances.
+    let (map, transitions) = client.epoch().expect("epoch info");
+    assert_eq!(map.epoch(), 2);
+    assert_eq!(transitions.len(), 1);
+    view.observe(&transitions, &map, verifier.public_params())
+        .expect("observe the epoch bump");
+
+    // Now the situation flips exactly: replays are stale, fresh verifies.
+    assert!(matches!(
+        verifier.verify_sharded_selection(95, 205, &in_flight, &view, now, true, &mut rng),
+        Err(VerifyError::StaleEpoch {
+            answer_epoch: 1,
+            live_epoch: 2
+        })
+    ));
+    verifier
+        .verify_sharded_selection(95, 205, &fresh, &view, now, true, &mut rng)
+        .expect("epoch-2 answer verifies after observation");
+
+    // The deployment stays live in the new epoch: an update + summary flow
+    // through the handle, and queries keep verifying.
+    sa.advance_clock(2);
+    let (_, msgs) = sa.update_record(2, 1, vec![115, 4242]);
+    server.with_server(|sqs| {
+        for (shard, m) in &msgs {
+            sqs.apply(*shard, m);
+        }
+    });
+    sa.advance_clock(10);
+    publish(&mut sa, &server);
+    let now = sa.now();
+    let post = client.select_range(0, 390).expect("post-bump answer");
+    verifier
+        .verify_sharded_selection(0, 390, &post, &view, now, true, &mut rng)
+        .expect("live epoch-2 deployment keeps verifying");
+
+    // A hostile package (wrong epoch arithmetic) is refused without
+    // touching the server.
+    let mut forged = rb.clone();
+    forged.plan = authdb_core::shard::RebalancePlan::Merge { left: 0 };
+    match client.rebalance(&forged) {
+        Err(NetError::Refused(QueryError::BadRebalance)) => {}
+        other => panic!("expected BadRebalance refusal, got {other:?}"),
+    }
+    let again = client.select_range(0, 390).expect("server unharmed");
+    verifier
+        .verify_sharded_selection(0, 390, &again, &view, now, true, &mut rng)
+        .expect("refused package changed nothing");
 }

@@ -177,15 +177,15 @@ pub mod wire_model {
         record(num_attrs) + 16 + signature(sig_len)
     }
 
-    /// An empty-table proof: shard tag, timestamp, signature.
+    /// An empty-table proof: epoch + shard tags, timestamp, signature.
     pub fn vacancy_proof(sig_len: usize) -> usize {
-        16 + signature(sig_len)
+        24 + signature(sig_len)
     }
 
-    /// One certified summary: four `u64` header fields, the compressed
-    /// bitmap, the signature.
+    /// One certified summary: five `u64` header fields (epoch, shard, seq,
+    /// period start, ts), the compressed bitmap, the signature.
     pub fn summary(bitmap_bytes: usize, sig_len: usize) -> usize {
-        32 + VEC + bitmap_bytes + signature(sig_len)
+        40 + VEC + bitmap_bytes + signature(sig_len)
     }
 
     /// One per-shard [`SelectionAnswer`]'s encoding.
@@ -212,9 +212,9 @@ pub mod wire_model {
             + shape.summary_bitmap_bytes
     }
 
-    /// The DA-signed shard map.
+    /// The DA-signed shard map: epoch tag, split keys, signature.
     pub fn shard_map(splits: usize, sig_len: usize) -> usize {
-        VEC + 8 * splits + signature(sig_len)
+        8 + VEC + 8 * splits + signature(sig_len)
     }
 
     /// A complete framed `Response::Selection` carrying one answer per

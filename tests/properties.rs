@@ -281,7 +281,7 @@ proptest! {
             if update_ticks.iter().any(|&t| start < t && t <= end) {
                 bm.set(3);
             }
-            summaries.push(UpdateSummary::create(&kp, 0, seq, start, end, &bm));
+            summaries.push(UpdateSummary::create(&kp, 0, 0, seq, start, end, &bm));
             seq += 1;
             start = end;
         }
