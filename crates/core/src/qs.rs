@@ -67,6 +67,14 @@ pub enum QueryError {
     /// is a refusal — applied atomically: a refused package changes
     /// nothing.
     BadRebalance,
+    /// A per-shard request named a shard index this deployment does not
+    /// have. Shard-addressed requests arrive from untrusted peers (and from
+    /// clients pinned to a different epoch's partition), so this is a
+    /// refusal, not a panic.
+    UnknownShard {
+        /// The shard index the request named.
+        shard: u64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -87,6 +95,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::BadRebalance => {
                 write!(f, "rebalance package inconsistent with the current map")
+            }
+            QueryError::UnknownShard { shard } => {
+                write!(f, "no shard {shard} in this deployment")
             }
         }
     }

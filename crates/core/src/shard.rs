@@ -1074,6 +1074,26 @@ impl ShardedQueryServer {
         self.shards[0].project(lo, hi, attrs)
     }
 
+    /// Answer one shard's sub-range directly — the per-shard entry point a
+    /// fan-out *client* uses when it computes the overlap decomposition
+    /// itself and queries each shard endpoint independently (degrading to a
+    /// partial answer when some endpoints are unreachable). An out-of-range
+    /// shard index is a typed refusal: shard-addressed requests arrive from
+    /// untrusted peers, possibly pinned to another epoch's partition.
+    pub fn select_shard(
+        &mut self,
+        shard: usize,
+        lo: i64,
+        hi: i64,
+    ) -> Result<SelectionAnswer, QueryError> {
+        if shard >= self.shards.len() {
+            return Err(QueryError::UnknownShard {
+                shard: shard as u64,
+            });
+        }
+        self.shards[shard].select_range(lo, hi)
+    }
+
     /// Answer `lo <= Aind <= hi` by fanning out to every overlapping shard.
     /// A shard's refusal (wrong signing mode) propagates instead of
     /// panicking the fan-out.

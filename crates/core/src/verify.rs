@@ -58,6 +58,20 @@
 //! | [`VerifyError::Stale`] | handoff replay: serving a pre-transition record version under the new epoch's stream (the handoff baseline summary marks the entire donor rid space) |
 //! | [`VerifyError::RecordOutOfRange`] / [`VerifyError::SeamViolation`] | handoff forgery: records or boundary keys signed under the old fences served under the new, narrower ones |
 //!
+//! Networked deployments that query each shard at its own endpoint can
+//! *degrade*: [`Verifier::verify_partial_selection`] accepts a fan-out with
+//! missing parts, but only for shards the **client's own transport
+//! attempts** failed to reach (the `unreachable` argument — evidence owned
+//! by the caller, never taken from the server). The partial path adds no
+//! trust; it re-partitions the same checks:
+//!
+//! | outcome | meaning |
+//! |---|---|
+//! | [`TileStatus::Certified`] | this shard's sub-range passed the full per-shard pipeline — authentic, complete, fresh |
+//! | [`TileStatus::ShardUnavailable`] | the client could not reach this shard after bounded retries; **nothing** is claimed about its sub-range |
+//! | [`VerifyError::ShardWithheld`] | a *reachable* shard's answer is missing — degradation never excuses withholding |
+//! | [`VerifyError::UnexpectedShardAnswer`] | an answer attached for a shard the client says it could not reach (stale transport evidence must not launder parts into the fold) |
+//!
 //! The conformance suites in [`crate::adversary`] exercise every row of
 //! all three tables against a [`crate::adversary::MaliciousServer`] /
 //! [`crate::adversary::MaliciousShardedServer`] (plus the rebalancing
@@ -188,6 +202,84 @@ pub struct BatchFailure {
     pub index: usize,
     /// What went wrong with it.
     pub error: VerifyError,
+}
+
+/// One tile of a [`PartialVerdict`]: what the verifier can say about one
+/// overlapping shard's sub-range of the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileStatus {
+    /// The shard's answer passed every check: the records in
+    /// `[sub_lo, sub_hi]` are authentic, complete, and fresh.
+    Certified {
+        /// Which shard certified the tile.
+        shard: usize,
+        /// Lower bound (inclusive) of the certified sub-range.
+        sub_lo: i64,
+        /// Upper bound (inclusive) of the certified sub-range.
+        sub_hi: i64,
+        /// Records certified inside the tile.
+        records: usize,
+    },
+    /// The client's own transport attempts to this shard's endpoint failed
+    /// after bounded retries; nothing about `[sub_lo, sub_hi]` is claimed.
+    /// This status is produced **only** from the caller's `unreachable`
+    /// evidence — a reachable shard that omits its answer is
+    /// [`VerifyError::ShardWithheld`], never this.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+        /// Lower bound (inclusive) of the uncertified sub-range.
+        sub_lo: i64,
+        /// Upper bound (inclusive) of the uncertified sub-range.
+        sub_hi: i64,
+    },
+}
+
+impl TileStatus {
+    /// The shard this tile belongs to.
+    pub fn shard(&self) -> usize {
+        match *self {
+            TileStatus::Certified { shard, .. } | TileStatus::ShardUnavailable { shard, .. } => {
+                shard
+            }
+        }
+    }
+
+    /// Whether the tile is certified.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, TileStatus::Certified { .. })
+    }
+}
+
+/// The outcome of [`Verifier::verify_partial_selection`]: a per-tile
+/// account of the query range. Certified tiles carry the full soundness
+/// guarantee; unavailable tiles carry *no* claim (the caller knows exactly
+/// which sub-ranges it must re-query once the endpoint recovers). A verdict
+/// with every tile certified is equivalent to a successful
+/// [`Verifier::verify_sharded_selection`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialVerdict {
+    /// One status per overlapping shard, in shard order — together the
+    /// sub-ranges tile `[lo, hi]`.
+    pub tiles: Vec<TileStatus>,
+    /// The aggregate report over the certified tiles only.
+    pub report: VerifyReport,
+}
+
+impl PartialVerdict {
+    /// Whether every overlapping shard's tile was certified.
+    pub fn is_complete(&self) -> bool {
+        self.tiles.iter().all(|t| t.is_certified())
+    }
+
+    /// The shards whose tiles are unavailable, in shard order.
+    pub fn unavailable_shards(&self) -> Vec<usize> {
+        self.tiles
+            .iter()
+            .filter(|t| !t.is_certified())
+            .map(|t| t.shard())
+            .collect()
+    }
 }
 
 /// A successful verification's freshness outcome.
@@ -602,6 +694,67 @@ impl Verifier {
         check_fresh: bool,
         rng: &mut impl rand::Rng,
     ) -> Result<VerifyReport, VerifyError> {
+        let verdict = self.stitch_sharded(lo, hi, ans, &[], view, now, check_fresh, rng)?;
+        debug_assert!(verdict.is_complete(), "no unreachable set => complete");
+        Ok(verdict.report)
+    }
+
+    /// Verify a **partial** sharded answer: the degraded-mode companion to
+    /// [`Verifier::verify_sharded_selection`] for deployments where each
+    /// shard is queried at its own endpoint and some endpoints may be down.
+    ///
+    /// `unreachable` is the set of shard indices the *client itself* failed
+    /// to reach after its bounded retries — it is transport evidence owned
+    /// by the caller, and **must never be populated from anything the
+    /// server said** (a server claiming "shard 2 is down" while answering
+    /// for the others is exactly the withholding attack this path refuses
+    /// to excuse). For every shard the pinned map says overlaps `[lo, hi]`:
+    ///
+    /// * an attached answer runs the full per-shard pipeline and, if every
+    ///   check passes, certifies its tile ([`TileStatus::Certified`]);
+    /// * a shard in `unreachable` with no answer is marked
+    ///   [`TileStatus::ShardUnavailable`] — nothing about its sub-range is
+    ///   claimed, soundly or otherwise;
+    /// * a shard in **neither** set is the existing
+    ///   [`VerifyError::ShardWithheld`] soundness error: reachable servers
+    ///   do not get to silently omit tiles, so degradation can never be
+    ///   abused to hide withholding;
+    /// * a shard in **both** sets is [`VerifyError::UnexpectedShardAnswer`]
+    ///   — an answer from an endpoint the caller swears it could not reach
+    ///   is a caller bug or a confused retry, and accepting it would let
+    ///   stale transport evidence launder an extra part into the fold.
+    ///
+    /// All attached parts still fold into one RLC multi-pairing; any
+    /// structural, freshness, or signature failure in a *present* part is a
+    /// hard error, never a downgrade to "unavailable".
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify_partial_selection(
+        &self,
+        lo: i64,
+        hi: i64,
+        ans: &ShardedSelectionAnswer,
+        unreachable: &[usize],
+        view: &EpochView,
+        now: Tick,
+        check_fresh: bool,
+        rng: &mut impl rand::Rng,
+    ) -> Result<PartialVerdict, VerifyError> {
+        self.stitch_sharded(lo, hi, ans, unreachable, view, now, check_fresh, rng)
+    }
+
+    /// The shared sharded stitcher behind the complete and partial paths.
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_sharded(
+        &self,
+        lo: i64,
+        hi: i64,
+        ans: &ShardedSelectionAnswer,
+        unreachable: &[usize],
+        view: &EpochView,
+        now: Tick,
+        check_fresh: bool,
+        rng: &mut impl rand::Rng,
+    ) -> Result<PartialVerdict, VerifyError> {
         // The epoch gate. Hash equality against the pinned view subsumes
         // the per-answer map signature check: the pinned hash descends
         // from a verified genesis through signed transitions, so byte
@@ -617,24 +770,38 @@ impl Verifier {
         }
         let expected = ans.map.overlapping(lo, hi);
         // No alien or duplicate parts: every answer must be for a distinct
-        // shard the query actually overlaps.
+        // shard the query actually overlaps — and not one the caller's own
+        // transport evidence says it never heard from.
         let mut claimed = vec![false; ans.map.shard_count()];
         for p in &ans.parts {
             let alien = p.shard >= ans.map.shard_count()
                 || claimed.get(p.shard).copied().unwrap_or(true)
-                || !expected.iter().any(|&(s, _)| s == p.shard);
+                || !expected.iter().any(|&(s, _)| s == p.shard)
+                || unreachable.contains(&p.shard);
             if alien {
                 return Err(VerifyError::UnexpectedShardAnswer { shard: p.shard });
             }
             claimed[p.shard] = true;
         }
         let mut claims = Vec::with_capacity(expected.len());
+        let mut tiles = Vec::with_capacity(expected.len());
         let mut report = VerifyReport {
             max_staleness: 0,
             records: 0,
         };
         for &(shard, (sub_lo, sub_hi)) in &expected {
             let Some(part) = ans.parts.iter().find(|p| p.shard == shard) else {
+                if unreachable.contains(&shard) {
+                    // The client's own connection attempts failed: the tile
+                    // stays explicitly uncertified. Only the transport
+                    // layer — never the server — can put a shard here.
+                    tiles.push(TileStatus::ShardUnavailable {
+                        shard,
+                        sub_lo,
+                        sub_hi,
+                    });
+                    continue;
+                }
                 return Err(VerifyError::ShardWithheld { shard });
             };
             let scope = ans.map.scope(shard);
@@ -666,6 +833,12 @@ impl Verifier {
             let claim = self.analyze_selection(sub_lo, sub_hi, a, now, check_fresh)?;
             report.records += claim.report.records;
             report.max_staleness = report.max_staleness.max(claim.report.max_staleness);
+            tiles.push(TileStatus::Certified {
+                shard,
+                sub_lo,
+                sub_hi,
+                records: claim.report.records,
+            });
             claims.push(claim);
         }
         let batch: Vec<(&[Vec<u8>], &Signature)> = claims
@@ -681,7 +854,7 @@ impl Verifier {
                 }
             }
         }
-        Ok(report)
+        Ok(PartialVerdict { tiles, report })
     }
 
     /// Verify a projection answer (Section 3.4): every `(rid, attr, value,
@@ -1404,6 +1577,77 @@ mod tests {
             assert_eq!(
                 v.verify_sharded_selection(150, 250, &alien, &view, 0, true, &mut rng),
                 Err(VerifyError::UnexpectedShardAnswer { shard: 5 })
+            );
+        }
+
+        #[test]
+        fn partial_verdict_certifies_reachable_tiles() {
+            let mut rng = StdRng::seed_from_u64(21);
+            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
+            let full = sqs.select_range(0, 390).unwrap();
+
+            // Shard 2 unreachable: its part is absent and the client says
+            // so. The other three tiles are certified; the dark one is a
+            // ShardUnavailable tile, not an error.
+            let mut partial = full.clone();
+            partial.parts.retain(|p| p.shard != 2);
+            let verdict = v
+                .verify_partial_selection(0, 390, &partial, &[2], &view, 0, true, &mut rng)
+                .expect("sound partial verdict");
+            assert!(!verdict.is_complete());
+            assert_eq!(verdict.unavailable_shards(), vec![2]);
+            assert_eq!(verdict.tiles.len(), 4);
+            assert_eq!(verdict.tiles.iter().filter(|t| t.is_certified()).count(), 3);
+            // The unavailable tile still names its sub-range, so a caller
+            // knows exactly which keys the verdict does not cover.
+            match verdict.tiles.iter().find(|t| !t.is_certified()).unwrap() {
+                TileStatus::ShardUnavailable {
+                    shard,
+                    sub_lo,
+                    sub_hi,
+                } => {
+                    assert_eq!(*shard, 2);
+                    assert!(sub_lo <= sub_hi);
+                }
+                other => panic!("expected ShardUnavailable, got {other:?}"),
+            }
+
+            // With an empty unreachable list the same machinery is exactly
+            // the full verifier: complete verdict on the full answer...
+            let verdict = v
+                .verify_partial_selection(0, 390, &full, &[], &view, 0, true, &mut rng)
+                .expect("complete answer verifies");
+            assert!(verdict.is_complete());
+            assert_eq!(verdict.unavailable_shards(), Vec::<usize>::new());
+
+            // ...and a missing part without transport evidence is
+            // withholding, not unavailability.
+            assert_eq!(
+                v.verify_partial_selection(0, 390, &partial, &[], &view, 0, true, &mut rng),
+                Err(VerifyError::ShardWithheld { shard: 2 })
+            );
+
+            // A part present for a shard claimed unreachable is rejected:
+            // the outage list is evidence, and evidence that contradicts
+            // the answer kills it.
+            assert_eq!(
+                v.verify_partial_selection(0, 390, &full, &[1], &view, 0, true, &mut rng),
+                Err(VerifyError::UnexpectedShardAnswer { shard: 1 })
+            );
+        }
+
+        #[test]
+        fn partial_verdict_still_catches_tampered_reachable_tiles() {
+            let mut rng = StdRng::seed_from_u64(22);
+            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
+            let mut ans = sqs.select_range(0, 390).unwrap();
+            // Shard 3 dark, shard 1 tampered: degradation must not dilute
+            // detection on the tiles that did arrive.
+            ans.parts.retain(|p| p.shard != 3);
+            ans.parts[1].answer.records[2].attrs[1] = 31337;
+            assert_eq!(
+                v.verify_partial_selection(0, 390, &ans, &[3], &view, 0, true, &mut rng),
+                Err(VerifyError::BadAggregate)
             );
         }
 

@@ -507,6 +507,10 @@ impl WireEncode for QueryError {
             }
             QueryError::AnswerTooLarge => out.push(3),
             QueryError::BadRebalance => out.push(4),
+            QueryError::UnknownShard { shard } => {
+                out.push(5);
+                shard.encode_into(out);
+            }
         }
     }
 }
@@ -528,6 +532,7 @@ impl WireDecode for QueryError {
             }
             3 => Ok(QueryError::AnswerTooLarge),
             4 => Ok(QueryError::BadRebalance),
+            5 => Ok(QueryError::UnknownShard { shard: r.u64()? }),
             tag => Err(WireError::BadTag {
                 what: "query error",
                 tag,
@@ -588,6 +593,18 @@ pub enum Request {
     /// epoch-bump push a DA-side driver sends so a deployment re-partitions
     /// without a restart).
     Rebalance(Box<Rebalance>),
+    /// One shard's answer for a sub-range — the per-shard request a fan-out
+    /// client sends when it decomposes `[lo, hi]` itself (so each shard
+    /// endpoint can fail independently and the query can degrade to a
+    /// partial answer instead of dying with the slowest endpoint).
+    SelectShard {
+        /// The shard index under the client's pinned epoch.
+        shard: u32,
+        /// Lower bound (inclusive) of the shard's sub-range.
+        lo: i64,
+        /// Upper bound (inclusive) of the shard's sub-range.
+        hi: i64,
+    },
 }
 
 impl WireEncode for Request {
@@ -611,6 +628,12 @@ impl WireEncode for Request {
                 out.push(5);
                 rb.encode_into(out);
             }
+            Request::SelectShard { shard, lo, hi } => {
+                out.push(6);
+                shard.encode_into(out);
+                lo.encode_into(out);
+                hi.encode_into(out);
+            }
         }
     }
 }
@@ -632,6 +655,11 @@ impl WireDecode for Request {
             3 => Ok(Request::Stats),
             4 => Ok(Request::Epoch),
             5 => Ok(Request::Rebalance(Box::new(Rebalance::decode_from(r)?))),
+            6 => Ok(Request::SelectShard {
+                shard: r.u32()?,
+                lo: r.i64()?,
+                hi: r.i64()?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "request",
                 tag,
@@ -666,6 +694,10 @@ pub enum Response {
     /// A rebalance package was applied; the server now serves the new
     /// epoch.
     Rebalanced,
+    /// One shard's selection answer (the reply to
+    /// [`Request::SelectShard`]). Boxed: a full tile dwarfs every other
+    /// variant, and responses spend their life behind this enum.
+    ShardSelection(Box<SelectionAnswer>),
 }
 
 impl WireEncode for Response {
@@ -694,6 +726,10 @@ impl WireEncode for Response {
                 transitions.encode_into(out);
             }
             Response::Rebalanced => out.push(6),
+            Response::ShardSelection(a) => {
+                out.push(7);
+                a.encode_into(out);
+            }
         }
     }
 }
@@ -712,6 +748,9 @@ impl WireDecode for Response {
                 transitions: Vec::<EpochTransition>::decode_from(r)?,
             }),
             6 => Ok(Response::Rebalanced),
+            7 => Ok(Response::ShardSelection(Box::new(
+                SelectionAnswer::decode_from(r)?,
+            ))),
             tag => Err(WireError::BadTag {
                 what: "response",
                 tag,

@@ -214,6 +214,29 @@ proptest! {
             let ans = sqs.select_range(lo, lo + w).unwrap();
             assert_canonical(&ans);
             assert_canonical(&Response::Selection(ans));
+            // The per-shard fan-out protocol: every overlapping shard's
+            // tile request and answer round-trips too.
+            for (shard, (sub_lo, sub_hi)) in sa.map().overlapping(lo, lo + w) {
+                assert_canonical(&Request::SelectShard {
+                    shard: shard as u32,
+                    lo: sub_lo,
+                    hi: sub_hi,
+                });
+                let tile = sqs.select_shard(shard, sub_lo, sub_hi).unwrap();
+                assert_canonical(&Response::ShardSelection(Box::new(tile)));
+            }
+        }
+        // A tile request for a shard this deployment does not have is a
+        // typed refusal, and the refusal itself is canonical on the wire.
+        let beyond = sa.map().shard_count() as u64 + 3;
+        match sqs.select_shard(beyond as usize, 0, 10) {
+            Err(authdb_core::qs::QueryError::UnknownShard { shard }) => {
+                assert_eq!(shard, beyond);
+                assert_canonical(&Response::Refused(
+                    authdb_core::qs::QueryError::UnknownShard { shard },
+                ));
+            }
+            other => panic!("expected UnknownShard refusal, got {other:?}"),
         }
     }
 

@@ -10,11 +10,12 @@
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use authdb_core::qs::{ProjectionAnswer, QsStats};
+use authdb_core::qs::{ProjectionAnswer, QsStats, SelectionAnswer};
 use authdb_core::shard::{EpochTransition, Rebalance, ShardMap, ShardedSelectionAnswer};
 use authdb_core::wire::{Request, Response};
 use authdb_wire::{deframe, frame, DEFAULT_MAX_FRAME_LEN};
 
+use crate::retry::ClientConfig;
 use crate::{read_frame_body, NetError};
 
 /// A connected client.
@@ -50,6 +51,50 @@ impl QsClient {
         })
     }
 
+    /// Connect with deadlines: the connect attempt, every read, and every
+    /// write are bounded by `config`. A fired deadline surfaces as
+    /// [`NetError::Timeout`] — this is the connection the chaos suite uses,
+    /// because it provably cannot hang on a stalled or partitioned peer.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<Self, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        let mut stream = None;
+        for a in addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::from_io(e, "resolve"))?
+        {
+            match TcpStream::connect_timeout(&a, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                let e = last.unwrap_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+                });
+                return Err(NetError::from_io(e, "connect"));
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream
+            .set_read_timeout(Some(config.read_timeout))
+            .map_err(|e| NetError::from_io(e, "connect"))?;
+        stream
+            .set_write_timeout(Some(config.write_timeout))
+            .map_err(|e| NetError::from_io(e, "connect"))?;
+        Ok(QsClient {
+            stream,
+            max_frame_len: config.max_frame_len,
+            bytes_sent: 0,
+            bytes_received: 0,
+            last_response_bytes: 0,
+        })
+    }
+
     /// Total bytes written to the server.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
@@ -68,7 +113,9 @@ impl QsClient {
 
     fn call(&mut self, request: &Request) -> Result<Response, NetError> {
         let out = frame(request);
-        self.stream.write_all(&out)?;
+        self.stream
+            .write_all(&out)
+            .map_err(|e| NetError::from_io(e, "write"))?;
         self.bytes_sent += out.len() as u64;
         let body = read_frame_body(&mut self.stream, self.max_frame_len)?;
         self.last_response_bytes = 4 + body.len();
@@ -92,6 +139,29 @@ impl QsClient {
             Response::Selection(answer) => Ok(answer),
             Response::Refused(e) => Err(NetError::Refused(e)),
             _ => Err(NetError::Protocol("expected Selection")),
+        }
+    }
+
+    /// One shard's tile of a range selection, addressed by shard index —
+    /// the per-endpoint request a [`ShardFanout`](crate::ShardFanout)
+    /// issues so that one partitioned shard cannot take the whole answer
+    /// down with it. The sub-range and index come from the client's pinned
+    /// map, never from the server.
+    pub fn select_shard(
+        &mut self,
+        shard: usize,
+        lo: i64,
+        hi: i64,
+    ) -> Result<SelectionAnswer, NetError> {
+        let request = Request::SelectShard {
+            shard: shard as u32,
+            lo,
+            hi,
+        };
+        match self.call(&request)? {
+            Response::ShardSelection(answer) => Ok(*answer),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected ShardSelection")),
         }
     }
 

@@ -25,12 +25,43 @@
 //! panic-free, and a request the server cannot decode closes the stream
 //! (once framing is lost there is no way to resynchronize, and answering
 //! unparseable bytes would mean guessing what was asked).
+//!
+//! # Failure model
+//!
+//! Real networks fault; the paper's soundness promise must survive them
+//! without ever being *weakened* by them. Every fault the client stack can
+//! encounter maps to a typed detection, a prescribed client action, and a
+//! verdict — the [`ChaosProxy`] fault-injection catalog
+//! ([`netfault::run_netfault_catalog`]) pins each row:
+//!
+//! | fault | detection | client action | verdict |
+//! |---|---|---|---|
+//! | endpoint down / connect refused | connect error ([`NetError::Io`]) | retry with backoff, then report the endpoint unreachable | none — no answer was accepted |
+//! | accept-then-stall (slow or dead server) | read deadline fires ([`NetError::Timeout`]) | bounded retry, then unreachable | none — the client never hangs past its deadline budget |
+//! | delay within deadline | none (slower RTT) | accept | unchanged — latency is not evidence |
+//! | disconnect mid-frame | short read ([`NetError::Io`], `UnexpectedEof`) | retry (idempotent requests only) | none until a complete frame verifies |
+//! | truncated / bit-corrupted frame | [`NetError::Wire`] typed decode error | **fail fast — never retried blindly**: corruption of a length-checked frame is evidence of tampering, not weather | none; the error is surfaced |
+//! | per-shard partition | per-endpoint retries exhausted | degrade: return a [`PartialAnswer`] naming the unreachable shards | `verify_partial_selection` certifies the reachable tiles, marks the rest `ShardUnavailable` |
+//! | reachable shard withholds its part | verifier | none available | `VerifyError::ShardWithheld` — degradation never excuses withholding |
+//! | server refusal ([`NetError::Refused`]) | typed response | fail fast (the server answered; retrying cannot change a deterministic refusal) | none |
+//!
+//! Retries are restricted to **idempotent** requests (selections, stats,
+//! epoch, ping); `Rebalance` is never retried — [`ResilientClient`] simply
+//! does not expose it, so the type system enforces the restriction.
 
 pub mod client;
+pub mod fanout;
+pub mod fault;
+pub mod netfault;
+pub mod retry;
 pub mod server;
 pub mod tamper;
 
 pub use client::QsClient;
+pub use fanout::{PartialAnswer, ShardFanout, ShardOutage};
+pub use fault::{ChaosProxy, Fault, FaultPlan};
+pub use netfault::{run_netfault_catalog, NetFault, NetFaultConformance};
+pub use retry::{ClientConfig, ResilientClient, RetryPolicy};
 pub use server::{QsServer, QsServerOptions};
 pub use tamper::WireTamper;
 
@@ -40,24 +71,59 @@ use std::io::Read;
 use authdb_core::qs::QueryError;
 use authdb_wire::WireError;
 
-/// Why a network operation failed.
+/// Why a network operation failed. The taxonomy is the client's retry
+/// policy: [`NetError::is_retryable`] splits transient transport faults
+/// (worth another attempt) from integrity faults (evidence — fail fast).
 #[derive(Debug)]
 pub enum NetError {
-    /// Transport failure (connect, read, write, EOF mid-frame).
+    /// Transport failure (connect, read, write, EOF mid-frame). Retryable:
+    /// a reset or short read says nothing about the answer's content.
     Io(std::io::Error),
-    /// The peer's bytes failed canonical decoding.
+    /// A configured deadline fired (connect, read, or write). Retryable —
+    /// and the reason the client can never hang: every blocking operation
+    /// is bounded.
+    Timeout(&'static str),
+    /// The peer's bytes failed canonical decoding. **Not** retryable: a
+    /// frame that passed the length gate but failed decoding is corrupt in
+    /// a way retransmission-protected TCP does not produce — treat it as
+    /// tampering evidence and surface it.
     Wire(WireError),
-    /// The server refused the request with its own typed error.
+    /// The server refused the request with its own typed error. Not
+    /// retryable: the server is alive and deterministic.
     Refused(QueryError),
     /// The server answered with a well-formed but wrong-kinded response
-    /// (e.g. a projection to a selection request).
+    /// (e.g. a projection to a selection request). Not retryable.
     Protocol(&'static str),
+}
+
+impl NetError {
+    /// Whether a fresh attempt could plausibly succeed. Exactly the
+    /// transport faults qualify; wire corruption, refusals, and protocol
+    /// violations are answers *about* the server and retrying them blindly
+    /// would only re-solicit the evidence.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::Timeout(_))
+    }
+
+    /// Classify an I/O error raised during `during`: deadline expiries
+    /// become [`NetError::Timeout`], everything else stays [`NetError::Io`].
+    /// (Platform sockets report a fired `SO_RCVTIMEO`/`SO_SNDTIMEO` as
+    /// `WouldBlock` or `TimedOut` depending on the OS.)
+    pub fn from_io(e: std::io::Error, during: &'static str) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                NetError::Timeout(during)
+            }
+            _ => NetError::Io(e),
+        }
+    }
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Timeout(during) => write!(f, "deadline expired during {during}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Refused(e) => write!(f, "server refused: {e}"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
@@ -69,7 +135,7 @@ impl std::error::Error for NetError {}
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        NetError::from_io(e, "transport")
     }
 }
 

@@ -13,9 +13,10 @@
 //! The async/epoll follow-on in the ROADMAP lifts that.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -34,12 +35,35 @@ pub struct QsServerOptions {
     /// are tiny; the default (64 KiB) bounds what a hostile client's length
     /// prefix can make the server allocate.
     pub max_request_len: usize,
+    /// Per-`read` deadline on accepted sockets. Before this existed, a
+    /// client that connected and then went silent pinned its connection
+    /// thread forever — the slow-loris hole. A connection idle past the
+    /// deadline is dropped; honest clients re-connect.
+    pub read_timeout: Duration,
+    /// Per-`write` deadline on accepted sockets: a client that stops
+    /// draining its receive window cannot wedge a response write.
+    pub write_timeout: Duration,
+    /// Cap on concurrently served connections. With thread-per-connection,
+    /// unbounded accepts are an fd- and memory-exhaustion vector; excess
+    /// connections are closed at accept (clients observe a reset and
+    /// retry against a less-loaded moment).
+    pub max_connections: usize,
+    /// How long [`QsServer::shutdown`] waits for in-flight connections to
+    /// finish before returning anyway.
+    pub drain_timeout: Duration,
 }
 
 impl Default for QsServerOptions {
     fn default() -> Self {
         QsServerOptions {
             max_request_len: 64 << 10,
+            // Generous defaults: long enough that no honest interactive
+            // client notices, short enough that an abandoned socket frees
+            // its thread the same minute.
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_connections: 256,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -50,6 +74,9 @@ struct Shared {
     tamper: Mutex<Option<WireTamper>>,
     opts: QsServerOptions,
     stop: AtomicBool,
+    /// Connections currently being served (the cap's ledger, and what
+    /// shutdown drains to zero).
+    active: AtomicUsize,
 }
 
 /// A running networked query server. Dropping the handle stops the accept
@@ -80,6 +107,7 @@ impl QsServer {
             tamper: Mutex::new(None),
             opts,
             stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || {
@@ -88,8 +116,19 @@ impl QsServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Admission control: claim a slot before spawning; if the
+                // cap is hit, drop the socket instead of the server.
+                let claimed = accept_shared.active.fetch_add(1, Ordering::AcqRel);
+                if claimed >= accept_shared.opts.max_connections {
+                    accept_shared.active.fetch_sub(1, Ordering::AcqRel);
+                    drop(stream);
+                    continue;
+                }
                 let conn_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || handle_connection(stream, conn_shared));
+                std::thread::spawn(move || {
+                    handle_connection(stream, Arc::clone(&conn_shared));
+                    conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+                });
             }
         });
         Ok(QsServer {
@@ -117,9 +156,23 @@ impl QsServer {
         *self.shared.tamper.lock() = tamper;
     }
 
-    /// Stop accepting new connections and join the accept thread.
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, then wait (up to the configured
+    /// drain timeout) for in-flight connections to finish their current
+    /// request/response exchanges. Connections still open after the drain
+    /// window are abandoned — their threads die at their next read
+    /// deadline, so nothing leaks unboundedly either way.
     pub fn shutdown(mut self) {
         self.stop_accepting();
+        let deadline = std::time::Instant::now() + self.shared.opts.drain_timeout;
+        while self.shared.active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     fn stop_accepting(&mut self) {
@@ -145,6 +198,11 @@ impl Drop for QsServer {
 /// stream cannot be resynchronized and is dropped).
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    // Deadlines on every blocking socket operation: a client that
+    // connects and stalls (or stops draining responses) costs one thread
+    // for at most a deadline, not forever.
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
     loop {
         let body = match read_frame_body(&mut stream, shared.opts.max_request_len) {
             Ok(b) => b,
@@ -186,6 +244,12 @@ fn dispatch(server: &mut ShardedQueryServer, request: Request) -> Response {
             Ok(answer) => Response::Selection(answer),
             Err(e) => Response::Refused(e),
         },
+        Request::SelectShard { shard, lo, hi } => {
+            match server.select_shard(shard as usize, lo, hi) {
+                Ok(answer) => Response::ShardSelection(Box::new(answer)),
+                Err(e) => Response::Refused(e),
+            }
+        }
         Request::Project { lo, hi, attrs } => {
             let attrs: Vec<usize> = attrs.into_iter().map(|a| a as usize).collect();
             match server.project(lo, hi, &attrs) {
