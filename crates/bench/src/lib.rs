@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the `authdb` benchmark harnesses.
 //!
 //! Every table/figure of the paper's evaluation has a `harness = false`

@@ -76,9 +76,12 @@ impl EmbAnswer {
         self.vo.size_bytes() + pp.wire_len() + 8
     }
 
-    /// Matching records only (boundaries stripped).
+    /// Matching records only (boundaries stripped). Degenerate boundary
+    /// counts (more boundaries than records) yield an empty slice; the
+    /// verifier's boundary checks then reject the answer.
     pub fn matches(&self) -> &[Record] {
-        &self.records[self.left_boundary..self.records.len() - self.right_boundary]
+        let hi = self.records.len().saturating_sub(self.right_boundary);
+        self.records.get(self.left_boundary..hi).unwrap_or(&[])
     }
 }
 
@@ -382,7 +385,7 @@ impl EmbVerifier {
         }
         // Order and range checks.
         let keys: Vec<i64> = ans.records.iter().map(|r| r.key(&self.schema)).collect();
-        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+        if !keys.iter().zip(keys.iter().skip(1)).all(|(a, b)| a <= b) {
             return Err(EmbVerifyError::BadRecords);
         }
         let matches = ans.matches();
@@ -392,10 +395,12 @@ impl EmbVerifier {
                 return Err(EmbVerifyError::BadRecords);
             }
         }
-        if ans.left_boundary == 1 && keys[0] >= lo {
+        // `.first()`/`.last()` double as the emptiness check: an answer
+        // claiming a boundary tuple it did not ship is rejected, not a panic.
+        if ans.left_boundary == 1 && keys.first().is_none_or(|&k| k >= lo) {
             return Err(EmbVerifyError::BadBoundary);
         }
-        if ans.right_boundary == 1 && keys[keys.len() - 1] <= hi {
+        if ans.right_boundary == 1 && keys.last().is_none_or(|&k| k <= hi) {
             return Err(EmbVerifyError::BadBoundary);
         }
         // Recompute the root from tuple digests + VO.

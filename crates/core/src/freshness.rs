@@ -274,14 +274,20 @@ impl<'a> DecodedSummaries<'a> {
     /// [`check_freshness`] against the pre-decoded bitmaps.
     pub fn check_freshness(&self, rid: u64, record_ts: Tick, rho: Tick, now: Tick) -> Freshness {
         check_marks(record_ts, self.summaries, rho, now, |i| {
-            self.bitmaps[i].as_ref().map(|b| b.get(rid as usize))
+            self.bitmaps
+                .get(i)
+                .and_then(Option::as_ref)
+                .map(|b| b.get(rid as usize))
         })
     }
 
     /// [`check_vacancy`] against the pre-decoded bitmaps.
     pub fn check_vacancy(&self, proof_ts: Tick, rho: Tick, now: Tick) -> Freshness {
         check_marks(proof_ts, self.summaries, rho, now, |i| {
-            self.bitmaps[i].as_ref().map(|b| b.ones() > 0)
+            self.bitmaps
+                .get(i)
+                .and_then(Option::as_ref)
+                .map(|b| b.ones() > 0)
         })
     }
 }
@@ -343,12 +349,18 @@ fn check_marks(
     // this version stale (prefix withholding); anchoring the run's start
     // closes that. seq 0 is the first summary ever published, so a run from
     // seq 0 trivially covers everything before it.
-    let first = &summaries[0];
+    let Some(first) = summaries.first() else {
+        return Freshness::Indeterminate;
+    };
     if !(first.period_start < version_ts || first.seq == 0) {
         return Freshness::Indeterminate;
     }
     // Contiguity: no withheld summary inside the run.
-    if summaries.windows(2).any(|w| w[1].seq != w[0].seq + 1) {
+    if summaries
+        .iter()
+        .zip(summaries.iter().skip(1))
+        .any(|(a, b)| b.seq != a.seq + 1)
+    {
         return Freshness::Indeterminate;
     }
     if malformed {

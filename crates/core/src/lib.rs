@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-core
 //!
 //! The paper's primary contribution: scalable query-answer verification for

@@ -69,6 +69,7 @@ pub struct Record {
 impl Record {
     /// The indexed attribute's value.
     pub fn key(&self, schema: &Schema) -> i64 {
+        // authdb-lint: allow(panic-free-decode): the verifier rejects wire records whose arity disagrees with the schema (MalformedRecord) before key() is reached; the schema itself is local trusted config
         self.attrs[schema.indexed_attr]
     }
 
@@ -131,6 +132,7 @@ impl Record {
         msg.extend_from_slice(b"attr:");
         msg.extend_from_slice(&self.rid.to_be_bytes());
         msg.extend_from_slice(&(attr_idx as u32).to_be_bytes());
+        // authdb-lint: allow(panic-free-decode): verify_projection bounds attr_idx against the schema and builds the probe with exactly attr_idx + 1 attributes; the DA side signs only schema-arity records
         msg.extend_from_slice(&self.attrs[attr_idx].to_be_bytes());
         msg.extend_from_slice(&self.ts.to_be_bytes());
         msg

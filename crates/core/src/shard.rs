@@ -271,7 +271,7 @@ impl ShardMap {
     /// attacker bytes. The signature is *not* checked here;
     /// [`ShardMap::verify`] stays the verifier's job.
     pub fn from_parts(epoch: u64, splits: Vec<i64>, signature: Signature) -> Option<Self> {
-        let sorted = splits.windows(2).all(|w| w[0] < w[1]);
+        let sorted = splits.iter().zip(splits.iter().skip(1)).all(|(a, b)| a < b);
         let fenced = splits.iter().all(|&s| s > i64::MIN + 1 && s < i64::MAX);
         if epoch != UNSHARDED_EPOCH && sorted && fenced {
             Some(ShardMap {
@@ -331,16 +331,11 @@ impl ShardMap {
         ShardScope {
             epoch: self.epoch,
             shard: i as u64,
-            left_fence: if i == 0 {
-                KEY_NEG_INF
-            } else {
-                self.splits[i - 1] - 1
-            },
-            right_fence: if i < self.splits.len() {
-                self.splits[i]
-            } else {
-                KEY_POS_INF
-            },
+            left_fence: i
+                .checked_sub(1)
+                .and_then(|j| self.splits.get(j))
+                .map_or(KEY_NEG_INF, |s| s - 1),
+            right_fence: self.splits.get(i).copied().unwrap_or(KEY_POS_INF),
         }
     }
 

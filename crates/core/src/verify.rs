@@ -77,6 +77,16 @@
 //! [`crate::adversary::MaliciousShardedServer`] (plus the rebalancing
 //! scenarios of `run_rebalance_catalog`).
 //!
+//! Four disciplines here are machine-enforced by `authdb-lint` (rule
+//! reference in `crates/lint/src/lib.rs`): the claim pipeline is
+//! panic-free under adversarial answers (`panic-free-decode`), every
+//! `VerifyError` variant above stays pinned by a catalog scenario or test
+//! (`catalog-coverage`), every signed-message builder binds its domain
+//! (`domain-binding`), and verification reads no wall clock — recency is
+//! judged against the caller-supplied clock only
+//! (`no-wall-clock-in-verify`). `cargo run -p authdb-lint -- --workspace`
+//! fails the build on a violation.
+//!
 //! Under the BAS scheme the [`Verifier`]'s [`PublicParams`] carry the DA
 //! key's precomputed pairing lines (built once at key generation, shared
 //! by reference), so each `verify_*` call costs one multi-Miller-loop and
@@ -564,7 +574,7 @@ impl Verifier {
                 return Err(VerifyError::RecordOutOfRange { rid: r.rid });
             }
         }
-        if !keys.windows(2).all(|w| w[0] <= w[1]) {
+        if !keys.iter().zip(keys.iter().skip(1)).all(|(a, b)| a <= b) {
             return Err(VerifyError::Unsorted);
         }
 
@@ -584,12 +594,11 @@ impl Verifier {
         // record is the boundary key.
         let mut messages = Vec::with_capacity(ans.records.len());
         for (i, r) in ans.records.iter().enumerate() {
-            let left = if i == 0 { ans.left_key } else { keys[i - 1] };
-            let right = if i + 1 == ans.records.len() {
-                ans.right_key
-            } else {
-                keys[i + 1]
-            };
+            let left = i
+                .checked_sub(1)
+                .and_then(|j| keys.get(j).copied())
+                .unwrap_or(ans.left_key);
+            let right = keys.get(i + 1).copied().unwrap_or(ans.right_key);
             messages.push(r.chain_message(&self.schema, left, right));
         }
         Ok(AnswerClaim {
@@ -781,7 +790,9 @@ impl Verifier {
             if alien {
                 return Err(VerifyError::UnexpectedShardAnswer { shard: p.shard });
             }
-            claimed[p.shard] = true;
+            if let Some(slot) = claimed.get_mut(p.shard) {
+                *slot = true;
+            }
         }
         let mut claims = Vec::with_capacity(expected.len());
         let mut tiles = Vec::with_capacity(expected.len());
@@ -890,8 +901,8 @@ impl Verifier {
                 let probe = Record {
                     rid: row.rid,
                     attrs: {
-                        let mut a = vec![0i64; idx + 1];
-                        a[idx] = value;
+                        let mut a = vec![0i64; idx];
+                        a.push(value);
                         a
                     },
                     ts: row.ts,
@@ -1237,6 +1248,46 @@ mod tests {
         let honest = qs.select_range(0, 100).unwrap();
         assert_eq!(honest.records.len(), 1);
         assert!(v.verify_selection(0, 100, &honest, da.now(), true).is_ok());
+    }
+
+    #[test]
+    fn empty_answer_without_gap_or_vacancy_rejected() {
+        // An empty result must certify its emptiness: stripping both the
+        // gap proof and the vacancy certificate is the laziest possible
+        // omission attack and must surface as MissingGapProof.
+        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        let mut ans = qs.select_range(231, 239).unwrap();
+        assert!(ans.records.is_empty() && ans.gap.is_some());
+        ans.gap = None;
+        assert!(matches!(
+            v.verify_selection(231, 239, &ans, 0, true),
+            Err(VerifyError::MissingGapProof)
+        ));
+    }
+
+    #[test]
+    fn vacancy_with_gappy_summary_run_is_indeterminate() {
+        // A vacancy claim whose summary run withholds the middle summary
+        // can hide the insertion that voids it; contiguity failure must
+        // surface as VacancyIndeterminate, not as a fresh verdict.
+        let (mut da, mut qs, v) = system(0, SigningMode::Chained);
+        let mut published = Vec::new();
+        for _ in 0..3 {
+            da.advance_clock(12);
+            let (s, _) = da.maybe_publish_summary().unwrap();
+            qs.add_summary(s.clone());
+            published.push(s);
+        }
+        let ans = qs.select_range(0, 100).unwrap();
+        assert!(ans.vacancy.is_some());
+        let mut gappy = ans.clone();
+        gappy.summaries = vec![published[0].clone(), published[2].clone()];
+        assert!(matches!(
+            v.verify_selection(0, 100, &gappy, da.now(), true),
+            Err(VerifyError::VacancyIndeterminate)
+        ));
+        // The full contiguous run verifies.
+        assert!(v.verify_selection(0, 100, &ans, da.now(), true).is_ok());
     }
 
     #[test]

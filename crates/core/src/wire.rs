@@ -39,7 +39,7 @@
 //! | [`QsStats`] | five `u64` counters |
 //! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
 
-use authdb_wire::{put_bytes, Reader, WireDecode, WireEncode, WireError};
+use authdb_wire::{put_bytes, put_count, Reader, WireDecode, WireEncode, WireError};
 
 use authdb_crypto::signer::Signature;
 
@@ -173,9 +173,11 @@ impl WireEncode for ProjectedRow {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.rid.encode_into(out);
         self.ts.encode_into(out);
-        out.extend_from_slice(&(self.values.len() as u32).to_be_bytes());
+        put_count(out, "projected-row values", self.values.len());
         for &(idx, value) in &self.values {
-            (idx as u32).encode_into(out);
+            // Attribute indexes are schema-bounded (far below u32::MAX);
+            // the checked conversion keeps the invariant machine-visible.
+            put_count(out, "attribute index", idx);
             value.encode_into(out);
         }
     }
@@ -275,7 +277,7 @@ impl WireDecode for UpdateMsg {
 impl WireEncode for ShardMap {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.epoch().encode_into(out);
-        out.extend_from_slice(&(self.splits().len() as u32).to_be_bytes());
+        put_count(out, "shard-map splits", self.splits().len());
         for s in self.splits() {
             s.encode_into(out);
         }

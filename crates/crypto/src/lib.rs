@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-crypto
 //!
 //! From-scratch cryptographic substrate for the `authdb` reproduction of

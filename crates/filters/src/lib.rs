@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-filters
 //!
 //! Probabilistic and bitmap data structures for the `authdb` workspace:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-index
 //!
 //! Authenticated index structures (paper Section 3.2):

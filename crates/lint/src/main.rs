@@ -1,0 +1,85 @@
+#![forbid(unsafe_code)]
+//! CLI driver: `cargo run -p authdb-lint -- --workspace [ROOT]`.
+//!
+//! Prints every diagnostic as `file:line: [rule] message`, the adversary-
+//! catalog coverage table, and a summary of waived findings. Exits 1 if
+//! any diagnostic survives, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut saw_workspace = false;
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => saw_workspace = true,
+            "--help" | "-h" => {
+                println!("usage: authdb-lint --workspace [ROOT]");
+                println!("Runs the soundness-discipline rules over the workspace source.");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    if !saw_workspace && root.is_none() {
+        eprintln!("usage: authdb-lint --workspace [ROOT]");
+        return ExitCode::FAILURE;
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let analysis = match authdb_lint::analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "authdb-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("authdb-lint: adversary-catalog coverage");
+    let mut current = String::new();
+    for c in &analysis.coverage {
+        if c.enum_name != current {
+            current.clone_from(&c.enum_name);
+            let total = analysis
+                .coverage
+                .iter()
+                .filter(|x| x.enum_name == current)
+                .count();
+            let pinned = analysis
+                .coverage
+                .iter()
+                .filter(|x| x.enum_name == current && x.pins > 0)
+                .count();
+            println!("  {current} ({pinned}/{total} variants pinned)");
+        }
+        let mark = if c.pins > 0 { "ok" } else { "UNPINNED" };
+        println!("    {:<28} {:>3} pin(s)  {}", c.variant, c.pins, mark);
+    }
+
+    if !analysis.waived.is_empty() {
+        println!("\nauthdb-lint: {} waived finding(s)", analysis.waived.len());
+        for (d, why) in &analysis.waived {
+            println!("  {d}\n    waived: {why}");
+        }
+    }
+
+    if analysis.diagnostics.is_empty() {
+        println!("\nauthdb-lint: clean (0 diagnostics)");
+        ExitCode::SUCCESS
+    } else {
+        println!();
+        for d in &analysis.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "\nauthdb-lint: {} diagnostic(s)",
+            analysis.diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}

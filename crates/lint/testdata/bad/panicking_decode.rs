@@ -1,0 +1,10 @@
+// Known-bad: a WireDecode impl that unwraps on attacker bytes.
+// Expected: exactly one panic-free-decode diagnostic (line of the unwrap).
+
+impl WireDecode for Claim {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let body = r.bytes().unwrap();
+        Ok(Claim { tag, body })
+    }
+}

@@ -1,0 +1,9 @@
+// Known-bad: an encoder that truncates a length into the u32 prefix.
+// Expected: exactly one checked-length-casts diagnostic.
+
+impl WireEncode for Claim {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.body);
+    }
+}

@@ -1,0 +1,17 @@
+// Known-bad: an error enum with a variant no catalog arm and no test ever
+// pins. Expected: exactly one catalog-coverage diagnostic (NeverProduced).
+
+pub enum VerifyError {
+    Pinned,
+    NeverProduced,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VerifyError;
+
+    #[test]
+    fn pinned_is_exercised() {
+        assert!(matches!(check(), Err(VerifyError::Pinned)));
+    }
+}

@@ -1,0 +1,11 @@
+// Known-good: a decode impl in the typed-error discipline — `?` on every
+// read, `get` + `ok_or` instead of indexing. Expected: clean.
+
+impl WireDecode for Claim {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let body = r.bytes()?;
+        let first = body.first().copied().ok_or(WireError::Truncated)?;
+        Ok(Claim { tag, first })
+    }
+}

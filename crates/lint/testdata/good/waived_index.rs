@@ -1,0 +1,10 @@
+// Known-good: a provably-bounded index under a justified waiver.
+// Expected: clean (one waived finding, zero diagnostics).
+
+impl WireDecode for Pair {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = r.take(2)?;
+        // authdb-lint: allow(panic-free-decode): take(2) returned exactly two bytes
+        Ok(Pair(bytes[0], bytes[1]))
+    }
+}

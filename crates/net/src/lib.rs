@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-net — the networked query server
 //!
 //! The paper's setting is an *outsourced* publisher answering clients over
@@ -155,4 +156,34 @@ pub(crate) fn read_frame_body(stream: &mut impl Read, max: usize) -> Result<Vec<
     let mut body = vec![0u8; body_len];
     stream.read_exact(&mut body)?;
     Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_classification_pins_timeout_vs_io() {
+        // Fired socket deadlines surface as Timeout regardless of how the
+        // platform spells them; everything else stays a transport Io fault.
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let e = NetError::from_io(std::io::Error::from(kind), "read");
+            assert!(matches!(e, NetError::Timeout("read")), "{kind:?}: {e}");
+        }
+        let reset = std::io::Error::from(std::io::ErrorKind::ConnectionReset);
+        assert!(matches!(NetError::from_io(reset, "read"), NetError::Io(_)));
+    }
+
+    #[test]
+    fn retry_taxonomy_splits_transport_from_evidence() {
+        // The retry policy IS the taxonomy: transport faults retry,
+        // integrity faults (wire corruption, refusals, wrong-kinded
+        // responses) are evidence and must fail fast.
+        let io = NetError::from(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+        assert!(io.is_retryable());
+        assert!(NetError::Timeout("connect").is_retryable());
+        assert!(!NetError::Wire(WireError::Truncated).is_retryable());
+        assert!(!NetError::Refused(QueryError::Unsupported).is_retryable());
+        assert!(!NetError::Protocol("projection answer to a selection").is_retryable());
+    }
 }

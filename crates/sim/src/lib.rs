@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-sim
 //!
 //! Discrete-event simulation of the paper's evaluation testbed

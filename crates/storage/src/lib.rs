@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-storage
 //!
 //! Paged storage substrate for the `authdb` workspace:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-wire — the canonical wire format
 //!
 //! Every proof-carrying type in this workspace serializes through the codec
@@ -10,6 +11,14 @@
 //! presence byte other than 0/1, a non-minimal integer encoding, a
 //! compressed point the curve layer would not itself emit) instead of
 //! normalizing it.
+//!
+//! Two disciplines in this crate are machine-enforced by `authdb-lint`
+//! (see the rule reference in `crates/lint/src/lib.rs`): decode paths are
+//! *panic-free* — adversarial bytes surface as [`WireError`], never as a
+//! panic (`panic-free-decode`) — and length prefixes are written through
+//! the checked [`wire_u32`]/[`put_count`] helpers rather than truncating
+//! `as` casts (`checked-length-casts`). `cargo run -p authdb-lint --
+//! --workspace` fails the build on a violation.
 //!
 //! ## Frame layout
 //!
@@ -121,6 +130,14 @@ pub enum WireError {
         /// The declared element count.
         declared: usize,
     },
+    /// An in-memory length does not fit the wire's `u32` length prefix, so
+    /// the value cannot be encoded without truncation.
+    Oversize {
+        /// Which length was being encoded.
+        what: &'static str,
+        /// The unencodable length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -144,6 +161,9 @@ impl fmt::Display for WireError {
                     f,
                     "{what} declares {declared} elements, more than the input holds"
                 )
+            }
+            WireError::Oversize { what, len } => {
+                write!(f, "{what} length {len} does not fit the u32 wire prefix")
             }
         }
     }
@@ -187,7 +207,8 @@ impl<'a> Reader<'a> {
 
     /// Consume one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     /// Consume a big-endian `u32`.
@@ -269,9 +290,31 @@ pub trait WireDecode: Sized {
     }
 }
 
+/// Check that an in-memory length fits the wire's `u32` length prefix.
+/// This is the one sanctioned route from `usize` to a wire count: a plain
+/// `as u32` cast would silently wrap past 4 GiB and the decoder would then
+/// misparse everything after the prefix.
+pub fn wire_u32(what: &'static str, len: usize) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| WireError::Oversize { what, len })
+}
+
+/// Append a `u32` length prefix for `len`.
+///
+/// # Panics
+/// Panics if `len` exceeds `u32::MAX` — the value is unencodable, exactly
+/// the documented contract of [`frame`]. Fallible encoders should gate
+/// with [`wire_u32`] first.
+pub fn put_count(out: &mut Vec<u8>, what: &'static str, len: usize) {
+    let n = wire_u32(what, len).expect("collection length exceeds the u32 wire prefix");
+    out.extend_from_slice(&n.to_be_bytes());
+}
+
 /// Append a length-prefixed byte string.
+///
+/// # Panics
+/// Panics if `bytes.len()` exceeds `u32::MAX` (see [`put_count`]).
 pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    put_count(out, "byte string", bytes.len());
     out.extend_from_slice(bytes);
 }
 
@@ -316,7 +359,7 @@ impl WireDecode for i64 {
 
 impl<T: WireEncode> WireEncode for Vec<T> {
     fn encode_into(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        put_count(out, "sequence", self.len());
         for item in self {
             item.encode_into(out);
         }
@@ -392,7 +435,10 @@ pub fn try_frame<T: WireEncode>(msg: &T, max: usize) -> Result<Vec<u8>, WireErro
             max,
         });
     }
-    out[..4].copy_from_slice(&(body as u32).to_be_bytes());
+    let body = wire_u32("frame body", body)?;
+    if let Some(header) = out.get_mut(..4) {
+        header.copy_from_slice(&body.to_be_bytes());
+    }
     Ok(out)
 }
 
@@ -462,6 +508,31 @@ mod tests {
         assert_eq!(u64::decode(&[1, 2, 3]), Err(WireError::Truncated));
         let enc = vec![5i64, 6].encode();
         assert!(Vec::<i64>::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn oversize_lengths_surface_a_typed_error() {
+        // The checked route from usize to a u32 wire count: in range it is
+        // exact, past u32::MAX it refuses with Oversize instead of wrapping.
+        assert_eq!(wire_u32("n", 0), Ok(0));
+        assert_eq!(wire_u32("n", u32::MAX as usize), Ok(u32::MAX));
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            wire_u32("sequence", too_big),
+            Err(WireError::Oversize {
+                what: "sequence",
+                len: too_big
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 wire prefix")]
+    fn put_count_panics_on_unencodable_length() {
+        // The infallible encoders document this panic (same contract as
+        // `frame`); the fallible path is `wire_u32` above.
+        let mut out = Vec::new();
+        put_count(&mut out, "sequence", u32::MAX as usize + 1);
     }
 
     #[test]

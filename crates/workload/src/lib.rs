@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # authdb-workload
 //!
 //! Workload and data generators for the evaluation (Section 5.1):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Facade crate re-exporting the full `authdb` workspace API.
 pub use authdb_core as core;
 pub use authdb_crypto as crypto;
