@@ -84,7 +84,7 @@ fn main() {
         "  bootstrap ({n} BLS signatures): {}",
         fmt_time(t.elapsed().as_secs_f64())
     );
-    let mut qs = QueryServer::from_bootstrap(
+    let qs = QueryServer::from_bootstrap(
         da.public_params(),
         schema,
         SigningMode::Chained,

@@ -119,7 +119,7 @@ fn main() {
     let sizes = [256i64, 512, 1024, 2048];
     let mut handoff_secs = Vec::new();
     for &n in &sizes {
-        let (mut sa, mut sqs, _v, _view) = two_shard_system(n);
+        let (mut sa, sqs, _v, _view) = two_shard_system(n);
         // Split the right shard (n/2 records) at its midpoint: the handoff
         // re-signs exactly those records.
         let at = 3 * n * KEY_STRIDE / 4;

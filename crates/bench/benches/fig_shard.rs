@@ -129,7 +129,7 @@ fn main() {
     let mut verify_by_count = Vec::new();
     let mut answer_by_count = Vec::new();
     for &shards in &[1i64, 2, 4, 8] {
-        let (sa, mut sqs, v) = sharded_system(shards);
+        let (sa, sqs, v) = sharded_system(shards);
         let view = EpochView::genesis(sa.map(), &sa.public_params()).expect("genesis view");
         let mut rng = StdRng::seed_from_u64(9);
 

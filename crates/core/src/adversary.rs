@@ -619,7 +619,9 @@ impl MaliciousShardedServer {
             .answer
             .clone();
         ans.parts[1].answer = old;
-        ans.parts[1].answer.summaries = self.inner.shard(summary_donor).summaries().to_vec();
+        ans.parts[1].answer.summaries = self
+            .inner
+            .with_shard(summary_donor, |qs| qs.summaries().to_vec());
     }
 }
 
@@ -815,9 +817,6 @@ fn rebalance_scenario(scheme: SchemeKind, tamper: RebalanceTamper) -> RebalanceC
     let v = Verifier::new(sa.public_params(), sa.config().schema, sa.config().rho);
     let pp = sa.public_params();
     let mut view = EpochView::genesis(sa.map(), &pp).expect("genesis view");
-    // The attacker controls an honest replica directly and hoards old
-    // answers itself; no MaliciousShardedServer strategy applies here.
-    let mut sqs = sqs;
     // The shared timeline: summaries exist, an update lands in shard 1.
     sa.advance_clock(12);
     for (s, summary, recerts) in sa.maybe_publish_summaries() {
@@ -882,7 +881,7 @@ fn rebalance_scenario(scheme: SchemeKind, tamper: RebalanceTamper) -> RebalanceC
             let mut ans = sqs.select_range(250, 350).expect("chained");
             assert_eq!(ans.parts[0].shard, 1);
             let mut forged_part = old_span.parts[0].answer.clone();
-            forged_part.summaries = sqs.shard(1).summaries().to_vec();
+            forged_part.summaries = sqs.with_shard(1, |qs| qs.summaries().to_vec());
             // The forger also clamps the claimed right boundary onto the
             // new fence so the seam check cannot object; the records
             // spilling past the new seam are the remaining giveaway.

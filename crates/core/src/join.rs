@@ -571,7 +571,7 @@ mod tests {
     }
 
     fn run_join(method: JoinMethod) -> (JoinAnswer, Verifier, Verifier, Schema) {
-        let (mut r_qs, r_v, publisher, mut s_qs, s_v) = setup(method);
+        let (r_qs, r_v, publisher, mut s_qs, s_v) = setup(method);
         let r_ans = r_qs.select_range(0, 39).unwrap(); // all of R
         let ans = execute_join(
             r_ans,

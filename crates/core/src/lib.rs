@@ -29,6 +29,7 @@ pub mod embsys;
 pub mod freshness;
 pub mod join;
 pub mod locks;
+pub mod policy;
 pub mod qs;
 pub mod record;
 pub mod shard;

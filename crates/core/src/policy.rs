@@ -1,0 +1,387 @@
+//! Load-driven auto-rebalancing: the policy that turns per-shard traffic
+//! counters into certified split/merge decisions.
+//!
+//! The PR 5 rebalance machinery made re-partitioning *possible* (certified
+//! handoff, epoch transitions); this module decides *when*. An
+//! [`AutoRebalancer`] watches successive [`ShardLoad`] samples — per-shard
+//! [`QsStats`] deltas between observations — and proposes a
+//! [`RebalancePlan`]: split the hottest shard at its median key when its
+//! traffic crosses the split threshold, merge the coldest adjacent pair
+//! when their combined traffic falls below the merge threshold. The policy
+//! is a pure decision function over counter deltas; the *driver* (a DA-side
+//! loop, e.g. the one in `tests/concurrency.rs` or the `fig_conc` bench)
+//! executes the plan through `ShardedAggregator::rebalance` and pushes the
+//! certified package to live servers, so nothing here touches keys or
+//! signatures.
+//!
+//! Decisions are deliberately conservative:
+//!
+//! * a **cooldown** of observation rounds follows every proposal, letting
+//!   the re-partitioned deployment settle before the counters justify the
+//!   next move (the classic oscillation guard — EcNode's load-loop
+//!   analyses call this out as the failure mode of naive auto-scaling);
+//! * a shard below `min_split_records` is never split (re-signing a
+//!   handful of records buys nothing);
+//! * a topology change observed between samples (someone else rebalanced)
+//!   resets the baseline instead of acting on garbage deltas.
+//!
+//! When the policy sees a clear need it *cannot* act on, that is a typed
+//! [`PolicyError`] — the operator's signal that the deployment is
+//! saturated ([`PolicyError::ShardLimit`]) or skewed into a corner
+//! ([`PolicyError::Unsplittable`]) — never a silent `None`.
+
+use std::fmt;
+
+use crate::qs::QsStats;
+use crate::shard::RebalancePlan;
+
+/// One shard's load sample: cumulative counters plus the DA-side facts the
+/// policy needs to propose a *valid* split.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardLoad {
+    /// Cumulative proof-construction counters (the policy differences
+    /// successive samples itself).
+    pub stats: QsStats,
+    /// Live records in the shard.
+    pub records: u64,
+    /// The shard's median live key — the split point that halves the
+    /// shard's population. `None` when the shard is empty or the DA did
+    /// not compute one.
+    pub median_key: Option<i64>,
+}
+
+/// Thresholds and guards for [`AutoRebalancer::observe`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPolicy {
+    /// A shard whose per-round traffic (queries + updates) reaches this
+    /// crosses into "hot": propose splitting it.
+    pub split_threshold: u64,
+    /// An adjacent pair whose *combined* per-round traffic stays strictly
+    /// below this is "cold": propose merging it. Zero disables merging.
+    pub merge_threshold: u64,
+    /// Observation rounds to sit out after proposing a plan (and after an
+    /// externally observed topology change).
+    pub cooldown_rounds: u32,
+    /// Never split a shard with fewer live records than this.
+    pub min_split_records: u64,
+    /// Never split past this many shards.
+    pub max_shards: usize,
+}
+
+impl Default for LoadPolicy {
+    fn default() -> Self {
+        LoadPolicy {
+            split_threshold: 1_000,
+            merge_threshold: 10,
+            cooldown_rounds: 3,
+            min_split_records: 16,
+            max_shards: 64,
+        }
+    }
+}
+
+/// Why the policy could not act on a clear load signal. `Ok(None)` means
+/// "nothing to do"; these mean "something to do, and no sound move exists"
+/// — the operator-facing half of the decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The load report was empty — a deployment with no shards cannot be
+    /// observed, and acting on it would be a driver bug.
+    EmptyLoadReport,
+    /// A hot shard wants splitting but the deployment is already at
+    /// [`LoadPolicy::max_shards`].
+    ShardLimit {
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// A hot shard wants splitting but no valid split key exists — the
+    /// shard is under-populated, or its median key cannot produce a
+    /// strictly finer partition (all load on one key).
+    Unsplittable {
+        /// The hot shard's index.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::EmptyLoadReport => write!(f, "load report names no shards"),
+            PolicyError::ShardLimit { max } => {
+                write!(
+                    f,
+                    "hot shard needs a split but the deployment is at {max} shards"
+                )
+            }
+            PolicyError::Unsplittable { shard } => {
+                write!(f, "hot shard {shard} has no valid split key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The stateful decision loop: feed it one [`ShardLoad`] sample per shard
+/// each round; it answers with at most one [`RebalancePlan`] and enforces
+/// its own cooldown between proposals.
+#[derive(Debug)]
+pub struct AutoRebalancer {
+    policy: LoadPolicy,
+    /// Previous round's cumulative (queries + updates) per shard, used to
+    /// difference the monotone counters into per-round traffic.
+    baseline: Vec<u64>,
+    cooldown: u32,
+}
+
+fn traffic(s: &QsStats) -> u64 {
+    s.queries.saturating_add(s.updates)
+}
+
+impl AutoRebalancer {
+    /// A rebalancer with no baseline: the first observation only arms the
+    /// counters.
+    pub fn new(policy: LoadPolicy) -> Self {
+        AutoRebalancer {
+            policy,
+            baseline: Vec::new(),
+            cooldown: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &LoadPolicy {
+        &self.policy
+    }
+
+    /// Observe one round of per-shard samples against the current split
+    /// keys (`splits` — the shard map's interior boundaries, one fewer
+    /// than the shard count) and decide.
+    ///
+    /// Returns `Ok(Some(plan))` when a split or merge is warranted and
+    /// sound, `Ok(None)` when the deployment should stay as it is this
+    /// round, and a [`PolicyError`] when the load demands a move the
+    /// policy cannot soundly make.
+    pub fn observe(
+        &mut self,
+        splits: &[i64],
+        loads: &[ShardLoad],
+    ) -> Result<Option<RebalancePlan>, PolicyError> {
+        if loads.is_empty() {
+            return Err(PolicyError::EmptyLoadReport);
+        }
+        let cumulative: Vec<u64> = loads.iter().map(|l| traffic(&l.stats)).collect();
+        // Topology changed since the last sample (our own proposal landed,
+        // or an operator rebalanced by hand): deltas against the old
+        // baseline are meaningless, so re-arm and sit out a cooldown.
+        if self.baseline.len() != loads.len() {
+            let first_round = self.baseline.is_empty();
+            self.baseline = cumulative;
+            if !first_round {
+                self.cooldown = self.policy.cooldown_rounds;
+            }
+            return Ok(None);
+        }
+        let deltas: Vec<u64> = cumulative
+            .iter()
+            .zip(&self.baseline)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        self.baseline = cumulative;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Ok(None);
+        }
+
+        // Hottest shard first: splitting relieves load; merging only tidies.
+        let (hot, &hot_delta) = deltas
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| *d)
+            .expect("non-empty loads");
+        if hot_delta >= self.policy.split_threshold {
+            if loads.len() >= self.policy.max_shards {
+                return Err(PolicyError::ShardLimit {
+                    max: self.policy.max_shards,
+                });
+            }
+            if loads[hot].records < self.policy.min_split_records {
+                return Err(PolicyError::Unsplittable { shard: hot });
+            }
+            let Some(at) = loads[hot].median_key else {
+                return Err(PolicyError::Unsplittable { shard: hot });
+            };
+            let plan = RebalancePlan::Split { shard: hot, at };
+            // A median equal to a fence (single-key hotspots) cannot make
+            // the partition strictly finer; apply_to is the authority.
+            if plan.apply_to(splits).is_none() {
+                return Err(PolicyError::Unsplittable { shard: hot });
+            }
+            self.cooldown = self.policy.cooldown_rounds;
+            return Ok(Some(plan));
+        }
+
+        if self.policy.merge_threshold > 0 && loads.len() >= 2 {
+            let (left, combined) = deltas
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| (i, w[0].saturating_add(w[1])))
+                .min_by_key(|&(_, c)| c)
+                .expect("at least one adjacent pair");
+            if combined < self.policy.merge_threshold {
+                self.cooldown = self.policy.cooldown_rounds;
+                return Ok(Some(RebalancePlan::Merge { left }));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(queries: u64, records: u64, median: Option<i64>) -> ShardLoad {
+        ShardLoad {
+            stats: QsStats {
+                queries,
+                ..QsStats::default()
+            },
+            records,
+            median_key: median,
+        }
+    }
+
+    fn policy() -> LoadPolicy {
+        LoadPolicy {
+            split_threshold: 100,
+            merge_threshold: 5,
+            cooldown_rounds: 2,
+            min_split_records: 4,
+            max_shards: 4,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_a_typed_error() {
+        let mut ar = AutoRebalancer::new(policy());
+        assert_eq!(
+            ar.observe(&[], &[]).unwrap_err(),
+            PolicyError::EmptyLoadReport
+        );
+    }
+
+    #[test]
+    fn hot_shard_splits_at_its_median_key() {
+        let mut ar = AutoRebalancer::new(policy());
+        // Round 0 arms the baseline.
+        let idle = [sample(0, 50, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        // Round 1: shard 1 takes 200 queries — hot.
+        let skewed = [sample(3, 50, Some(500)), sample(200, 50, Some(1500))];
+        let plan = ar
+            .observe(&[1000], &skewed)
+            .unwrap()
+            .expect("split proposed");
+        assert_eq!(plan, RebalancePlan::Split { shard: 1, at: 1500 });
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_proposals() {
+        let mut ar = AutoRebalancer::new(policy());
+        let idle = [sample(0, 50, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        let hot = [sample(0, 50, Some(500)), sample(500, 50, Some(1500))];
+        assert!(ar.observe(&[1000], &hot).unwrap().is_some());
+        // Same (cumulative 500 → still hot if differenced naively against
+        // round 0); cooldown holds for two rounds even though traffic
+        // continues.
+        let hotter = [sample(0, 50, Some(500)), sample(1000, 50, Some(1400))];
+        assert_eq!(ar.observe(&[1000], &hotter).unwrap(), None);
+        let hottest = [sample(0, 50, Some(500)), sample(1500, 50, Some(1400))];
+        assert_eq!(ar.observe(&[1000], &hottest).unwrap(), None);
+        // Cooldown spent: the standing heat proposes again.
+        let still = [sample(0, 50, Some(500)), sample(2000, 50, Some(1400))];
+        assert!(ar.observe(&[1000], &still).unwrap().is_some());
+    }
+
+    #[test]
+    fn shard_cap_is_a_typed_error_not_a_silent_skip() {
+        let mut ar = AutoRebalancer::new(LoadPolicy {
+            max_shards: 2,
+            ..policy()
+        });
+        let idle = [sample(0, 50, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        let hot = [sample(0, 50, Some(500)), sample(500, 50, Some(1500))];
+        assert_eq!(
+            ar.observe(&[1000], &hot).unwrap_err(),
+            PolicyError::ShardLimit { max: 2 }
+        );
+    }
+
+    #[test]
+    fn underpopulated_or_degenerate_hot_shards_are_unsplittable() {
+        // Too few records.
+        let mut ar = AutoRebalancer::new(policy());
+        let idle = [sample(0, 2, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        let hot = [sample(500, 2, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(
+            ar.observe(&[1000], &hot).unwrap_err(),
+            PolicyError::Unsplittable { shard: 0 }
+        );
+        // No median at all.
+        let mut ar = AutoRebalancer::new(policy());
+        let idle = [sample(0, 50, None), sample(0, 50, None)];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        let hot = [sample(500, 50, None), sample(0, 50, None)];
+        assert_eq!(
+            ar.observe(&[1000], &hot).unwrap_err(),
+            PolicyError::Unsplittable { shard: 0 }
+        );
+        // Median collides with an existing split: no finer partition.
+        let mut ar = AutoRebalancer::new(policy());
+        let idle = [sample(0, 50, Some(1000)), sample(0, 50, Some(1000))];
+        assert_eq!(ar.observe(&[1000], &idle).unwrap(), None);
+        let hot = [sample(500, 50, Some(1000)), sample(0, 50, Some(1000))];
+        assert_eq!(
+            ar.observe(&[1000], &hot).unwrap_err(),
+            PolicyError::Unsplittable { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn cold_adjacent_pair_merges() {
+        let mut ar = AutoRebalancer::new(policy());
+        let idle = [
+            sample(0, 50, Some(300)),
+            sample(0, 50, Some(800)),
+            sample(0, 50, Some(1500)),
+        ];
+        assert_eq!(ar.observe(&[500, 1000], &idle).unwrap(), None);
+        // Shards 1 and 2 are dead quiet; 0 is warm but not hot.
+        let cold = [
+            sample(50, 50, Some(300)),
+            sample(1, 50, Some(800)),
+            sample(1, 50, Some(1500)),
+        ];
+        let plan = ar.observe(&[500, 1000], &cold).unwrap().expect("merge");
+        assert_eq!(plan, RebalancePlan::Merge { left: 1 });
+    }
+
+    #[test]
+    fn topology_change_resets_the_baseline_instead_of_acting() {
+        let mut ar = AutoRebalancer::new(policy());
+        let two = [sample(0, 50, Some(500)), sample(0, 50, Some(1500))];
+        assert_eq!(ar.observe(&[1000], &two).unwrap(), None);
+        // An operator split by hand: three shards now, with huge cumulative
+        // counters that would read as hot against the stale baseline.
+        let three = [
+            sample(9000, 50, Some(300)),
+            sample(9000, 50, Some(800)),
+            sample(9000, 50, Some(1500)),
+        ];
+        assert_eq!(ar.observe(&[500, 1000], &three).unwrap(), None);
+    }
+}

@@ -20,6 +20,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use authdb_crypto::signer::{PublicParams, Signature};
 use authdb_index::{new_asign, ASignTree};
@@ -233,6 +236,37 @@ pub struct QsStats {
     pub cache_misses: u64,
 }
 
+/// Lock-free proof-construction counters: the live form of [`QsStats`],
+/// bumped by concurrent readers without any server lock. Relaxed ordering is
+/// deliberate — counters are monotone telemetry for operators and the load
+/// policy, never part of a proof, so cross-counter skew of a few events is
+/// acceptable and the uncontended-increment cost is what matters.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    agg_ops: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl StatCounters {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting.
+    fn snapshot(&self) -> QsStats {
+        QsStats {
+            agg_ops: self.agg_ops.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Query-cardinality distribution assumed by Algorithm 1's node choice
 /// (Section 4.1 evaluates both).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -357,8 +391,12 @@ pub struct QueryServer {
     /// Current empty-table proof (present only while the relation is empty).
     vacancy: Option<EmptyTableProof>,
     scope: ShardScope,
-    agg_cache: Option<AggCache>,
-    stats: QsStats,
+    /// Interior-mutable so `select_range` can stay `&self`: the cache is the
+    /// only part of the read path that mutates (hit counters, lazy refresh,
+    /// dirty rebuild). The mutex serializes aggregation *within one shard*
+    /// only — different shards' caches never contend.
+    agg_cache: Mutex<Option<AggCache>>,
+    stats: StatCounters,
 }
 
 impl QueryServer {
@@ -426,8 +464,8 @@ impl QueryServer {
             summaries: Vec::new(),
             vacancy: boot.vacancy.clone(),
             scope: opts.scope,
-            agg_cache,
-            stats: QsStats::default(),
+            agg_cache: Mutex::new(agg_cache),
+            stats: StatCounters::default(),
         }
     }
 
@@ -450,9 +488,10 @@ impl QueryServer {
         self.tree.pool().disk().stats()
     }
 
-    /// Proof-construction statistics.
+    /// Proof-construction statistics (a point-in-time snapshot of the
+    /// lock-free counters — readable while other threads answer queries).
     pub fn stats(&self) -> QsStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Stored summaries (diagnostics).
@@ -462,26 +501,29 @@ impl QueryServer {
 
     /// Apply an update message from the DA.
     pub fn apply(&mut self, msg: &UpdateMsg) {
-        self.stats.updates += 1;
+        StatCounters::bump(&self.stats.updates, 1);
         // Aggregate-cache coherence (Section 4.3): in-place signature
         // replacement flows through the delta path; anything that moves
         // index positions invalidates the mirror until the next selection
         // rebuilds it.
-        if let Some(ac) = &mut self.agg_cache {
-            let in_place = matches!(msg.kind, UpdateKind::Modify | UpdateKind::Recertify)
-                && msg.old_key.is_none();
-            if in_place {
-                if !ac.dirty {
-                    let key = msg.record.key(&self.schema);
-                    if let Some(&p) = ac.pos.get(&(key, msg.record.rid)) {
-                        ac.cache.on_update(p, &ac.leaves[p], &msg.signature);
-                        ac.leaves[p] = msg.signature.clone();
-                    } else {
-                        ac.dirty = true;
+        {
+            let mut guard = self.agg_cache.lock();
+            if let Some(ac) = guard.as_mut() {
+                let in_place = matches!(msg.kind, UpdateKind::Modify | UpdateKind::Recertify)
+                    && msg.old_key.is_none();
+                if in_place {
+                    if !ac.dirty {
+                        let key = msg.record.key(&self.schema);
+                        if let Some(&p) = ac.pos.get(&(key, msg.record.rid)) {
+                            ac.cache.on_update(p, &ac.leaves[p], &msg.signature);
+                            ac.leaves[p] = msg.signature.clone();
+                        } else {
+                            ac.dirty = true;
+                        }
                     }
+                } else {
+                    ac.dirty = true;
                 }
-            } else {
-                ac.dirty = true;
             }
         }
         let rid = msg.record.rid;
@@ -542,6 +584,12 @@ impl QueryServer {
         &self.summaries
     }
 
+    /// The key-range responsibility this replica currently answers for
+    /// (epoch-tagged; snapshot readers use it to pin a single epoch).
+    pub fn scope(&self) -> ShardScope {
+        self.scope
+    }
+
     /// Re-tag this replica's key-range responsibility at an epoch
     /// transition (the fences stay put for survivors; only the bound
     /// `(epoch, shard)` tag changes).
@@ -590,14 +638,14 @@ impl QueryServer {
     /// canonical answer is empty with the identity aggregate and **no**
     /// gap or vacancy proof — emptiness is vacuous, nothing needs to be
     /// certified, and the verifier accepts exactly this form.
-    pub fn select_range(&mut self, lo: i64, hi: i64) -> Result<SelectionAnswer, QueryError> {
+    pub fn select_range(&self, lo: i64, hi: i64) -> Result<SelectionAnswer, QueryError> {
         if self.mode != SigningMode::Chained {
             return Err(QueryError::WrongSigningMode {
                 required: SigningMode::Chained,
                 actual: self.mode,
             });
         }
-        self.stats.queries += 1;
+        StatCounters::bump(&self.stats.queries, 1);
         if lo > hi {
             return Ok(SelectionAnswer {
                 records: Vec::new(),
@@ -679,11 +727,24 @@ impl QueryServer {
     /// Aggregate the matched records' signatures, through the Section 4
     /// cache when one is configured (a range scan's matches are a
     /// contiguous run of leaf positions, so the dyadic decomposition
-    /// applies directly).
-    fn aggregate_matches(&mut self, matches: &[authdb_index::LeafEntry]) -> Signature {
-        if self.agg_cache.is_some() {
-            self.rebuild_cache_if_dirty();
-            let ac = self.agg_cache.as_mut().expect("cache present");
+    /// applies directly). Takes the cache mutex for the duration of the
+    /// aggregation, serializing cached aggregation per shard; the uncached
+    /// fallback runs lock-free.
+    fn aggregate_matches(&self, matches: &[authdb_index::LeafEntry]) -> Signature {
+        let mut guard = self.agg_cache.lock();
+        if let Some(ac) = guard.as_mut() {
+            // Re-mirror the index after a structural change (positions
+            // shifted under the dyadic tree).
+            if ac.dirty {
+                let cfg = ac.cfg;
+                let entries: Vec<(i64, u64)> = self
+                    .tree
+                    .scan_all()
+                    .iter()
+                    .map(|e| (e.key, e.rid))
+                    .collect();
+                *ac = AggCache::build(&self.pp, &entries, &self.sigs, cfg);
+            }
             let first = &matches[0];
             if let Some(&p0) = ac.pos.get(&(first.key, first.rid)) {
                 let before = ac.cache.stats();
@@ -691,36 +752,20 @@ impl QueryServer {
                     .cache
                     .aggregate_range(&ac.leaves, p0, p0 + matches.len() - 1);
                 let after = ac.cache.stats();
-                self.stats.agg_ops += ops;
-                self.stats.cache_hits += after.hits - before.hits;
-                self.stats.cache_misses += after.misses - before.misses;
+                StatCounters::bump(&self.stats.agg_ops, ops);
+                StatCounters::bump(&self.stats.cache_hits, after.hits - before.hits);
+                StatCounters::bump(&self.stats.cache_misses, after.misses - before.misses);
                 return agg;
             }
-            self.stats.cache_misses += 1;
+            StatCounters::bump(&self.stats.cache_misses, 1);
         }
+        drop(guard);
         let mut agg = self.pp.identity();
         for e in matches {
             agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
-            self.stats.agg_ops += 1;
         }
+        StatCounters::bump(&self.stats.agg_ops, matches.len() as u64);
         agg
-    }
-
-    /// Re-mirror the index into the aggregate cache after a structural
-    /// change (positions shifted under the dyadic tree).
-    fn rebuild_cache_if_dirty(&mut self) {
-        let Some(ac) = &self.agg_cache else { return };
-        if !ac.dirty {
-            return;
-        }
-        let cfg = ac.cfg;
-        let entries: Vec<(i64, u64)> = self
-            .tree
-            .scan_all()
-            .iter()
-            .map(|e| (e.key, e.rid))
-            .collect();
-        self.agg_cache = Some(AggCache::build(&self.pp, &entries, &self.sigs, cfg));
     }
 
     /// Neighbour keys of an index position (seam fences at the extremes),
@@ -735,7 +780,7 @@ impl QueryServer {
     /// [`QueryError::WrongSigningMode`] unless the server runs in
     /// [`SigningMode::PerAttribute`].
     pub fn project(
-        &mut self,
+        &self,
         lo: i64,
         hi: i64,
         attrs: &[usize],
@@ -749,7 +794,7 @@ impl QueryServer {
         if let Some(&index) = attrs.iter().find(|&&i| i >= self.schema.num_attrs) {
             return Err(QueryError::AttributeOutOfSchema { index });
         }
-        self.stats.queries += 1;
+        StatCounters::bump(&self.stats.queries, 1);
         let scan = self.tree.range(lo, hi);
         let mut rows = Vec::with_capacity(scan.matches.len());
         let mut agg = self.pp.identity();
@@ -758,7 +803,7 @@ impl QueryServer {
             let values: Vec<(usize, i64)> = attrs.iter().map(|&i| (i, rec.attrs[i])).collect();
             for &i in attrs {
                 agg = self.pp.aggregate(&agg, &self.attr_sigs[e.rid as usize][i]);
-                self.stats.agg_ops += 1;
+                StatCounters::bump(&self.stats.agg_ops, 1);
             }
             rows.push(ProjectedRow {
                 rid: rec.rid,
@@ -813,7 +858,7 @@ mod tests {
 
     #[test]
     fn selection_answer_contains_expected_records() {
-        let (_, mut qs) = system(100, SigningMode::Chained);
+        let (_, qs) = system(100, SigningMode::Chained);
         let ans = qs.select_range(200, 300).unwrap();
         let keys: Vec<i64> = ans.records.iter().map(|r| r.attrs[0]).collect();
         assert_eq!(keys, (20..=30).map(|i| i * 10).collect::<Vec<_>>());
@@ -824,7 +869,7 @@ mod tests {
 
     #[test]
     fn vo_size_independent_of_selectivity() {
-        let (_, mut qs) = system(1000, SigningMode::Chained);
+        let (_, qs) = system(1000, SigningMode::Chained);
         let pp = qs.public_params().clone();
         let small = qs.select_range(0, 90).unwrap();
         let large = qs.select_range(0, 9000).unwrap();
@@ -834,7 +879,7 @@ mod tests {
 
     #[test]
     fn empty_answer_has_gap_proof() {
-        let (_, mut qs) = system(100, SigningMode::Chained);
+        let (_, qs) = system(100, SigningMode::Chained);
         let ans = qs.select_range(201, 209).unwrap(); // keys are multiples of 10
         assert!(ans.records.is_empty());
         let gap = ans.gap.expect("gap proof");
@@ -845,7 +890,7 @@ mod tests {
 
     #[test]
     fn empty_table_answer_carries_vacancy_proof() {
-        let (_, mut qs) = system(0, SigningMode::Chained);
+        let (_, qs) = system(0, SigningMode::Chained);
         let ans = qs.select_range(0, 100).unwrap();
         assert!(ans.records.is_empty());
         assert!(ans.gap.is_none());
@@ -924,7 +969,7 @@ mod tests {
 
     #[test]
     fn projection_carries_one_signature() {
-        let (_, mut qs) = system(30, SigningMode::PerAttribute);
+        let (_, qs) = system(30, SigningMode::PerAttribute);
         let pp = qs.public_params().clone();
         let ans = qs.project(0, 100, &[1]).unwrap();
         assert_eq!(ans.rows.len(), 11);
@@ -934,7 +979,7 @@ mod tests {
 
     #[test]
     fn wrong_mode_is_a_typed_error_not_a_panic() {
-        let (_, mut qs) = system(10, SigningMode::PerAttribute);
+        let (_, qs) = system(10, SigningMode::PerAttribute);
         assert_eq!(
             qs.select_range(0, 100).unwrap_err(),
             QueryError::WrongSigningMode {
@@ -942,7 +987,7 @@ mod tests {
                 actual: SigningMode::PerAttribute,
             }
         );
-        let (_, mut qs) = system(10, SigningMode::Chained);
+        let (_, qs) = system(10, SigningMode::Chained);
         assert_eq!(
             qs.project(0, 100, &[1]).unwrap_err(),
             QueryError::WrongSigningMode {
@@ -954,7 +999,7 @@ mod tests {
 
     #[test]
     fn inverted_range_is_the_canonical_empty_answer() {
-        let (_, mut qs) = system(50, SigningMode::Chained);
+        let (_, qs) = system(50, SigningMode::Chained);
         let ans = qs.select_range(300, 200).unwrap();
         assert!(ans.records.is_empty());
         assert!(ans.gap.is_none() && ans.vacancy.is_none());
@@ -989,8 +1034,8 @@ mod tests {
     #[test]
     fn agg_cache_answers_match_uncached_server() {
         for strategy in [RefreshStrategy::Eager, RefreshStrategy::Lazy] {
-            let (_, mut plain) = system(128, SigningMode::Chained);
-            let (_, mut cached) = cached_system(128, strategy);
+            let (_, plain) = system(128, SigningMode::Chained);
+            let (_, cached) = cached_system(128, strategy);
             for (lo, hi) in [(0, 1270), (100, 900), (555, 565), (901, 909)] {
                 let a = plain.select_range(lo, hi).unwrap();
                 let b = cached.select_range(lo, hi).unwrap();

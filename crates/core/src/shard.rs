@@ -102,11 +102,17 @@
 //! suite checks that a rebalancing deployment stays observably equivalent
 //! to a single server across random split/merge schedules.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
 use authdb_crypto::sha256::{sha256, Digest};
 use authdb_crypto::signer::{Keypair, PublicParams, Signature};
 
 use crate::da::{Bootstrap, DaConfig, DataAggregator, SigningMode, UpdateMsg};
 use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::locks::{LockManager, LockMode, WHOLE_INDEX};
 use crate::qs::{QsOptions, QueryError, QueryServer, SelectionAnswer};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
 
@@ -851,19 +857,70 @@ impl ShardedSelectionAnswer {
     }
 }
 
+/// One shard's replica behind a read-write lock: many readers build proofs
+/// against it concurrently; the DA's update stream and epoch transitions
+/// take the write side. The slot is shared by `Arc` across epoch snapshots
+/// (a survivor keeps its slot through a rebalance), which is what makes
+/// publishing a new epoch O(shards) pointer work instead of a data copy.
+struct ShardSlot {
+    qs: RwLock<QueryServer>,
+}
+
+impl ShardSlot {
+    fn new(qs: QueryServer) -> Arc<Self> {
+        Arc::new(ShardSlot {
+            qs: RwLock::new(qs),
+        })
+    }
+}
+
+/// An immutable view of one epoch: the certified map, the shard slots that
+/// serve it, and the transition chain up to it. Readers clone the `Arc` and
+/// work against a stable shard set while a rebalance builds (and atomically
+/// swaps in) the next epoch's snapshot.
+struct EpochSnapshot {
+    map: ShardMap,
+    shards: Vec<Arc<ShardSlot>>,
+    transitions: Vec<EpochTransition>,
+}
+
 /// The untrusted side of a sharded deployment: one scoped [`QueryServer`]
 /// per shard plus the certified map, fanning range selections out to every
 /// overlapping shard. A live server crosses epoch transitions in place:
 /// [`ShardedQueryServer::apply_rebalance`] swaps in the handed-off shard
 /// replicas and re-tagged freshness artifacts without a restart.
+///
+/// # Concurrency
+///
+/// Every method takes `&self`; the server is meant to be shared across
+/// threads (`Arc<ShardedQueryServer>`) without an external lock:
+///
+/// * **Readers** ([`Self::select_range`], [`Self::select_shard`],
+///   [`Self::project`]) pin the current [`EpochSnapshot`] (one mutex lock to
+///   clone an `Arc`), build each per-shard tile under that shard's read
+///   lock, and re-check the snapshot pointer before returning. If an epoch
+///   transition landed mid-query the whole answer is rebuilt against the
+///   new snapshot — so a returned proof is always single-epoch and honest
+///   queries are never *rejected* by a concurrent rebalance, merely
+///   restarted.
+/// * **Writers** ([`Self::apply`], [`Self::add_summary`]) are ordered by
+///   the strict-2PL [`LockManager`]: shared on [`WHOLE_INDEX`] plus
+///   exclusive on their shard's resource, then the slot's write lock. They
+///   never touch the snapshot pointer — in-epoch updates are invisible to
+///   the fan-out structure.
+/// * **Rebalance** takes [`WHOLE_INDEX`] exclusively (draining in-flight
+///   writers, excluding new ones), validates the package against the
+///   pinned snapshot, retags survivor slots under their write locks, builds
+///   fresh slots for handed-off shards, and publishes the new epoch with
+///   one atomic `Arc` swap.
 pub struct ShardedQueryServer {
-    map: ShardMap,
-    shards: Vec<QueryServer>,
     pp: PublicParams,
     schema: Schema,
     mode: SigningMode,
     opts: QsOptions,
-    transitions: Vec<EpochTransition>,
+    snapshot: Mutex<Arc<EpochSnapshot>>,
+    locks: LockManager,
+    next_txn: AtomicU64,
 }
 
 impl ShardedQueryServer {
@@ -885,7 +942,7 @@ impl ShardedQueryServer {
             .iter()
             .enumerate()
             .map(|(i, boot)| {
-                QueryServer::with_options(
+                ShardSlot::new(QueryServer::with_options(
                     pp.clone(),
                     cfg.schema,
                     cfg.mode,
@@ -894,30 +951,47 @@ impl ShardedQueryServer {
                         scope: map.scope(i),
                         ..opts.clone()
                     },
-                )
+                ))
             })
             .collect();
         ShardedQueryServer {
-            map,
-            shards,
             pp,
             schema: cfg.schema,
             mode: cfg.mode,
             opts: opts.clone(),
-            transitions: Vec::new(),
+            snapshot: Mutex::new(Arc::new(EpochSnapshot {
+                map,
+                shards,
+                transitions: Vec::new(),
+            })),
+            locks: LockManager::new(),
+            next_txn: AtomicU64::new(1),
         }
     }
 
-    /// The partition this server follows.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// Pin the current epoch's snapshot: one short mutex hold to clone an
+    /// `Arc`. Everything a reader does afterwards is against this stable
+    /// view.
+    fn current(&self) -> Arc<EpochSnapshot> {
+        self.snapshot.lock().clone()
+    }
+
+    /// A fresh writer-transaction id for the 2PL lock manager.
+    fn txn(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The partition this server follows (a copy of the certified map —
+    /// the live map can be swapped by a concurrent rebalance).
+    pub fn map(&self) -> ShardMap {
+        self.current().map.clone()
     }
 
     /// The epoch transitions this server has applied, oldest first —
     /// served to clients so they can advance their `EpochView` from the
     /// genesis map to the live epoch.
-    pub fn transitions(&self) -> &[EpochTransition] {
-        &self.transitions
+    pub fn transitions(&self) -> Vec<EpochTransition> {
+        self.current().transitions.clone()
     }
 
     /// Cross one epoch transition in place: validate the package's shape
@@ -933,15 +1007,29 @@ impl ShardedQueryServer {
     /// a typed [`QueryError::BadRebalance`] refusal, never a panic or a
     /// partial mutation. Validation happens entirely before any state
     /// changes.
-    pub fn apply_rebalance(&mut self, rb: &Rebalance) -> Result<(), QueryError> {
+    pub fn apply_rebalance(&self, rb: &Rebalance) -> Result<(), QueryError> {
         if self.mode != SigningMode::Chained {
             return Err(QueryError::Unsupported);
         }
-        let Some(expected_splits) = rb.plan.apply_to(self.map.splits()) else {
+        // An epoch transition is the one whole-index writer: take the root
+        // exclusively, draining in-flight per-shard writers and excluding
+        // new ones until the new snapshot is published. Readers are not
+        // blocked — they keep serving the pinned epoch and restart if they
+        // observe the swap mid-query.
+        let txn = self.txn();
+        self.locks.acquire(txn, WHOLE_INDEX, LockMode::Exclusive);
+        let result = self.apply_rebalance_locked(rb);
+        self.locks.release_all(txn);
+        result
+    }
+
+    fn apply_rebalance_locked(&self, rb: &Rebalance) -> Result<(), QueryError> {
+        let snap = self.current();
+        let Some(expected_splits) = rb.plan.apply_to(snap.map.splits()) else {
             return Err(QueryError::BadRebalance);
         };
         if rb.new_map.splits() != expected_splits
-            || rb.new_map.epoch() != self.map.epoch().wrapping_add(1)
+            || rb.new_map.epoch() != snap.map.epoch().wrapping_add(1)
         {
             return Err(QueryError::BadRebalance);
         }
@@ -969,14 +1057,17 @@ impl ShardedQueryServer {
             }
         }
 
-        // Commit: survivors move to their new indices, handoffs fill the
-        // created ones (the two sets tile 0..new_count by construction).
-        let old_shards = std::mem::take(&mut self.shards);
-        let mut new_shards: Vec<Option<QueryServer>> = (0..new_count).map(|_| None).collect();
-        for (old_idx, mut qs) in old_shards.into_iter().enumerate() {
+        // Commit: survivors keep their slots (re-tagged in place under the
+        // slot write lock) and move to their new indices, fresh slots fill
+        // the created ones (the two sets tile 0..new_count by
+        // construction). Readers pinned to the old snapshot that touch a
+        // re-tagged survivor detect the swap at their final snapshot check
+        // and rebuild — no mixed-epoch answer can escape.
+        let mut new_shards: Vec<Option<Arc<ShardSlot>>> = (0..new_count).map(|_| None).collect();
+        for (old_idx, slot) in snap.shards.iter().enumerate() {
             if let Some(new_idx) = rb.plan.survivor_index(old_idx) {
-                qs.set_scope(rb.new_map.scope(new_idx));
-                new_shards[new_idx] = Some(qs);
+                slot.qs.write().set_scope(rb.new_map.scope(new_idx));
+                new_shards[new_idx] = Some(Arc::clone(slot));
             }
         }
         for h in &rb.handoffs {
@@ -997,42 +1088,57 @@ impl ShardedQueryServer {
                 },
             );
             qs.add_summary(h.baseline.clone());
-            new_shards[h.shard] = Some(qs);
+            new_shards[h.shard] = Some(ShardSlot::new(qs));
         }
         for rebind in &rb.rebound {
-            let qs = new_shards[rebind.shard]
-                .as_mut()
+            let slot = new_shards[rebind.shard]
+                .as_ref()
                 .expect("survivor slot populated");
+            let mut qs = slot.qs.write();
             qs.replace_summaries(rebind.summaries.clone());
             qs.set_vacancy(rebind.vacancy.clone());
         }
-        self.shards = new_shards
-            .into_iter()
-            .map(|s| s.expect("every new shard populated"))
-            .collect();
-        self.map = rb.new_map.clone();
-        self.transitions.push(rb.transition.clone());
+        let mut transitions = snap.transitions.clone();
+        transitions.push(rb.transition.clone());
+        let next = Arc::new(EpochSnapshot {
+            map: rb.new_map.clone(),
+            shards: new_shards
+                .into_iter()
+                .map(|s| s.expect("every new shard populated"))
+                .collect(),
+            transitions,
+        });
+        *self.snapshot.lock() = next;
         Ok(())
     }
 
-    /// One shard's server.
-    pub fn shard(&self, i: usize) -> &QueryServer {
-        &self.shards[i]
+    /// Run `f` against one shard's server (read-locked). Panics on an
+    /// out-of-range index — this is the trusted in-process diagnostics
+    /// entry, not the network path ([`Self::select_shard`] refuses).
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&QueryServer) -> R) -> R {
+        f(&self.current().shards[i].qs.read())
     }
 
-    /// Mutable access to one shard's server (update/summary routing).
-    pub fn shard_mut(&mut self, i: usize) -> &mut QueryServer {
-        &mut self.shards[i]
+    /// Apply a routed update message. Writer ordering is the lock
+    /// manager's: shared on the root (so an epoch transition drains us),
+    /// exclusive on the shard's record of resources, strict-2PL released on
+    /// return.
+    pub fn apply(&self, shard: usize, msg: &UpdateMsg) {
+        let txn = self.txn();
+        self.locks.acquire(txn, WHOLE_INDEX, LockMode::Shared);
+        self.locks.acquire(txn, shard as u64, LockMode::Exclusive);
+        self.current().shards[shard].qs.write().apply(msg);
+        self.locks.release_all(txn);
     }
 
-    /// Apply a routed update message.
-    pub fn apply(&mut self, shard: usize, msg: &UpdateMsg) {
-        self.shards[shard].apply(msg);
-    }
-
-    /// Store a shard's newly published summary.
-    pub fn add_summary(&mut self, shard: usize, s: UpdateSummary) {
-        self.shards[shard].add_summary(s);
+    /// Store a shard's newly published summary (same writer ordering as
+    /// [`Self::apply`]).
+    pub fn add_summary(&self, shard: usize, s: UpdateSummary) {
+        let txn = self.txn();
+        self.locks.acquire(txn, WHOLE_INDEX, LockMode::Shared);
+        self.locks.acquire(txn, shard as u64, LockMode::Exclusive);
+        self.current().shards[shard].qs.write().add_summary(s);
+        self.locks.release_all(txn);
     }
 
     /// Proof-construction statistics aggregated across every shard, so a
@@ -1042,8 +1148,7 @@ impl ShardedQueryServer {
     /// [`QsServer`]: ../../authdb_net/struct.QsServer.html
     pub fn stats(&self) -> crate::qs::QsStats {
         let mut total = crate::qs::QsStats::default();
-        for s in &self.shards {
-            let st = s.stats();
+        for st in self.shard_stats() {
             total.agg_ops += st.agg_ops;
             total.queries += st.queries;
             total.updates += st.updates;
@@ -1053,20 +1158,38 @@ impl ShardedQueryServer {
         total
     }
 
+    /// Per-shard counters in shard order — the load signal the
+    /// auto-rebalance policy ([`crate::policy`]) watches. Lock-free on the
+    /// hot path: the counters are atomics, the slot read lock only pins
+    /// the shard set.
+    pub fn shard_stats(&self) -> Vec<crate::qs::QsStats> {
+        self.current()
+            .shards
+            .iter()
+            .map(|slot| slot.qs.read().stats())
+            .collect()
+    }
+
     /// Answer a projection. Only a single-shard deployment can serve one —
     /// the verifier has no cross-shard projection stitching yet — so a
     /// multi-shard fan-out refuses with [`QueryError::Unsupported`] instead
     /// of inventing an unverifiable answer shape.
     pub fn project(
-        &mut self,
+        &self,
         lo: i64,
         hi: i64,
         attrs: &[usize],
     ) -> Result<crate::qs::ProjectionAnswer, QueryError> {
-        if self.shards.len() != 1 {
-            return Err(QueryError::Unsupported);
+        loop {
+            let snap = self.current();
+            if snap.shards.len() != 1 {
+                return Err(QueryError::Unsupported);
+            }
+            let answer = snap.shards[0].qs.read().project(lo, hi, attrs)?;
+            if Arc::ptr_eq(&snap, &self.current()) {
+                return Ok(answer);
+            }
         }
-        self.shards[0].project(lo, hi, attrs)
     }
 
     /// Answer one shard's sub-range directly — the per-shard entry point a
@@ -1076,34 +1199,52 @@ impl ShardedQueryServer {
     /// shard index is a typed refusal: shard-addressed requests arrive from
     /// untrusted peers, possibly pinned to another epoch's partition.
     pub fn select_shard(
-        &mut self,
+        &self,
         shard: usize,
         lo: i64,
         hi: i64,
     ) -> Result<SelectionAnswer, QueryError> {
-        if shard >= self.shards.len() {
-            return Err(QueryError::UnknownShard {
-                shard: shard as u64,
-            });
+        loop {
+            let snap = self.current();
+            if shard >= snap.shards.len() {
+                return Err(QueryError::UnknownShard {
+                    shard: shard as u64,
+                });
+            }
+            let answer = snap.shards[shard].qs.read().select_range(lo, hi)?;
+            if Arc::ptr_eq(&snap, &self.current()) {
+                return Ok(answer);
+            }
         }
-        self.shards[shard].select_range(lo, hi)
     }
 
     /// Answer `lo <= Aind <= hi` by fanning out to every overlapping shard.
     /// A shard's refusal (wrong signing mode) propagates instead of
     /// panicking the fan-out.
-    pub fn select_range(&mut self, lo: i64, hi: i64) -> Result<ShardedSelectionAnswer, QueryError> {
-        let mut parts = Vec::new();
-        for (shard, (sub_lo, sub_hi)) in self.map.overlapping(lo, hi) {
-            parts.push(ShardAnswer {
-                shard,
-                answer: self.shards[shard].select_range(sub_lo, sub_hi)?,
-            });
+    ///
+    /// Each tile is built under its shard's read lock against the pinned
+    /// epoch snapshot; if an epoch transition swaps the snapshot mid-query
+    /// the whole fan-out restarts against the new epoch, so the stitched
+    /// answer is always single-epoch.
+    pub fn select_range(&self, lo: i64, hi: i64) -> Result<ShardedSelectionAnswer, QueryError> {
+        loop {
+            let snap = self.current();
+            let mut parts = Vec::new();
+            for (shard, (sub_lo, sub_hi)) in snap.map.overlapping(lo, hi) {
+                parts.push(ShardAnswer {
+                    shard,
+                    answer: snap.shards[shard].qs.read().select_range(sub_lo, sub_hi)?,
+                });
+            }
+            if Arc::ptr_eq(&snap, &self.current()) {
+                return Ok(ShardedSelectionAnswer {
+                    map: snap.map.clone(),
+                    parts,
+                });
+            }
+            // An epoch transition landed mid-query; rebuild the answer
+            // against the new snapshot.
         }
-        Ok(ShardedSelectionAnswer {
-            map: self.map.clone(),
-            parts,
-        })
     }
 }
 
@@ -1197,7 +1338,7 @@ mod tests {
         assert_eq!(boots.len(), 2);
         assert_eq!(boots[0].records.len(), 20);
         assert_eq!(boots[1].records.len(), 20);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -1262,7 +1403,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut sa = ShardedAggregator::new(cfg(), vec![200], &mut rng);
         let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -1270,15 +1411,15 @@ mod tests {
             &QsOptions::default(),
         );
         // Shard 0's rightmost record chains to the split key, not +inf.
-        let edge = sqs.shard_mut(0).select_range(190, 199).unwrap();
+        let edge = sqs.select_shard(0, 190, 199).unwrap();
         assert_eq!(edge.records.len(), 1);
         assert_eq!(edge.right_key, 200, "right fence is the split key");
         // Shard 1's leftmost record chains to split - 1, not -inf.
-        let edge = sqs.shard_mut(1).select_range(200, 205).unwrap();
+        let edge = sqs.select_shard(1, 200, 205).unwrap();
         assert_eq!(edge.left_key, 199, "left fence is split - 1");
         // A gap proof from shard 0 can never cover shard 1 territory: its
         // certified right key is capped at the fence.
-        let gap = sqs.shard_mut(0).select_range(195, 199).unwrap();
+        let gap = sqs.select_shard(0, 195, 199).unwrap();
         let g = gap.gap.expect("empty sub-range has a gap proof");
         assert!(g.right_key <= 200);
     }
@@ -1295,7 +1436,7 @@ mod tests {
         assert!(vac.verify(&sa.public_params()));
         let vac2 = boots[2].vacancy.as_ref().expect("empty shard certified");
         assert_eq!(vac2.shard, 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -1314,7 +1455,7 @@ mod tests {
         c.mode = SigningMode::PerAttribute;
         let mut sa = ShardedAggregator::new(c, vec![100], &mut rng);
         let boots = sa.bootstrap((0..10).map(|i| vec![i * 20, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),

@@ -968,7 +968,7 @@ mod tests {
 
     #[test]
     fn honest_selection_verifies() {
-        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let (_, qs, v) = system(200, SigningMode::Chained);
         let ans = qs.select_range(500, 700).unwrap();
         let rep = v.verify_selection(500, 700, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 21);
@@ -976,7 +976,7 @@ mod tests {
 
     #[test]
     fn tampered_value_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records[2].attrs[1] = 666;
         assert_eq!(
@@ -987,7 +987,7 @@ mod tests {
 
     #[test]
     fn dropped_record_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.remove(3); // break the chain
         assert_eq!(
@@ -998,7 +998,7 @@ mod tests {
 
     #[test]
     fn truncated_tail_with_forged_boundary_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let mut ans = qs.select_range(100, 300).unwrap();
         // Server drops the tail and moves the right boundary inward.
         ans.records.truncate(5);
@@ -1012,7 +1012,7 @@ mod tests {
 
     #[test]
     fn out_of_range_record_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let extra = qs.select_range(400, 400).unwrap().records[0].clone();
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.push(extra.clone());
@@ -1024,7 +1024,7 @@ mod tests {
 
     #[test]
     fn empty_answer_gap_proof_verifies() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let ans = qs.select_range(101, 109).unwrap();
         let rep = v.verify_selection(101, 109, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 0);
@@ -1032,7 +1032,7 @@ mod tests {
 
     #[test]
     fn forged_gap_proof_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let mut ans = qs.select_range(101, 109).unwrap();
         // Claim a wider gap than certified.
         if let Some(g) = &mut ans.gap {
@@ -1046,7 +1046,7 @@ mod tests {
 
     #[test]
     fn gap_proof_not_bracketing_rejected() {
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let ans = qs.select_range(101, 109).unwrap();
         // Replay the same (valid) proof against a different range it does
         // not bracket: rejected via the boundary check or the gap check.
@@ -1062,7 +1062,7 @@ mod tests {
         // artifact, so a forged one attached to an otherwise-honest answer
         // must be rejected, not delivered inside a verified result. (These
         // shapes are network-reachable: the wire codec accepts them.)
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         let honest = qs.select_range(100, 300).unwrap();
         assert!(v.verify_selection(100, 300, &honest, 0, true).is_ok());
 
@@ -1145,7 +1145,7 @@ mod tests {
 
     #[test]
     fn projection_verifies_and_rejects_swap() {
-        let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
+        let (_, qs, v) = system(50, SigningMode::PerAttribute);
         let ans = qs.project(0, 200, &[0, 1]).unwrap();
         assert!(v.verify_projection(&ans, 0, true).is_ok());
         // Swapping two values between records must fail (messages bind rid
@@ -1162,7 +1162,7 @@ mod tests {
 
     #[test]
     fn projection_rejects_forged_value() {
-        let (_, mut qs, v) = system(50, SigningMode::PerAttribute);
+        let (_, qs, v) = system(50, SigningMode::PerAttribute);
         let mut ans = qs.project(0, 200, &[1]).unwrap();
         ans.rows[3].values[0].1 += 1;
         assert_eq!(
@@ -1200,7 +1200,7 @@ mod tests {
 
     #[test]
     fn empty_table_answer_verifies() {
-        let (_, mut qs, v) = system(0, SigningMode::Chained);
+        let (_, qs, v) = system(0, SigningMode::Chained);
         let ans = qs.select_range(-500, 500).unwrap();
         assert!(ans.vacancy.is_some());
         let rep = v.verify_selection(-500, 500, &ans, 0, true).expect("valid");
@@ -1255,7 +1255,7 @@ mod tests {
         // An empty result must certify its emptiness: stripping both the
         // gap proof and the vacancy certificate is the laziest possible
         // omission attack and must surface as MissingGapProof.
-        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        let (_, qs, v) = system(50, SigningMode::Chained);
         let mut ans = qs.select_range(231, 239).unwrap();
         assert!(ans.records.is_empty() && ans.gap.is_some());
         ans.gap = None;
@@ -1352,7 +1352,7 @@ mod tests {
     #[test]
     fn batch_verifies_honest_answers() {
         let mut rng = StdRng::seed_from_u64(91);
-        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let (_, qs, v) = system(200, SigningMode::Chained);
         let queries: Vec<(i64, i64)> = (0..8).map(|i| (i * 200, i * 200 + 150)).collect();
         let answers: Vec<_> = queries
             .iter()
@@ -1370,7 +1370,7 @@ mod tests {
     #[test]
     fn batch_localizes_tampered_answer() {
         let mut rng = StdRng::seed_from_u64(92);
-        let (_, mut qs, v) = system(200, SigningMode::Chained);
+        let (_, qs, v) = system(200, SigningMode::Chained);
         let queries: Vec<(i64, i64)> = (0..6).map(|i| (i * 300, i * 300 + 200)).collect();
         let mut answers: Vec<_> = queries
             .iter()
@@ -1394,7 +1394,7 @@ mod tests {
     #[test]
     fn batch_mixes_gap_and_vacancy_claims() {
         let mut rng = StdRng::seed_from_u64(93);
-        let (_, mut qs, v) = system(100, SigningMode::Chained);
+        let (_, qs, v) = system(100, SigningMode::Chained);
         // Non-empty, empty-with-gap, and extreme-range answers in one batch.
         let queries = vec![(100, 300), (101, 109), (5000, 6000)];
         let answers: Vec<_> = queries
@@ -1417,7 +1417,7 @@ mod tests {
         c.scheme = SchemeKind::Bas;
         let mut da = DataAggregator::new(c, &mut rng);
         let boot = da.bootstrap((0..30).map(|i| vec![i * 10, i]).collect(), 4);
-        let mut qs = QueryServer::from_bootstrap(
+        let qs = QueryServer::from_bootstrap(
             da.public_params(),
             da.config().schema,
             SigningMode::Chained,
@@ -1450,7 +1450,7 @@ mod tests {
         c.scheme = SchemeKind::Bas;
         let mut da = DataAggregator::new(c, &mut rng);
         let boot = da.bootstrap((0..30).map(|i| vec![i * 10, i]).collect(), 4);
-        let mut qs = QueryServer::from_bootstrap(
+        let qs = QueryServer::from_bootstrap(
             da.public_params(),
             da.config().schema,
             SigningMode::Chained,
@@ -1472,19 +1472,19 @@ mod tests {
 
     #[test]
     fn inverted_range_honest_answer_verifies() {
-        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        let (_, qs, v) = system(50, SigningMode::Chained);
         let ans = qs.select_range(300, 200).unwrap();
         let rep = v.verify_selection(300, 200, &ans, 0, true).expect("valid");
         assert_eq!(rep.records, 0);
         // Even on an empty table, and even with freshness on late clocks.
-        let (_, mut empty_qs, ve) = system(0, SigningMode::Chained);
+        let (_, empty_qs, ve) = system(0, SigningMode::Chained);
         let ans = empty_qs.select_range(10, -10).unwrap();
         assert!(ve.verify_selection(10, -10, &ans, 500, true).is_ok());
     }
 
     #[test]
     fn inverted_range_with_records_rejected() {
-        let (_, mut qs, v) = system(50, SigningMode::Chained);
+        let (_, qs, v) = system(50, SigningMode::Chained);
         // A server smuggles genuine records into a vacuously-empty query.
         let genuine = qs.select_range(200, 260).unwrap();
         let mut forged = qs.select_range(300, 200).unwrap();
@@ -1553,7 +1553,7 @@ mod tests {
         #[test]
         fn honest_sharded_answers_verify() {
             let mut rng = StdRng::seed_from_u64(7);
-            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
+            let (_, sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
             for (lo, hi) in [
                 (0, 390),     // all four shards
                 (150, 250),   // straddles two seams
@@ -1574,7 +1574,7 @@ mod tests {
         #[test]
         fn forged_map_rejected() {
             let mut rng = StdRng::seed_from_u64(8);
-            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
+            let (_, sqs, v, view) = sharded_system(vec![200], 40);
             let mut ans = sqs.select_range(150, 250).unwrap();
             // Re-partitioning: shift the split without the DA's signature.
             let forged = forge_map(&ans.map);
@@ -1598,7 +1598,7 @@ mod tests {
         #[test]
         fn withheld_and_alien_parts_rejected() {
             let mut rng = StdRng::seed_from_u64(9);
-            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
+            let (_, sqs, v, view) = sharded_system(vec![200], 40);
             let full = sqs.select_range(150, 250).unwrap();
             // Withhold the second shard's contribution.
             let mut withheld = full.clone();
@@ -1634,7 +1634,7 @@ mod tests {
         #[test]
         fn partial_verdict_certifies_reachable_tiles() {
             let mut rng = StdRng::seed_from_u64(21);
-            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
+            let (_, sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
             let full = sqs.select_range(0, 390).unwrap();
 
             // Shard 2 unreachable: its part is absent and the client says
@@ -1690,7 +1690,7 @@ mod tests {
         #[test]
         fn partial_verdict_still_catches_tampered_reachable_tiles() {
             let mut rng = StdRng::seed_from_u64(22);
-            let (_, mut sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
+            let (_, sqs, v, view) = sharded_system(vec![100, 200, 300], 40);
             let mut ans = sqs.select_range(0, 390).unwrap();
             // Shard 3 dark, shard 1 tampered: degradation must not dilute
             // detection on the tiles that did arrive.
@@ -1705,7 +1705,7 @@ mod tests {
         #[test]
         fn sharded_batch_localizes_tampered_shard() {
             let mut rng = StdRng::seed_from_u64(10);
-            let (_, mut sqs, v, view) = sharded_system(vec![200], 40);
+            let (_, sqs, v, view) = sharded_system(vec![200], 40);
             let mut ans = sqs.select_range(150, 250).unwrap();
             ans.parts[1].answer.records[2].attrs[1] = 31337;
             assert_eq!(
@@ -1717,7 +1717,7 @@ mod tests {
         #[test]
         fn single_shard_map_matches_unsharded_behaviour() {
             let mut rng = StdRng::seed_from_u64(11);
-            let (_, mut sqs, v, view) = sharded_system(vec![], 20);
+            let (_, sqs, v, view) = sharded_system(vec![], 20);
             let ans = sqs.select_range(50, 120).unwrap();
             assert_eq!(ans.parts.len(), 1);
             let rep = v
@@ -1787,7 +1787,7 @@ mod tests {
         #[test]
         fn stale_epoch_answers_rejected_after_observation() {
             let mut rng = StdRng::seed_from_u64(13);
-            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let (mut sa, sqs, v, mut view) = sharded_system(vec![200], 40);
             let old_ans = sqs.select_range(150, 250).unwrap();
             assert!(v
                 .verify_sharded_selection(150, 250, &old_ans, &view, 0, true, &mut rng)
@@ -1824,7 +1824,7 @@ mod tests {
 
         #[test]
         fn broken_transitions_rejected() {
-            let (mut sa, mut sqs, v, view) = sharded_system(vec![200], 40);
+            let (mut sa, sqs, v, view) = sharded_system(vec![200], 40);
             let rb = sa.rebalance(RebalancePlan::Split { shard: 0, at: 100 }, 2);
             sqs.apply_rebalance(&rb).unwrap();
             let pp = v.public_params();
@@ -1854,7 +1854,7 @@ mod tests {
             let mut ok = view.clone();
             ok.advance(&rb.transition, pp).unwrap();
             let mut chain = view.clone();
-            chain.observe(sqs.transitions(), sqs.map(), pp).unwrap();
+            chain.observe(&sqs.transitions(), &sqs.map(), pp).unwrap();
             assert_eq!(ok, chain);
             // observe() with the wrong terminal map is a chain break.
             let wrong = crate::shard::ShardMap::create(
@@ -1865,7 +1865,7 @@ mod tests {
                 vec![5],
             );
             assert_eq!(
-                view.clone().observe(sqs.transitions(), &wrong, pp),
+                view.clone().observe(&sqs.transitions(), &wrong, pp),
                 Err(VerifyError::BrokenTransition)
             );
         }
@@ -1875,7 +1875,7 @@ mod tests {
             // Split-brain within one answer: a part backed by the previous
             // epoch's (genuinely signed) summary stream.
             let mut rng = StdRng::seed_from_u64(15);
-            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let (mut sa, sqs, v, mut view) = sharded_system(vec![200], 40);
             sa.advance_clock(12);
             for (s, summary, recerts) in sa.maybe_publish_summaries() {
                 sqs.add_summary(s, summary);
@@ -1911,7 +1911,7 @@ mod tests {
             // baseline summaries) must read as Stale — the baseline marks
             // the whole donor rid space.
             let mut rng = StdRng::seed_from_u64(16);
-            let (mut sa, mut sqs, v, mut view) = sharded_system(vec![200], 40);
+            let (mut sa, sqs, v, mut view) = sharded_system(vec![200], 40);
             let old = sqs.select_range(210, 290).unwrap(); // inside shard 1
             assert_eq!(old.parts.len(), 1);
             let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);

@@ -38,6 +38,7 @@
 //! | [`Rebalance`] | `plan, new_map, transition, handoffs:vec, rebound:vec` |
 //! | [`QsStats`] | five `u64` counters |
 //! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
+//! | [`Request::Tagged`] / [`Response::Tagged`] | wrapper tag byte, `id:u64`, then exactly one *unwrapped* message (nesting is a typed `BadTag`, never recursion) |
 
 use authdb_wire::{put_bytes, put_count, Reader, WireDecode, WireEncode, WireError};
 
@@ -607,6 +608,21 @@ pub enum Request {
         /// Upper bound (inclusive) of the shard's sub-range.
         hi: i64,
     },
+    /// Per-shard proof-construction counters in shard order — the load
+    /// signal an auto-rebalance driver polls (the aggregated
+    /// [`Request::Stats`] cannot tell a hot shard from a warm fleet).
+    ShardStats,
+    /// A multiplexed request: the wrapped request plus a client-chosen
+    /// correlation id echoed back on the response, so one connection can
+    /// carry many requests in flight and match answers out of order.
+    /// Wrappers do not nest — a tagged tagged request is refused
+    /// (`QueryError::Unsupported`), never recursed into.
+    Tagged {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: u64,
+        /// The request being multiplexed.
+        inner: Box<Request>,
+    },
 }
 
 impl WireEncode for Request {
@@ -636,14 +652,23 @@ impl WireEncode for Request {
                 lo.encode_into(out);
                 hi.encode_into(out);
             }
+            Request::ShardStats => out.push(7),
+            Request::Tagged { id, inner } => {
+                out.push(8);
+                id.encode_into(out);
+                inner.encode_into(out);
+            }
         }
     }
 }
 
-impl WireDecode for Request {
-    const MIN_WIRE_LEN: usize = 1;
-    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.u8()? {
+impl Request {
+    /// Decode one non-wrapper request body given its already-read tag.
+    /// The [`Request::Tagged`] wrapper is handled one level up and is a
+    /// [`WireError::BadTag`] here, which is what makes nested wrappers a
+    /// typed decode error instead of unbounded recursion on hostile bytes.
+    fn decode_untagged(tag: u8, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match tag {
             0 => Ok(Request::Ping),
             1 => Ok(Request::Select {
                 lo: r.i64()?,
@@ -662,10 +687,28 @@ impl WireDecode for Request {
                 lo: r.i64()?,
                 hi: r.i64()?,
             }),
+            7 => Ok(Request::ShardStats),
             tag => Err(WireError::BadTag {
                 what: "request",
                 tag,
             }),
+        }
+    }
+}
+
+impl WireDecode for Request {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            8 => {
+                let id = r.u64()?;
+                let tag = r.u8()?;
+                Ok(Request::Tagged {
+                    id,
+                    inner: Box::new(Request::decode_untagged(tag, r)?),
+                })
+            }
+            tag => Request::decode_untagged(tag, r),
         }
     }
 }
@@ -700,6 +743,23 @@ pub enum Response {
     /// [`Request::SelectShard`]). Boxed: a full tile dwarfs every other
     /// variant, and responses spend their life behind this enum.
     ShardSelection(Box<SelectionAnswer>),
+    /// Per-shard proof-construction counters in shard order (the reply to
+    /// [`Request::ShardStats`]).
+    ShardStats(Vec<QsStats>),
+    /// The server shed this request under overload (admission queue full
+    /// or the connection's write queue past its backpressure cap). Unlike
+    /// [`Response::Refused`] this says nothing about the request itself —
+    /// the client maps it to a retryable `NetError::Overloaded`.
+    Busy,
+    /// A multiplexed response: the wrapped response plus the correlation
+    /// id copied from the [`Request::Tagged`] it answers. Wrappers do not
+    /// nest.
+    Tagged {
+        /// The correlation id of the request this answers.
+        id: u64,
+        /// The response being multiplexed.
+        inner: Box<Response>,
+    },
 }
 
 impl WireEncode for Response {
@@ -732,14 +792,25 @@ impl WireEncode for Response {
                 out.push(7);
                 a.encode_into(out);
             }
+            Response::ShardStats(s) => {
+                out.push(8);
+                s.encode_into(out);
+            }
+            Response::Busy => out.push(9),
+            Response::Tagged { id, inner } => {
+                out.push(10);
+                id.encode_into(out);
+                inner.encode_into(out);
+            }
         }
     }
 }
 
-impl WireDecode for Response {
-    const MIN_WIRE_LEN: usize = 1;
-    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.u8()? {
+impl Response {
+    /// Decode one non-wrapper response body given its already-read tag
+    /// (the same no-nesting discipline as [`Request::decode_untagged`]).
+    fn decode_untagged(tag: u8, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match tag {
             0 => Ok(Response::Pong),
             1 => Ok(Response::Selection(ShardedSelectionAnswer::decode_from(r)?)),
             2 => Ok(Response::Projection(ProjectionAnswer::decode_from(r)?)),
@@ -753,10 +824,29 @@ impl WireDecode for Response {
             7 => Ok(Response::ShardSelection(Box::new(
                 SelectionAnswer::decode_from(r)?,
             ))),
+            8 => Ok(Response::ShardStats(Vec::<QsStats>::decode_from(r)?)),
+            9 => Ok(Response::Busy),
             tag => Err(WireError::BadTag {
                 what: "response",
                 tag,
             }),
+        }
+    }
+}
+
+impl WireDecode for Response {
+    const MIN_WIRE_LEN: usize = 1;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            10 => {
+                let id = r.u64()?;
+                let tag = r.u8()?;
+                Ok(Response::Tagged {
+                    id,
+                    inner: Box::new(Response::decode_untagged(tag, r)?),
+                })
+            }
+            tag => Response::decode_untagged(tag, r),
         }
     }
 }
@@ -821,7 +911,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(18);
         let mut da = DataAggregator::new(cfg(SchemeKind::Mock, SigningMode::Chained), &mut rng);
         let boot = da.bootstrap(Vec::new(), 1);
-        let mut qs = QueryServer::from_bootstrap(
+        let qs = QueryServer::from_bootstrap(
             da.public_params(),
             da.config().schema,
             SigningMode::Chained,
@@ -840,7 +930,7 @@ mod tests {
         let mut da =
             DataAggregator::new(cfg(SchemeKind::Mock, SigningMode::PerAttribute), &mut rng);
         let boot = da.bootstrap((0..10).map(|i| vec![i * 5, i]).collect(), 2);
-        let mut qs = QueryServer::from_bootstrap(
+        let qs = QueryServer::from_bootstrap(
             da.public_params(),
             da.config().schema,
             SigningMode::PerAttribute,
@@ -880,7 +970,7 @@ mod tests {
             &mut rng,
         );
         let boots = sa.bootstrap((0..20).map(|i| vec![i * 10, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -921,6 +1011,71 @@ mod tests {
         assert_canonical(&Response::Refused(QueryError::BadRebalance));
         assert_canonical(&Request::Epoch);
         assert_canonical(&Response::Rebalanced);
+        assert_canonical(&Request::ShardStats);
+        assert_canonical(&Response::ShardStats(vec![
+            QsStats::default(),
+            QsStats {
+                agg_ops: 9,
+                queries: 8,
+                updates: 7,
+                cache_hits: 6,
+                cache_misses: 5,
+            },
+        ]));
+        assert_canonical(&Response::Busy);
+        assert_canonical(&Request::Tagged {
+            id: u64::MAX,
+            inner: Box::new(Request::Select { lo: -5, hi: 900 }),
+        });
+        assert_canonical(&Response::Tagged {
+            id: 3,
+            inner: Box::new(Response::Busy),
+        });
+    }
+
+    #[test]
+    fn nested_tagged_wrappers_are_a_typed_decode_error() {
+        // A wrapper inside a wrapper must surface as BadTag — recursing
+        // would let 9 bytes of hostile input per level exhaust the stack.
+        let nested_req = Request::Tagged {
+            id: 1,
+            inner: Box::new(Request::Tagged {
+                id: 2,
+                inner: Box::new(Request::Ping),
+            }),
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&nested_req),
+            Err(WireError::BadTag {
+                what: "request",
+                tag: 8
+            })
+        ));
+        let nested_resp = Response::Tagged {
+            id: 1,
+            inner: Box::new(Response::Tagged {
+                id: 2,
+                inner: Box::new(Response::Pong),
+            }),
+        }
+        .encode();
+        assert!(matches!(
+            Response::decode(&nested_resp),
+            Err(WireError::BadTag {
+                what: "response",
+                tag: 10
+            })
+        ));
+        // Depth is irrelevant: a deep tower of wrappers dies at the same
+        // typed error without touching the stack.
+        let mut deep = Vec::new();
+        for _ in 0..100_000 {
+            deep.push(8u8);
+            deep.extend_from_slice(&1u64.to_be_bytes());
+        }
+        deep.push(0);
+        assert!(Request::decode(&deep).is_err());
     }
 
     #[test]
@@ -1007,7 +1162,7 @@ mod tests {
             &mut rng,
         );
         let boots = sa.bootstrap((0..20).map(|i| vec![i * 10, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -1020,7 +1175,7 @@ mod tests {
         assert_eq!(total.queries, 3, "2 fan-out parts + 1 single-shard");
         assert_eq!(
             total.queries,
-            sqs.shard(0).stats().queries + sqs.shard(1).stats().queries
+            sqs.shard_stats().iter().map(|s| s.queries).sum::<u64>()
         );
         assert!(total.agg_ops > 0);
     }
@@ -1034,7 +1189,7 @@ mod tests {
             &mut rng,
         );
         let boots = sa.bootstrap((0..10).map(|i| vec![i * 10, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -1052,7 +1207,7 @@ mod tests {
             &mut rng,
         );
         let boots = sa.bootstrap((0..10).map(|i| vec![i * 10, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),

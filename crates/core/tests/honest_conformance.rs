@@ -132,7 +132,7 @@ proptest! {
         queries in prop::collection::vec((-50i64..50, 0i64..30), 1..6),
     ) {
         let ops = decode_ops(&raw_ops);
-        let (da, mut qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
+        let (da, qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
         let v = Verifier::new(da.public_params(), da.config().schema, RHO);
         let now = da.now();
         // Random interior ranges plus the extremes: full table, everything
@@ -166,7 +166,7 @@ proptest! {
         rng_seed in any::<u64>(),
     ) {
         let ops = decode_ops(&raw_ops);
-        let (da, mut qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
+        let (da, qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
         let v = Verifier::new(da.public_params(), da.config().schema, RHO);
         let now = da.now();
         let ranges: Vec<(i64, i64)> = queries.iter().map(|&(lo, w)| (lo, lo + w)).collect();
@@ -188,7 +188,7 @@ proptest! {
         queries in prop::collection::vec((-50i64..50, 0i64..30, 0u8..3), 1..6),
     ) {
         let ops = decode_ops(&raw_ops);
-        let (da, mut qs) = run_workload(SigningMode::PerAttribute, n0, key_span, &ops);
+        let (da, qs) = run_workload(SigningMode::PerAttribute, n0, key_span, &ops);
         let v = Verifier::new(da.public_params(), da.config().schema, RHO);
         let now = da.now();
         for &(lo, w, attr_sel) in &queries {

@@ -143,7 +143,7 @@ proptest! {
         queries in prop::collection::vec((-50i64..50, -5i64..30), 1..6),
     ) {
         let ops = decode_ops(&raw_ops);
-        let (_da, mut qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
+        let (_da, qs) = run_workload(SigningMode::Chained, n0, key_span, &ops);
         // Random ranges (negative widths give inverted queries) plus the
         // extremes, so every answer shape appears: records, gap proofs,
         // vacancy proofs, inverted-empty.
@@ -177,7 +177,7 @@ proptest! {
         queries in prop::collection::vec((-50i64..50, 0i64..30, 0u8..3), 1..5),
     ) {
         let ops = decode_ops(&raw_ops);
-        let (_da, mut qs) = run_workload(SigningMode::PerAttribute, n0, key_span, &ops);
+        let (_da, qs) = run_workload(SigningMode::PerAttribute, n0, key_span, &ops);
         for &(lo, w, attr_sel) in &queries {
             let attrs: &[usize] = match attr_sel % 3 {
                 0 => &[0],
@@ -202,7 +202,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(11);
         let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), splits, &mut rng);
         let boots = sa.bootstrap((0..n0 as i64).map(|i| vec![i % 37, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -251,7 +251,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(15);
         let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), vec![], &mut rng);
         let boots = sa.bootstrap((0..n0 as i64).map(|i| vec![i % 37, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -320,7 +320,7 @@ proptest! {
             let boots_rng = &mut StdRng::seed_from_u64(16);
             let mut sa2 = ShardedAggregator::new(cfg(SigningMode::Chained), vec![10], boots_rng);
             let boots = sa2.bootstrap((0..20i64).map(|i| vec![i, i]).collect(), 2);
-            let mut sqs = ShardedQueryServer::from_bootstraps(
+            let sqs = ShardedQueryServer::from_bootstraps(
                 sa2.public_params(),
                 sa2.config(),
                 sa2.map().clone(),
@@ -344,7 +344,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(13);
         let mut sa = ShardedAggregator::new(cfg(SigningMode::Chained), vec![10], &mut rng);
         let boots = sa.bootstrap((0..20i64).map(|i| vec![i, i]).collect(), 2);
-        let mut sqs = ShardedQueryServer::from_bootstraps(
+        let sqs = ShardedQueryServer::from_bootstraps(
             sa.public_params(),
             sa.config(),
             sa.map().clone(),
@@ -374,7 +374,7 @@ fn malformed_record_shapes_are_typed_errors_not_panics() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut da = DataAggregator::new(cfg(SigningMode::Chained), &mut rng);
     let boot = da.bootstrap((0..10i64).map(|i| vec![i * 10, i]).collect(), 2);
-    let mut qs = QueryServer::from_bootstrap(
+    let qs = QueryServer::from_bootstrap(
         da.public_params(),
         da.config().schema,
         SigningMode::Chained,
@@ -412,7 +412,7 @@ fn malformed_record_shapes_are_typed_errors_not_panics() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut da = DataAggregator::new(cfg(SigningMode::PerAttribute), &mut rng);
     let boot = da.bootstrap((0..10i64).map(|i| vec![i * 10, i]).collect(), 2);
-    let mut qs = QueryServer::from_bootstrap(
+    let qs = QueryServer::from_bootstrap(
         da.public_params(),
         da.config().schema,
         SigningMode::PerAttribute,

@@ -34,7 +34,14 @@ pub const RULES: [&str; 5] = [
 
 /// Error enums whose variants must each be pinned by the adversary catalog
 /// or a test (rule `catalog-coverage`).
-pub const TARGET_ENUMS: [&str; 4] = ["VerifyError", "QueryError", "WireError", "NetError"];
+pub const TARGET_ENUMS: [&str; 6] = [
+    "VerifyError",
+    "QueryError",
+    "WireError",
+    "NetError",
+    "PolicyError",
+    "AutoRebalanceError",
+];
 
 /// One `file:line` finding.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]

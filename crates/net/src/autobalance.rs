@@ -1,0 +1,150 @@
+//! The DA-side auto-rebalance driver: close the loop from live per-shard
+//! load back into the partition.
+//!
+//! The policy half lives in `authdb_core::policy` and is pure — it turns
+//! [`ShardLoad`] samples into [`RebalancePlan`]s. This module is the
+//! impure half: each [`AutoRebalanceDriver::step`] polls the serving
+//! replica's per-shard counters **over the wire** (the same
+//! `Request::ShardStats` any operator tool would use), joins them with the
+//! DA's own facts (live record counts, median keys — the trusted side is
+//! the only party that knows where a sound split key lies), and when the
+//! policy proposes a move, certifies it through
+//! [`ShardedAggregator::rebalance`] and pushes the package to the live
+//! server through the ordinary `Request::Rebalance` channel.
+//!
+//! Nothing in the loop weakens the paper's trust story: the QS only ever
+//! reports *telemetry* (counters carry no proofs and decide nothing about
+//! correctness), and the only state change is a DA-certified epoch
+//! transition the verifier was already required to handle.
+
+use std::fmt;
+
+use authdb_core::policy::{AutoRebalancer, LoadPolicy, PolicyError, ShardLoad};
+use authdb_core::shard::{RebalancePlan, ShardedAggregator};
+
+use crate::client::QsClient;
+use crate::NetError;
+
+/// Why a driver round failed: the wire broke, or the policy saw load it
+/// could not soundly act on. Both are operator signals, not soundness
+/// events — no answer was affected either way.
+#[derive(Debug)]
+pub enum AutoRebalanceError {
+    /// Polling the stats or pushing the certified package failed. If the
+    /// push failed *after* the DA certified the new epoch, the DA and the
+    /// server have diverged and the caller must re-push (the package is
+    /// deterministic) or retire the replica.
+    Net(NetError),
+    /// The policy demanded a move it could not soundly make (shard cap,
+    /// unsplittable hotspot) — see [`PolicyError`].
+    Policy(PolicyError),
+}
+
+impl fmt::Display for AutoRebalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoRebalanceError::Net(e) => write!(f, "auto-rebalance wire fault: {e}"),
+            AutoRebalanceError::Policy(e) => write!(f, "auto-rebalance policy fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoRebalanceError {}
+
+/// The stateful driver loop: construct once, call [`step`] once per
+/// observation round (the cadence is the caller's — a timer tick, a bench
+/// iteration, a test round).
+///
+/// [`step`]: AutoRebalanceDriver::step
+pub struct AutoRebalanceDriver {
+    rebalancer: AutoRebalancer,
+    jobs: usize,
+}
+
+impl AutoRebalanceDriver {
+    /// A driver running `policy`, certifying handoffs with `jobs` signing
+    /// workers.
+    pub fn new(policy: LoadPolicy, jobs: usize) -> Self {
+        AutoRebalanceDriver {
+            rebalancer: AutoRebalancer::new(policy),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// One observation round. Returns the plan that was certified and
+    /// pushed this round, if any; `Ok(None)` is the steady state.
+    pub fn step(
+        &mut self,
+        sa: &mut ShardedAggregator,
+        client: &mut QsClient,
+    ) -> Result<Option<RebalancePlan>, AutoRebalanceError> {
+        let stats = client.shard_stats().map_err(AutoRebalanceError::Net)?;
+        // A transient topology disagreement (our own push racing the poll)
+        // is not a fault: skip the round, the policy re-arms next sample.
+        if stats.len() != sa.map().shard_count() {
+            return Ok(None);
+        }
+        let idx = sa.config().schema.indexed_attr;
+        let loads: Vec<ShardLoad> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let da = sa.shard(i);
+                ShardLoad {
+                    stats: s,
+                    records: da.live_records(),
+                    median_key: median_key(da.live_rows(), idx),
+                }
+            })
+            .collect();
+        let plan = self
+            .rebalancer
+            .observe(sa.map().splits(), &loads)
+            .map_err(AutoRebalanceError::Policy)?;
+        let Some(plan) = plan else {
+            return Ok(None);
+        };
+        let rb = sa.rebalance(plan, self.jobs);
+        client.rebalance(&rb).map_err(AutoRebalanceError::Net)?;
+        Ok(Some(plan))
+    }
+}
+
+/// The middle live key of a shard — the policy's split candidate.
+fn median_key(rows: Vec<Vec<i64>>, idx: usize) -> Option<i64> {
+    let mut keys: Vec<i64> = rows.iter().map(|r| r[idx]).collect();
+    if keys.is_empty() {
+        return None;
+    }
+    keys.sort_unstable();
+    Some(keys[keys.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use authdb_wire::WireError;
+
+    #[test]
+    fn driver_errors_keep_their_halves_typed() {
+        // The two failure classes stay distinguishable end to end: an
+        // operator alerting on AutoRebalanceError::Policy(ShardLimit) must
+        // never be paged for AutoRebalanceError::Net(timeout) weather.
+        let net = AutoRebalanceError::Net(NetError::Wire(WireError::Truncated));
+        assert!(format!("{net}").contains("wire fault"));
+        let policy = AutoRebalanceError::Policy(PolicyError::ShardLimit { max: 8 });
+        assert!(format!("{policy}").contains("policy fault"));
+        assert!(matches!(
+            policy,
+            AutoRebalanceError::Policy(PolicyError::ShardLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn median_key_is_none_only_for_empty_shards() {
+        assert_eq!(median_key(vec![], 0), None);
+        assert_eq!(median_key(vec![vec![7, 0]], 0), Some(7));
+        let rows: Vec<Vec<i64>> = [30, 10, 20, 40].iter().map(|&k| vec![k, 0]).collect();
+        assert_eq!(median_key(rows, 0), Some(30));
+    }
+}

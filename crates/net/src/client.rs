@@ -1,7 +1,9 @@
 //! The blocking query-server client.
 //!
 //! A [`QsClient`] owns one TCP connection and exchanges framed
-//! request/response pairs. It decodes — nothing more: every answer must
+//! request/response pairs — one at a time, or as an id-tagged pipelined
+//! batch ([`QsClient::pipeline_select`]) that amortizes the round-trip
+//! over many queries. It decodes — nothing more: every answer must
 //! still go through the existing `Verifier` on the caller's side, with the
 //! caller's own clock and independently obtained public parameters. The
 //! client also meters bytes in both directions, which is what the `fig_net`
@@ -117,6 +119,16 @@ impl QsClient {
             .write_all(&out)
             .map_err(|e| NetError::from_io(e, "write"))?;
         self.bytes_sent += out.len() as u64;
+        let response = self.read_response()?;
+        // A shed is never the answer to anything: surface it as the typed
+        // retryable error before any per-method matching.
+        match response {
+            Response::Busy => Err(NetError::Overloaded),
+            r => Ok(r),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Response, NetError> {
         let body = read_frame_body(&mut self.stream, self.max_frame_len)?;
         self.last_response_bytes = 4 + body.len();
         self.bytes_received += self.last_response_bytes as u64;
@@ -188,6 +200,70 @@ impl QsClient {
             Response::Refused(e) => Err(NetError::Refused(e)),
             _ => Err(NetError::Protocol("expected Stats")),
         }
+    }
+
+    /// Per-shard proof-construction statistics, in shard order — the load
+    /// signal an auto-rebalance driver feeds to
+    /// `authdb_core::policy::AutoRebalancer`.
+    pub fn shard_stats(&mut self) -> Result<Vec<QsStats>, NetError> {
+        match self.call(&Request::ShardStats)? {
+            Response::ShardStats(stats) => Ok(stats),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected ShardStats")),
+        }
+    }
+
+    /// Pipeline a batch of range selections over this one connection:
+    /// every request is written up front as an id-tagged frame, then all
+    /// responses are read back and matched by their echoed ids. One
+    /// round-trip's latency is paid once for the whole batch instead of
+    /// once per query — the multiplexing win `fig_conc` measures.
+    ///
+    /// The outer `Result` is the connection's fate; the per-query results
+    /// distinguish an answer from a typed per-request failure (a refusal,
+    /// or a [`NetError::Overloaded`] shed under backpressure — retryable
+    /// individually without abandoning the batch's other answers).
+    #[allow(clippy::type_complexity)]
+    pub fn pipeline_select(
+        &mut self,
+        ranges: &[(i64, i64)],
+    ) -> Result<Vec<Result<ShardedSelectionAnswer, NetError>>, NetError> {
+        let mut out = Vec::with_capacity(ranges.len() * 16);
+        for (id, &(lo, hi)) in ranges.iter().enumerate() {
+            let request = Request::Tagged {
+                id: id as u64,
+                inner: Box::new(Request::Select { lo, hi }),
+            };
+            out.extend_from_slice(&frame(&request));
+        }
+        self.stream
+            .write_all(&out)
+            .map_err(|e| NetError::from_io(e, "write"))?;
+        self.bytes_sent += out.len() as u64;
+
+        let mut results: Vec<Option<Result<ShardedSelectionAnswer, NetError>>> =
+            (0..ranges.len()).map(|_| None).collect();
+        for _ in 0..ranges.len() {
+            let (id, inner) = match self.read_response()? {
+                Response::Tagged { id, inner } => (id, *inner),
+                _ => return Err(NetError::Protocol("expected Tagged response")),
+            };
+            let slot = results
+                .get_mut(id as usize)
+                .ok_or(NetError::Protocol("tagged response to an unknown id"))?;
+            if slot.is_some() {
+                return Err(NetError::Protocol("duplicate tagged response id"));
+            }
+            *slot = Some(match inner {
+                Response::Selection(answer) => Ok(answer),
+                Response::Busy => Err(NetError::Overloaded),
+                Response::Refused(e) => Err(NetError::Refused(e)),
+                _ => Err(NetError::Protocol("expected Selection in Tagged")),
+            });
+        }
+        // Every id in 0..n seen exactly once (unknowns and duplicates were
+        // typed errors above), so every slot is filled.
+        Ok(results.into_iter().flatten().collect())
     }
 
     /// The server's live epoch: its current map plus the transition chain

@@ -20,9 +20,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// One scheduled fault, applied to a single proxied connection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,16 +128,17 @@ fn splitmix64(seed: u64) -> u64 {
 /// orphaned stall thread cannot outlive a test binary by much.
 const STALL_CAP: Duration = Duration::from_secs(30);
 
-/// How long a stalling/partitioned connection sleeps between checks of the
-/// proxy's stop flag.
-const STALL_TICK: Duration = Duration::from_millis(20);
-
 struct ProxyShared {
     upstream: SocketAddr,
     plan: Mutex<FaultPlan>,
     partitioned: AtomicBool,
     connections: AtomicU64,
     stop: AtomicBool,
+    /// Condvar twin of `stop`: stall threads wait on this instead of
+    /// sleep-polling, so shutdown wakes them immediately and an orphaned
+    /// stall still dies at the cap.
+    stopped: Mutex<bool>,
+    stop_cv: Condvar,
 }
 
 /// A fault-injecting TCP proxy in front of one QS endpoint.
@@ -166,6 +167,8 @@ impl ChaosProxy {
             partitioned: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            stopped: Mutex::new(false),
+            stop_cv: Condvar::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || {
@@ -207,14 +210,17 @@ impl ChaosProxy {
         self.shared.connections.load(Ordering::Acquire)
     }
 
-    /// Stop accepting and join the accept thread. In-flight relay threads
-    /// notice the stop flag at their next stall tick or connection end.
+    /// Stop accepting and join the accept thread. Stalled relay threads
+    /// are woken through the stop condvar immediately; relaying ones wind
+    /// down at connection end.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
 
     fn stop_accepting(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        *self.shared.stopped.lock() = true;
+        self.shared.stop_cv.notify_all();
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -251,14 +257,22 @@ fn read_raw_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Hold the connection open, sending nothing, until the stop flag or the
-/// stall cap — whichever first. The client's deadline is expected to fire
-/// long before either.
+/// Hold the connection open, sending nothing, until the proxy's stop
+/// condvar fires or the stall cap passes — whichever first. The client's
+/// deadline is expected to fire long before either; a waiting stall costs
+/// zero wakeups until then (no sleep-poll tick), and shutdown releases it
+/// instantly.
 fn stall(shared: &ProxyShared) {
-    let mut held = Duration::ZERO;
-    while held < STALL_CAP && !shared.stop.load(Ordering::Acquire) {
-        std::thread::sleep(STALL_TICK);
-        held += STALL_TICK;
+    let deadline = Instant::now() + STALL_CAP;
+    let mut stopped = shared.stopped.lock();
+    while !*stopped {
+        if shared
+            .stop_cv
+            .wait_until(&mut stopped, deadline)
+            .timed_out()
+        {
+            break;
+        }
     }
 }
 

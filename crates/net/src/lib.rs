@@ -7,15 +7,20 @@
 //! [`ShardedQueryServer`](authdb_core::shard::ShardedQueryServer) into an
 //! actual TCP service speaking the canonical [`authdb_wire`] format:
 //!
-//! * [`QsServer`] — a blocking, thread-per-connection server. Each
-//!   connection carries a sequence of framed
-//!   [`Request`](authdb_core::wire::Request)s, each answered with exactly
-//!   one framed [`Response`](authdb_core::wire::Response).
+//! * [`QsServer`] — a non-blocking event-loop server: one readiness loop
+//!   over non-blocking sockets accepts, reads, dispatches, and writes for
+//!   every connection. Each connection carries a sequence of framed
+//!   [`Request`](authdb_core::wire::Request)s — classic one-at-a-time
+//!   exchanges or pipelined [`Request::Tagged`](authdb_core::wire::Request)
+//!   batches — each answered with exactly one framed
+//!   [`Response`](authdb_core::wire::Response).
 //! * [`QsClient`] — a blocking client whose decoded answers feed straight
 //!   into the **existing** `Verifier` (`verify_sharded_selection` /
 //!   `verify_projection`). The verifier is not weakened or forked for the
 //!   network path: the client performs *no* trust decisions of its own —
 //!   it only decodes, and decoding failures are typed [`WireError`]s.
+//!   [`QsClient::pipeline_select`] multiplexes a batch of selections over
+//!   one connection, matching responses to requests by echoed id.
 //! * [`WireTamper`] — the byte-level arm of the adversary catalog: frame
 //!   corruptions a malicious server (or the network) can apply, each pinned
 //!   to the typed error it must surface as. A server handle can be armed
@@ -26,6 +31,33 @@
 //! panic-free, and a request the server cannot decode closes the stream
 //! (once framing is lost there is no way to resynchronize, and answering
 //! unparseable bytes would mean guessing what was asked).
+//!
+//! # Concurrency architecture
+//!
+//! Four pieces compose so that the server reshapes itself under live
+//! traffic without a server-wide lock anywhere on the answer path:
+//!
+//! 1. **Per-shard snapshots** (`authdb_core::shard`). Readers pin an
+//!    immutable epoch snapshot (`Arc`) and build proofs against it; the
+//!    DA-side writer applies updates under per-shard 2PL and publishes a
+//!    certified rebalance by swapping the snapshot pointer once. A query
+//!    that straddles a swap restarts against the new epoch — honest
+//!    answers are never rejected, and every proof is single-epoch.
+//! 2. **Connection multiplexing** (`Request::Tagged`). A client pipelines
+//!    a batch of id-tagged requests on one connection and matches the
+//!    echoed ids; the event loop answers them in arrival order. On a
+//!    single connection this amortizes round-trips and syscalls — the
+//!    `fig_conc` bench measures the aggregate-throughput win.
+//! 3. **Write backpressure**. Per-connection and global caps on queued
+//!    response bytes: an over-cap connection is not read (TCP pushes back)
+//!    and over-cap requests shed as `Response::Busy` →
+//!    [`NetError::Overloaded`] — typed, retryable, and never a silent
+//!    drop. Shed requests were never answered, so soundness is untouched.
+//! 4. **Load-driven auto-rebalance** (`authdb_core::policy`). A DA-side
+//!    driver polls per-shard stats over the wire, feeds them to an
+//!    `AutoRebalancer`, and pushes the certified split/merge packages it
+//!    proposes through the same `Rebalance` channel — the deployment
+//!    follows its hotspots while queries keep verifying.
 //!
 //! # Failure model
 //!
@@ -45,11 +77,13 @@
 //! | per-shard partition | per-endpoint retries exhausted | degrade: return a [`PartialAnswer`] naming the unreachable shards | `verify_partial_selection` certifies the reachable tiles, marks the rest `ShardUnavailable` |
 //! | reachable shard withholds its part | verifier | none available | `VerifyError::ShardWithheld` — degradation never excuses withholding |
 //! | server refusal ([`NetError::Refused`]) | typed response | fail fast (the server answered; retrying cannot change a deterministic refusal) | none |
+//! | server overloaded ([`NetError::Overloaded`]) | typed `Busy` response | retry with backoff — the shed is about load, not content | none — the request was never answered |
 //!
 //! Retries are restricted to **idempotent** requests (selections, stats,
 //! epoch, ping); `Rebalance` is never retried — [`ResilientClient`] simply
 //! does not expose it, so the type system enforces the restriction.
 
+pub mod autobalance;
 pub mod client;
 pub mod fanout;
 pub mod fault;
@@ -58,6 +92,7 @@ pub mod retry;
 pub mod server;
 pub mod tamper;
 
+pub use autobalance::{AutoRebalanceDriver, AutoRebalanceError};
 pub use client::QsClient;
 pub use fanout::{PartialAnswer, ShardFanout, ShardOutage};
 pub use fault::{ChaosProxy, Fault, FaultPlan};
@@ -92,18 +127,27 @@ pub enum NetError {
     /// The server refused the request with its own typed error. Not
     /// retryable: the server is alive and deterministic.
     Refused(QueryError),
+    /// The server shed the request under load (`Response::Busy`) without
+    /// doing any proof work. Retryable: the shed is a statement about the
+    /// server's queues at one moment, not about the request — backing off
+    /// and re-asking is exactly what the backpressure design expects.
+    Overloaded,
     /// The server answered with a well-formed but wrong-kinded response
     /// (e.g. a projection to a selection request). Not retryable.
     Protocol(&'static str),
 }
 
 impl NetError {
-    /// Whether a fresh attempt could plausibly succeed. Exactly the
-    /// transport faults qualify; wire corruption, refusals, and protocol
+    /// Whether a fresh attempt could plausibly succeed. The transport
+    /// faults qualify, and so does a load shed — an overloaded server asked
+    /// to be re-asked later. Wire corruption, refusals, and protocol
     /// violations are answers *about* the server and retrying them blindly
     /// would only re-solicit the evidence.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, NetError::Io(_) | NetError::Timeout(_))
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Timeout(_) | NetError::Overloaded
+        )
     }
 
     /// Classify an I/O error raised during `during`: deadline expiries
@@ -127,6 +171,7 @@ impl fmt::Display for NetError {
             NetError::Timeout(during) => write!(f, "deadline expired during {during}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Refused(e) => write!(f, "server refused: {e}"),
+            NetError::Overloaded => write!(f, "server overloaded: request shed, retry later"),
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
@@ -182,6 +227,9 @@ mod tests {
         let io = NetError::from(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
         assert!(io.is_retryable());
         assert!(NetError::Timeout("connect").is_retryable());
+        // A load shed is an invitation to come back, not evidence: the
+        // resilient client backs off and re-asks.
+        assert!(NetError::Overloaded.is_retryable());
         assert!(!NetError::Wire(WireError::Truncated).is_retryable());
         assert!(!NetError::Refused(QueryError::Unsupported).is_retryable());
         assert!(!NetError::Protocol("projection answer to a selection").is_retryable());

@@ -7,8 +7,10 @@
 //! 1. **Every blocking operation has a deadline.** [`ClientConfig`] bounds
 //!    connect, read, and write; a stalled or partitioned server costs at
 //!    most the deadline budget, never a hung client.
-//! 2. **Only transport faults are retried.** [`NetError::is_retryable`]
-//!    admits timeouts and I/O errors; a decode failure or refusal is an
+//! 2. **Only transport faults and load sheds are retried.**
+//!    [`NetError::is_retryable`] admits timeouts, I/O errors, and
+//!    [`NetError::Overloaded`] (the server's typed backpressure shed — an
+//!    explicit "come back later"); a decode failure or refusal is an
 //!    answer, and re-soliciting it blindly would let a tampering server
 //!    use "retry" as a second chance to be believed.
 //! 3. **Only idempotent requests are retried.** [`ResilientClient`]
@@ -261,6 +263,11 @@ impl ResilientClient {
     /// The server's proof-construction statistics.
     pub fn stats(&mut self) -> Result<QsStats, NetError> {
         self.with_retries(|c| c.stats())
+    }
+
+    /// Per-shard statistics (the auto-rebalance driver's load signal).
+    pub fn shard_stats(&mut self) -> Result<Vec<QsStats>, NetError> {
+        self.with_retries(|c| c.shard_stats())
     }
 
     /// The server's live epoch (map + transition chain from genesis).

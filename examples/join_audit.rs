@@ -42,7 +42,7 @@ fn main() {
     println!("Certifying Security (R): {n_r} rows...");
     let mut r_da = DataAggregator::new(cfg.clone(), &mut rng);
     let r_boot = r_da.bootstrap(tpce::r_rows(n_r, i_b, 0.5, &mut rng), 4);
-    let mut r_qs = QueryServer::from_bootstrap(
+    let r_qs = QueryServer::from_bootstrap(
         r_da.public_params(),
         schema,
         SigningMode::Chained,

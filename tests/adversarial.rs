@@ -43,7 +43,7 @@ fn schemes() -> Vec<SchemeKind> {
 #[test]
 fn authenticity_value_forgery_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records[7].attrs[1] = 12345;
         assert_eq!(
@@ -57,7 +57,7 @@ fn authenticity_value_forgery_rejected() {
 #[test]
 fn completeness_omission_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         for victim in [0usize, 5, 40] {
             let mut ans = qs.select_range(100, 300).unwrap();
             ans.records.remove(victim);
@@ -72,7 +72,7 @@ fn completeness_omission_rejected() {
 #[test]
 fn completeness_boundary_shrink_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         // Drop the first two records and pretend the range started later.
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.drain(0..2);
@@ -87,7 +87,7 @@ fn completeness_boundary_shrink_rejected() {
 #[test]
 fn record_injection_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         // Duplicate a legitimate record inside the answer.
         let mut ans = qs.select_range(100, 300).unwrap();
         let dup = ans.records[3].clone();
@@ -102,7 +102,7 @@ fn record_injection_rejected() {
 #[test]
 fn cross_query_signature_reuse_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         // Take the aggregate from one range and attach it to another.
         let other = qs.select_range(300, 400).unwrap();
         let mut ans = qs.select_range(100, 200).unwrap();
@@ -118,7 +118,7 @@ fn cross_query_signature_reuse_rejected() {
 #[test]
 fn reordered_records_rejected() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         let mut ans = qs.select_range(100, 300).unwrap();
         ans.records.swap(2, 9);
         assert!(
@@ -180,7 +180,7 @@ fn withheld_summary_detected_as_gap() {
 #[test]
 fn empty_range_cannot_hide_records() {
     for scheme in schemes() {
-        let (da, mut qs, v) = system(scheme);
+        let (da, qs, v) = system(scheme);
         // The server claims 150..200 is empty (it contains 10 records).
         // It must forge a gap proof — the only honest one available brackets
         // some other range and fails.

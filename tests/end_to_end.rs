@@ -101,7 +101,7 @@ fn lifecycle_with_condensed_rsa() {
 fn emb_baseline_equivalent_answers() {
     // EMB- and BAS answer the same queries with the same records — only
     // the proof machinery differs.
-    let (_, mut qs, _) = bas_system(300, SchemeKind::Mock, 3);
+    let (_, qs, _) = bas_system(300, SchemeKind::Mock, 3);
     let schema = Schema::new(3, 64);
     let mut rng = StdRng::seed_from_u64(3);
     let kp = Keypair::generate(SchemeKind::Mock, &mut rng);
@@ -213,7 +213,7 @@ fn projection_end_to_end() {
     };
     let mut da = DataAggregator::new(cfg, &mut rng);
     let boot = da.bootstrap((0..40).map(|i| vec![i, i * 10, i * 100, -i]).collect(), 4);
-    let mut qs = QueryServer::from_bootstrap(
+    let qs = QueryServer::from_bootstrap(
         da.public_params(),
         schema,
         SigningMode::PerAttribute,

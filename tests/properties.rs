@@ -147,7 +147,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(42);
         let mut da = DataAggregator::new(cfg, &mut rng);
         let boot = da.bootstrap((0..200).map(|i| vec![i, i]).collect(), 2);
-        let mut qs = QueryServer::from_bootstrap(
+        let qs = QueryServer::from_bootstrap(
             da.public_params(), schema, SigningMode::Chained, &boot, 512, 2.0 / 3.0,
         );
         let verifier = Verifier::new(da.public_params(), schema, 10);
