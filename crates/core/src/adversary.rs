@@ -260,7 +260,10 @@ impl MaliciousServer {
             }
             Tamper::ReorderSummaries => ans.summaries.swap(0, 1),
             Tamper::TruncateBitmap => {
-                let s = ans.summaries.last_mut().expect("summaries present");
+                // Summaries are Arc-shared with the server's log; tamper a
+                // private copy so only this answer is corrupted.
+                let s =
+                    std::sync::Arc::make_mut(ans.summaries.last_mut().expect("summaries present"));
                 let half = s.compressed.len() / 2;
                 s.compressed.truncate(half);
             }

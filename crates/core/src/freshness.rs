@@ -29,6 +29,8 @@
 //! [`check_vacancy`] treats *any* post-proof marking as evidence the claim
 //! is out of date — an empty table can only change by insertion.
 
+use std::borrow::Borrow;
+
 use authdb_crypto::signer::{Keypair, PublicParams, Signature};
 use authdb_filters::bitmap::{compress, decompress, Bitmap};
 
@@ -223,15 +225,19 @@ pub enum Freshness {
 ///
 /// To check many records against one attached set, decode the bitmaps once
 /// via [`DecodedSummaries`] instead of calling this in a loop.
-pub fn check_freshness(
+///
+/// Generic over how the summaries are held (`&[UpdateSummary]`,
+/// `&[Arc<UpdateSummary>]`, …) so callers never materialize a deep copy of
+/// an answer's summary set just to check it.
+pub fn check_freshness<S: Borrow<UpdateSummary>>(
     rid: u64,
     record_ts: Tick,
-    summaries: &[UpdateSummary],
+    summaries: &[S],
     rho: Tick,
     now: Tick,
 ) -> Freshness {
     check_marks(record_ts, summaries, rho, now, |i| {
-        summaries[i].bitmap().map(|b| b.get(rid as usize))
+        summaries[i].borrow().bitmap().map(|b| b.get(rid as usize))
     })
 }
 
@@ -242,32 +248,33 @@ pub fn check_freshness(
 /// insertion happened and the vacancy claim is out of date. The same
 /// anchoring, contiguity, and 2ρ-recency rules as [`check_freshness`]
 /// apply.
-pub fn check_vacancy(
+pub fn check_vacancy<S: Borrow<UpdateSummary>>(
     proof_ts: Tick,
-    summaries: &[UpdateSummary],
+    summaries: &[S],
     rho: Tick,
     now: Tick,
 ) -> Freshness {
     check_marks(proof_ts, summaries, rho, now, |i| {
-        summaries[i].bitmap().map(|b| b.ones() > 0)
+        summaries[i].borrow().bitmap().map(|b| b.ones() > 0)
     })
 }
 
 /// An attached summary set with every bitmap decompressed **once**, for
 /// checking many records of the same answer: per-record checks then cost
 /// O(bitmap lookups) instead of re-decompressing each summary per record.
-pub struct DecodedSummaries<'a> {
-    summaries: &'a [UpdateSummary],
+/// Generic over the holding type like [`check_freshness`].
+pub struct DecodedSummaries<'a, S = UpdateSummary> {
+    summaries: &'a [S],
     bitmaps: Vec<Option<Bitmap>>,
 }
 
-impl<'a> DecodedSummaries<'a> {
+impl<'a, S: Borrow<UpdateSummary>> DecodedSummaries<'a, S> {
     /// Decode all bitmaps up front (`None` entries are malformed payloads,
     /// surfaced as [`Freshness::Indeterminate`] when a check needs them).
-    pub fn new(summaries: &'a [UpdateSummary]) -> Self {
+    pub fn new(summaries: &'a [S]) -> Self {
         DecodedSummaries {
             summaries,
-            bitmaps: summaries.iter().map(|s| s.bitmap()).collect(),
+            bitmaps: summaries.iter().map(|s| s.borrow().bitmap()).collect(),
         }
     }
 
@@ -297,15 +304,15 @@ impl<'a> DecodedSummaries<'a> {
 /// period, and recency of the newest summary. `exposed_at(i)` reports
 /// whether summary `i`'s bitmap invalidates the version being checked
 /// (`None` = malformed bitmap).
-fn check_marks(
+fn check_marks<S: Borrow<UpdateSummary>>(
     version_ts: Tick,
-    summaries: &[UpdateSummary],
+    summaries: &[S],
     rho: Tick,
     now: Tick,
     exposed_at: impl Fn(usize) -> Option<bool>,
 ) -> Freshness {
     let window = rho.saturating_mul(2);
-    let Some(latest) = summaries.last() else {
+    let Some(latest) = summaries.last().map(Borrow::borrow) else {
         // No summary at all is acceptable only in the first 2ρ of system
         // life; past that, summaries must exist and their absence means the
         // server withheld them.
@@ -323,6 +330,7 @@ fn check_marks(
     // needs no contiguity or anchoring.
     let mut malformed = false;
     for (i, s) in summaries.iter().enumerate() {
+        let s = s.borrow();
         if version_ts <= s.period_start {
             match exposed_at(i) {
                 Some(true) => return Freshness::Stale { exposed_by: s.seq },
@@ -349,7 +357,7 @@ fn check_marks(
     // this version stale (prefix withholding); anchoring the run's start
     // closes that. seq 0 is the first summary ever published, so a run from
     // seq 0 trivially covers everything before it.
-    let Some(first) = summaries.first() else {
+    let Some(first) = summaries.first().map(Borrow::borrow) else {
         return Freshness::Indeterminate;
     };
     if !(first.period_start < version_ts || first.seq == 0) {
@@ -359,7 +367,7 @@ fn check_marks(
     if summaries
         .iter()
         .zip(summaries.iter().skip(1))
-        .any(|(a, b)| b.seq != a.seq + 1)
+        .any(|(a, b)| b.borrow().seq != a.borrow().seq + 1)
     {
         return Freshness::Indeterminate;
     }
@@ -525,7 +533,7 @@ mod tests {
 
     #[test]
     fn no_summaries_yet() {
-        let f = check_freshness(7, 5, &[], 10, 8);
+        let f = check_freshness::<UpdateSummary>(7, 5, &[], 10, 8);
         assert_eq!(f, Freshness::FreshWithin(3));
     }
 
@@ -551,7 +559,10 @@ mod tests {
             Freshness::Indeterminate
         );
         // Withholding *every* summary is equally indeterminate past 2ρ.
-        assert_eq!(check_freshness(7, 5, &[], 10, 33), Freshness::Indeterminate);
+        assert_eq!(
+            check_freshness::<UpdateSummary>(7, 5, &[], 10, 33),
+            Freshness::Indeterminate
+        );
     }
 
     #[test]

@@ -17,16 +17,26 @@
 //! preparation travels inside the key by `Arc`), so any server-side
 //! signature checks and all client verifications of this server's answers
 //! run against an already-warm pairing cache.
+//!
+//! The Section 4 aggregate-signature cache is maintained **incrementally**:
+//! the server mirrors the index's leaf order alongside the cached dyadic
+//! nodes, applies in-place signature replacement as an O(log N) delta
+//! ([`SigCache::on_update`]), and on a structural change (insert, delete,
+//! key move) splices the mirror at the shifted position and stale-marks
+//! only the cached nodes at or above it ([`SigCache::on_shift`]); stale
+//! nodes are recomputed lazily on their next use. Algorithm 1's node
+//! selection runs once at bootstrap, and neither the update nor the query
+//! path ever holds the cache mutex across a full O(N) rebuild.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use authdb_crypto::signer::{PublicParams, Signature};
-use authdb_index::{new_asign, ASignTree};
-use authdb_storage::{BufferPool, Disk, HeapFile, IoStats};
+use authdb_index::{new_asign_with_cache, ASignTree, RangeEvent, DEFAULT_NODE_CACHE};
+use authdb_storage::{BufferPool, Disk, HeapFile, IoStats, PoolStats};
 
 use crate::da::{Bootstrap, SigningMode, UpdateKind, UpdateMsg};
 use crate::freshness::{EmptyTableProof, UpdateSummary};
@@ -163,8 +173,9 @@ pub struct SelectionAnswer {
     pub vacancy: Option<EmptyTableProof>,
     /// Certified summaries published since the oldest result record (the
     /// latest summary always rides along so the client can anchor the
-    /// 2ρ-recency gate).
-    pub summaries: Vec<UpdateSummary>,
+    /// 2ρ-recency gate). Shared with the server's summary log by `Arc` —
+    /// attaching a summary to an answer never deep-copies it.
+    pub summaries: Vec<Arc<UpdateSummary>>,
 }
 
 impl SelectionAnswer {
@@ -210,7 +221,8 @@ pub struct ProjectionAnswer {
     pub agg: Signature,
     /// Certified summaries published since the oldest projected row (the
     /// latest one always included), for the client's freshness check.
-    pub summaries: Vec<UpdateSummary>,
+    /// Shared with the server's summary log by `Arc`.
+    pub summaries: Vec<Arc<UpdateSummary>>,
 }
 
 impl ProjectionAnswer {
@@ -234,6 +246,12 @@ pub struct QsStats {
     pub cache_hits: u64,
     /// Range selections the aggregate cache could not help with.
     pub cache_misses: u64,
+    /// Index reads served by the decoded-node cache (no page decode).
+    pub node_cache_hits: u64,
+    /// Index reads that had to decode a page.
+    pub node_cache_misses: u64,
+    /// Decoded nodes evicted from the node cache.
+    pub node_cache_evictions: u64,
 }
 
 /// Lock-free proof-construction counters: the live form of [`QsStats`],
@@ -255,7 +273,8 @@ impl StatCounters {
         counter.fetch_add(by, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy for reporting.
+    /// A point-in-time copy for reporting. The node-cache counters live in
+    /// the index layer, not here; [`QueryServer::stats`] fills them in.
     fn snapshot(&self) -> QsStats {
         QsStats {
             agg_ops: self.agg_ops.load(Ordering::Relaxed),
@@ -263,6 +282,9 @@ impl StatCounters {
             updates: self.updates.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            node_cache_hits: 0,
+            node_cache_misses: 0,
+            node_cache_evictions: 0,
         }
     }
 }
@@ -301,19 +323,24 @@ impl Default for AggCacheConfig {
 }
 
 /// Runtime state of the wired-in aggregate cache: the [`SigCache`] itself
-/// plus the leaf-signature mirror (index order) it aggregates over. Value
-/// updates flow through [`SigCache::on_update`]; structural changes
-/// (insert/delete/key move) mark the mirror dirty and the next selection
-/// rebuilds it from the index.
+/// plus a mirror of the index's leaf level — `order[k]` is the `(key, rid)`
+/// pair at leaf position `k` and `leaves[k]` its signature.
+///
+/// The mirror is maintained **incrementally**. In-place signature
+/// replacement flows through [`SigCache::on_update`] (an O(log N) delta);
+/// a structural change (insert, delete, key move) splices the mirror at
+/// the shifted position and calls [`SigCache::on_shift`], which keeps every
+/// cached node strictly below the splice point and lazily recomputes the
+/// rest on their next use. Algorithm 1's node selection runs once at
+/// bootstrap; no update or query path ever rebuilds the mirror from a full
+/// index scan, so the cache mutex is never held across O(N) work.
 struct AggCache {
     cfg: AggCacheConfig,
     cache: SigCache,
-    /// Record signatures in `(key, rid)` index order.
+    /// `(key, rid)` pairs in index (leaf) order.
+    order: Vec<(i64, u64)>,
+    /// `leaves[k]` = signature of the record at index position `k`.
     leaves: Vec<Signature>,
-    /// `(key, rid)` → leaf position.
-    pos: HashMap<(i64, u64), usize>,
-    /// Positions shifted since the last (re)build.
-    dirty: bool,
 }
 
 impl AggCache {
@@ -341,13 +368,54 @@ impl AggCache {
             Vec::new()
         };
         let cache = SigCache::build(pp.clone(), &leaves, &chosen, cfg.strategy);
-        let pos = entries.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         AggCache {
             cfg,
             cache,
+            order: entries.to_vec(),
             leaves,
-            pos,
-            dirty: false,
+        }
+    }
+
+    /// Leaf position of `(key, rid)`, if mirrored.
+    fn position(&self, key: i64, rid: u64) -> Option<usize> {
+        self.order.binary_search(&(key, rid)).ok()
+    }
+
+    /// Splice a newly certified record into the mirror.
+    fn insert(&mut self, key: i64, rid: u64, sig: &Signature) {
+        match self.order.binary_search(&(key, rid)) {
+            Ok(p) => {
+                // Already mirrored (defensive): treat as a value update.
+                self.cache.on_update(p, &self.leaves[p], sig);
+                self.leaves[p] = sig.clone();
+            }
+            Err(p) => {
+                self.order.insert(p, (key, rid));
+                self.leaves.insert(p, sig.clone());
+                self.cache.on_shift(p, self.leaves.len());
+            }
+        }
+    }
+
+    /// Splice a deleted record out of the mirror.
+    fn remove(&mut self, key: i64, rid: u64) {
+        if let Ok(p) = self.order.binary_search(&(key, rid)) {
+            self.order.remove(p);
+            self.leaves.remove(p);
+            self.cache.on_shift(p, self.leaves.len());
+        }
+    }
+
+    /// Replace a record's signature without moving it. Returns `false` if
+    /// the record is not mirrored (the caller resynchronizes).
+    fn update_in_place(&mut self, key: i64, rid: u64, sig: &Signature) -> bool {
+        match self.order.binary_search(&(key, rid)) {
+            Ok(p) => {
+                self.cache.on_update(p, &self.leaves[p], sig);
+                self.leaves[p] = sig.clone();
+                true
+            }
+            Err(_) => false,
         }
     }
 }
@@ -363,6 +431,9 @@ pub struct QsOptions {
     pub scope: ShardScope,
     /// Enable the Section 4 aggregate-signature cache.
     pub agg_cache: Option<AggCacheConfig>,
+    /// Decoded-node cache capacity for the index (`0` disables it: every
+    /// read decodes its page afresh).
+    pub node_cache: usize,
 }
 
 impl Default for QsOptions {
@@ -372,6 +443,7 @@ impl Default for QsOptions {
             fill: 2.0 / 3.0,
             scope: ShardScope::global(),
             agg_cache: None,
+            node_cache: DEFAULT_NODE_CACHE,
         }
     }
 }
@@ -387,14 +459,18 @@ pub struct QueryServer {
     sigs: Vec<Signature>,
     /// Per-attribute signatures by rid (PerAttribute mode).
     attr_sigs: Vec<Vec<Signature>>,
-    summaries: Vec<UpdateSummary>,
+    /// Certified summary log. Each entry is `Arc`-shared with every answer
+    /// it is attached to, so `summaries_since` never deep-copies.
+    summaries: Vec<Arc<UpdateSummary>>,
     /// Current empty-table proof (present only while the relation is empty).
     vacancy: Option<EmptyTableProof>,
     scope: ShardScope,
     /// Interior-mutable so `select_range` can stay `&self`: the cache is the
-    /// only part of the read path that mutates (hit counters, lazy refresh,
-    /// dirty rebuild). The mutex serializes aggregation *within one shard*
-    /// only — different shards' caches never contend.
+    /// only part of the read path that mutates (hit counters, lazy refresh).
+    /// The mutex serializes aggregation *within one shard* only — different
+    /// shards' caches never contend — and because the leaf mirror is
+    /// maintained incrementally it is held for O(polylog N) per operation,
+    /// never across a rebuild.
     agg_cache: Mutex<Option<AggCache>>,
     stats: StatCounters,
 }
@@ -432,7 +508,7 @@ impl QueryServer {
     ) -> Self {
         let pool = BufferPool::new(Disk::new(), opts.buffer_pages);
         let heap = HeapFile::new(pool.clone(), schema.record_len);
-        let mut tree = new_asign(pool, pp.wire_len());
+        let mut tree = new_asign_with_cache(pool, pp.wire_len(), opts.node_cache);
         for rec in &boot.records {
             let rid = heap.append(&rec.to_bytes(&schema));
             debug_assert_eq!(rid, rec.rid);
@@ -488,10 +564,22 @@ impl QueryServer {
         self.tree.pool().disk().stats()
     }
 
+    /// Buffer-pool counters of the server's storage (hit-rate diagnostics).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.tree.pool().stats()
+    }
+
     /// Proof-construction statistics (a point-in-time snapshot of the
     /// lock-free counters — readable while other threads answer queries).
+    /// The node-cache counters are sampled from the index's decoded-node
+    /// cache at the same instant.
     pub fn stats(&self) -> QsStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        let nc = self.tree.cache_stats();
+        s.node_cache_hits = nc.hits;
+        s.node_cache_misses = nc.misses;
+        s.node_cache_evictions = nc.evictions;
+        s
     }
 
     /// Stored summaries (diagnostics).
@@ -502,30 +590,6 @@ impl QueryServer {
     /// Apply an update message from the DA.
     pub fn apply(&mut self, msg: &UpdateMsg) {
         StatCounters::bump(&self.stats.updates, 1);
-        // Aggregate-cache coherence (Section 4.3): in-place signature
-        // replacement flows through the delta path; anything that moves
-        // index positions invalidates the mirror until the next selection
-        // rebuilds it.
-        {
-            let mut guard = self.agg_cache.lock();
-            if let Some(ac) = guard.as_mut() {
-                let in_place = matches!(msg.kind, UpdateKind::Modify | UpdateKind::Recertify)
-                    && msg.old_key.is_none();
-                if in_place {
-                    if !ac.dirty {
-                        let key = msg.record.key(&self.schema);
-                        if let Some(&p) = ac.pos.get(&(key, msg.record.rid)) {
-                            ac.cache.on_update(p, &ac.leaves[p], &msg.signature);
-                            ac.leaves[p] = msg.signature.clone();
-                        } else {
-                            ac.dirty = true;
-                        }
-                    }
-                } else {
-                    ac.dirty = true;
-                }
-            }
-        }
         let rid = msg.record.rid;
         let payload_len = self.tree.config().payload_len;
         match msg.kind {
@@ -572,15 +636,48 @@ impl QueryServer {
                 }
             }
         }
+        // Aggregate-cache coherence (Section 4.3), maintained incrementally:
+        // in-place signature replacement flows through the O(log N) delta
+        // path; a structural change splices the leaf mirror at the shifted
+        // position and stale-marks only the cached nodes at or above it.
+        let mut guard = self.agg_cache.lock();
+        if let Some(ac) = guard.as_mut() {
+            let key = msg.record.key(&self.schema);
+            match msg.kind {
+                UpdateKind::Insert => ac.insert(key, rid, &msg.signature),
+                UpdateKind::Modify | UpdateKind::Recertify => {
+                    if let Some(old_key) = msg.old_key {
+                        // A key move is a remove + insert in leaf order.
+                        ac.remove(old_key, rid);
+                        ac.insert(key, rid, &msg.signature);
+                    } else if !ac.update_in_place(key, rid, &msg.signature) {
+                        // The mirror lost track of this record — not
+                        // reachable through the DA protocol, but an
+                        // untrusted feed could desynchronize it, so
+                        // resynchronize from the index instead of serving
+                        // wrong aggregates.
+                        let cfg = ac.cfg;
+                        let entries: Vec<(i64, u64)> = self
+                            .tree
+                            .scan_all()
+                            .iter()
+                            .map(|e| (e.key, e.rid))
+                            .collect();
+                        *ac = AggCache::build(&self.pp, &entries, &self.sigs, cfg);
+                    }
+                }
+                UpdateKind::Delete => ac.remove(key, rid),
+            }
+        }
     }
 
     /// Store a newly published certified summary.
     pub fn add_summary(&mut self, s: UpdateSummary) {
-        self.summaries.push(s);
+        self.summaries.push(Arc::new(s));
     }
 
     /// The stored certified summaries, oldest first.
-    pub fn summaries(&self) -> &[UpdateSummary] {
+    pub fn summaries(&self) -> &[Arc<UpdateSummary>] {
         &self.summaries
     }
 
@@ -599,7 +696,7 @@ impl QueryServer {
 
     /// Swap in the DA's re-bound summary stream at an epoch transition.
     pub(crate) fn replace_summaries(&mut self, summaries: Vec<UpdateSummary>) {
-        self.summaries = summaries;
+        self.summaries = summaries.into_iter().map(Arc::new).collect();
     }
 
     /// Swap in the DA's re-bound standing vacancy proof (or clear it).
@@ -608,15 +705,19 @@ impl QueryServer {
     }
 
     fn read_record(&self, rid: u64) -> Record {
-        let bytes = self.heap.read(rid).expect("indexed record exists");
-        Record::from_bytes(&self.schema, &bytes)
+        // Decode straight out of the buffer-pool frame — no intermediate
+        // byte-vector copy per record.
+        self.heap
+            .read_with(rid, |bytes| Record::from_bytes(&self.schema, bytes))
+            .expect("indexed record exists")
     }
 
     /// Summaries published at or after `since`, always including the latest
     /// one: the client needs it to anchor the 2ρ-recency gate even when
-    /// every result record postdates the last published summary.
-    fn summaries_since(&self, since: Tick) -> Vec<UpdateSummary> {
-        let mut out: Vec<UpdateSummary> = self
+    /// every result record postdates the last published summary. Clones are
+    /// `Arc` bumps, never summary deep-copies.
+    fn summaries_since(&self, since: Tick) -> Vec<Arc<UpdateSummary>> {
+        let mut out: Vec<Arc<UpdateSummary>> = self
             .summaries
             .iter()
             .filter(|s| s.ts >= since)
@@ -657,30 +758,40 @@ impl QueryServer {
                 summaries: Vec::new(),
             });
         }
-        let scan = self.tree.range(lo, hi);
-        let left_key = scan
-            .left_boundary
-            .as_ref()
-            .map(|e| e.key)
-            .unwrap_or(self.scope.left_fence);
-        let right_key = scan
-            .right_boundary
-            .as_ref()
-            .map(|e| e.key)
+        // Walk the range once through the visitor API: matching records are
+        // decoded straight out of the borrowed leaf nodes — no intermediate
+        // `Vec<LeafEntry>` with per-entry payload clones is ever built.
+        let mut records: Vec<Record> = Vec::new();
+        let mut first_match: Option<(i64, u64)> = None;
+        let mut left_bound: Option<(i64, u64)> = None;
+        let mut right_bound: Option<(i64, u64)> = None;
+        self.tree.for_each_in_range(lo, hi, |ev| match ev {
+            RangeEvent::LeftBoundary(e) => left_bound = Some((e.key, e.rid)),
+            RangeEvent::Match(e) => {
+                if first_match.is_none() {
+                    first_match = Some((e.key, e.rid));
+                }
+                records.push(self.read_record(e.rid));
+            }
+            RangeEvent::RightBoundary(e) => right_bound = Some((e.key, e.rid)),
+        });
+        let left_key = left_bound.map(|(k, _)| k).unwrap_or(self.scope.left_fence);
+        let right_key = right_bound
+            .map(|(k, _)| k)
             .unwrap_or(self.scope.right_fence);
 
-        if scan.matches.is_empty() {
+        if records.is_empty() {
             // Empty answer: ship the bracketing record's chain, or — when
             // the whole relation is empty — the certified vacancy claim.
-            let bracket = scan.left_boundary.as_ref().or(scan.right_boundary.as_ref());
-            let gap = bracket.map(|e| {
-                let rec = self.read_record(e.rid);
-                let (l, r) = self.neighbor_keys_of(e.key, e.rid);
+            let bracket = left_bound.or(right_bound);
+            let gap = bracket.map(|(bkey, brid)| {
+                let rec = self.read_record(brid);
+                let (l, r) = self.neighbor_keys_of(bkey, brid);
                 GapProof {
                     record: rec,
                     left_key: l,
                     right_key: r,
-                    signature: self.sigs[e.rid as usize].clone(),
+                    signature: self.sigs[brid as usize].clone(),
                 }
             });
             let vacancy = if gap.is_none() {
@@ -706,12 +817,7 @@ impl QueryServer {
             });
         }
 
-        let records: Vec<Record> = scan
-            .matches
-            .iter()
-            .map(|e| self.read_record(e.rid))
-            .collect();
-        let agg = self.aggregate_matches(&scan.matches);
+        let agg = self.aggregate_records(first_match.expect("non-empty matches"), &records);
         let oldest = records.iter().map(|r| r.ts).min().unwrap_or(0);
         Ok(SelectionAnswer {
             records,
@@ -727,30 +833,19 @@ impl QueryServer {
     /// Aggregate the matched records' signatures, through the Section 4
     /// cache when one is configured (a range scan's matches are a
     /// contiguous run of leaf positions, so the dyadic decomposition
-    /// applies directly). Takes the cache mutex for the duration of the
-    /// aggregation, serializing cached aggregation per shard; the uncached
-    /// fallback runs lock-free.
-    fn aggregate_matches(&self, matches: &[authdb_index::LeafEntry]) -> Signature {
+    /// applies directly). `first` is the first match's `(key, rid)` index
+    /// entry; the leaf mirror is binary-searched for its position. Takes
+    /// the cache mutex for the duration of the aggregation — never across
+    /// any rebuild, since the mirror is maintained incrementally — while
+    /// the uncached fallback runs lock-free over the records' rids.
+    fn aggregate_records(&self, first: (i64, u64), records: &[Record]) -> Signature {
         let mut guard = self.agg_cache.lock();
         if let Some(ac) = guard.as_mut() {
-            // Re-mirror the index after a structural change (positions
-            // shifted under the dyadic tree).
-            if ac.dirty {
-                let cfg = ac.cfg;
-                let entries: Vec<(i64, u64)> = self
-                    .tree
-                    .scan_all()
-                    .iter()
-                    .map(|e| (e.key, e.rid))
-                    .collect();
-                *ac = AggCache::build(&self.pp, &entries, &self.sigs, cfg);
-            }
-            let first = &matches[0];
-            if let Some(&p0) = ac.pos.get(&(first.key, first.rid)) {
+            if let Some(p0) = ac.position(first.0, first.1) {
                 let before = ac.cache.stats();
                 let (agg, ops) = ac
                     .cache
-                    .aggregate_range(&ac.leaves, p0, p0 + matches.len() - 1);
+                    .aggregate_range(&ac.leaves, p0, p0 + records.len() - 1);
                 let after = ac.cache.stats();
                 StatCounters::bump(&self.stats.agg_ops, ops);
                 StatCounters::bump(&self.stats.cache_hits, after.hits - before.hits);
@@ -761,10 +856,10 @@ impl QueryServer {
         }
         drop(guard);
         let mut agg = self.pp.identity();
-        for e in matches {
-            agg = self.pp.aggregate(&agg, &self.sigs[e.rid as usize]);
+        for r in records {
+            agg = self.pp.aggregate(&agg, &self.sigs[r.rid as usize]);
         }
-        StatCounters::bump(&self.stats.agg_ops, matches.len() as u64);
+        StatCounters::bump(&self.stats.agg_ops, records.len() as u64);
         agg
     }
 
@@ -795,22 +890,27 @@ impl QueryServer {
             return Err(QueryError::AttributeOutOfSchema { index });
         }
         StatCounters::bump(&self.stats.queries, 1);
-        let scan = self.tree.range(lo, hi);
-        let mut rows = Vec::with_capacity(scan.matches.len());
+        // Single borrowed walk over the range: rows and the attribute
+        // aggregate are built directly from the cached leaf nodes.
+        let mut rows = Vec::new();
         let mut agg = self.pp.identity();
-        for e in &scan.matches {
-            let rec = self.read_record(e.rid);
-            let values: Vec<(usize, i64)> = attrs.iter().map(|&i| (i, rec.attrs[i])).collect();
-            for &i in attrs {
-                agg = self.pp.aggregate(&agg, &self.attr_sigs[e.rid as usize][i]);
-                StatCounters::bump(&self.stats.agg_ops, 1);
+        let mut agg_ops = 0u64;
+        self.tree.for_each_in_range(lo, hi, |ev| {
+            if let RangeEvent::Match(e) = ev {
+                let rec = self.read_record(e.rid);
+                let values: Vec<(usize, i64)> = attrs.iter().map(|&i| (i, rec.attrs[i])).collect();
+                for &i in attrs {
+                    agg = self.pp.aggregate(&agg, &self.attr_sigs[e.rid as usize][i]);
+                    agg_ops += 1;
+                }
+                rows.push(ProjectedRow {
+                    rid: rec.rid,
+                    ts: rec.ts,
+                    values,
+                });
             }
-            rows.push(ProjectedRow {
-                rid: rec.rid,
-                ts: rec.ts,
-                values,
-            });
-        }
+        });
+        StatCounters::bump(&self.stats.agg_ops, agg_ops);
         let oldest = rows.iter().map(|r| r.ts).min().unwrap_or(0);
         Ok(ProjectionAnswer {
             rows,
@@ -1100,6 +1200,83 @@ mod tests {
             let expect = plain.select_range(0, 10_000).unwrap();
             assert_eq!(ans.agg, expect.agg);
         }
+    }
+
+    /// The old coherence scheme invalidated the whole mirror on any
+    /// structural change, so a mixed update/query stream degenerated into a
+    /// full O(N) rebuild per query. The incremental mirror must keep
+    /// answering out of the cache: ≥90% of selections use cached nodes even
+    /// with inserts, deletes, and value updates interleaved — and the
+    /// answers stay bit-identical to an uncached replica's.
+    #[test]
+    fn incremental_cache_keeps_hit_rate_under_mixed_stream() {
+        for strategy in [RefreshStrategy::Eager, RefreshStrategy::Lazy] {
+            let (mut da, mut qs) = cached_system(256, strategy);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut da2 = DataAggregator::new(cfg(SigningMode::Chained), &mut rng);
+            let boot = da2.bootstrap((0..256).map(|i| vec![i * 10, i]).collect(), 2);
+            let mut plain = QueryServer::from_bootstrap(
+                da2.public_params(),
+                da2.config().schema,
+                SigningMode::Chained,
+                &boot,
+                256,
+                2.0 / 3.0,
+            );
+            for round in 0..40i64 {
+                da.advance_clock(1);
+                da2.advance_clock(1);
+                // Structural churn plus an in-place update, every round.
+                let ops: [Vec<UpdateMsg>; 2] = [
+                    da.insert(vec![round * 10 + 5, round]),
+                    da.update_record(100 + round as u64, vec![(100 + round) * 10, 9999]),
+                ];
+                let ops2 = [
+                    da2.insert(vec![round * 10 + 5, round]),
+                    da2.update_record(100 + round as u64, vec![(100 + round) * 10, 9999]),
+                ];
+                for m in ops.iter().flatten() {
+                    qs.apply(m);
+                }
+                for m in ops2.iter().flatten() {
+                    plain.apply(m);
+                }
+                for m in da.delete_record(round as u64) {
+                    qs.apply(&m);
+                }
+                for m in da2.delete_record(round as u64) {
+                    plain.apply(&m);
+                }
+                for (lo, hi) in [(0, 10_000), (200, 1800)] {
+                    let a = qs.select_range(lo, hi).unwrap();
+                    let b = plain.select_range(lo, hi).unwrap();
+                    assert_eq!(a.agg, b.agg, "round {round} range {lo}..{hi}");
+                    assert_eq!(a.records, b.records);
+                }
+            }
+            let s = qs.stats();
+            let rate = s.cache_hits as f64 / (s.cache_hits + s.cache_misses) as f64;
+            assert!(
+                rate >= 0.9,
+                "cache hit rate {rate:.2} under churn ({strategy:?}): {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_surface_node_cache_counters() {
+        let (_, qs) = system(2000, SigningMode::Chained);
+        // First scan warms the decoded-node cache; the repeat scan must be
+        // answered from it without decoding a single page.
+        let _ = qs.select_range(0, 5000).unwrap();
+        let after_first = qs.stats();
+        let _ = qs.select_range(0, 5000).unwrap();
+        let s = qs.stats();
+        assert!(s.node_cache_hits > after_first.node_cache_hits, "{s:?}");
+        assert_eq!(
+            s.node_cache_misses, after_first.node_cache_misses,
+            "repeat scan must not decode: {s:?}"
+        );
     }
 
     #[test]

@@ -1154,6 +1154,9 @@ impl ShardedQueryServer {
             total.updates += st.updates;
             total.cache_hits += st.cache_hits;
             total.cache_misses += st.cache_misses;
+            total.node_cache_hits += st.node_cache_hits;
+            total.node_cache_misses += st.node_cache_misses;
+            total.node_cache_evictions += st.node_cache_evictions;
         }
         total
     }

@@ -272,6 +272,9 @@ struct CachedNode {
     sig: Signature,
     /// Pending (old, new) leaf-signature deltas (lazy strategy).
     pending: Vec<(Signature, Signature)>,
+    /// Invalidated by a structural shift ([`SigCache::on_shift`]); the
+    /// signature is recomputed from the current leaves on next use.
+    stale: bool,
     accesses: u64,
 }
 
@@ -324,6 +327,7 @@ impl SigCache {
                 CachedNode {
                     sig,
                     pending: Vec::new(),
+                    stale: false,
                     accesses: 0,
                 },
             );
@@ -422,7 +426,7 @@ impl SigCache {
         if lo <= nlo && nhi <= hi {
             // Fully covered: use the cached aggregate if present.
             if self.nodes.contains_key(&node) {
-                let sig = self.refresh_node(node);
+                let sig = self.refresh_node(leaves, node);
                 *acc = self.pp.aggregate(acc, &sig);
                 self.stats.query_ops += 1;
                 *used_cache = true;
@@ -454,8 +458,19 @@ impl SigCache {
         self.cover(leaves, right, lo, hi, acc, used_cache);
     }
 
-    /// Apply pending deltas (lazy strategy) and return the node's signature.
-    fn refresh_node(&mut self, id: NodeId) -> Signature {
+    /// Bring a cached node up to date and return its signature: recompute a
+    /// stale node from the current leaves, or apply pending deltas (lazy
+    /// strategy).
+    fn refresh_node(&mut self, leaves: &[Signature], id: NodeId) -> Signature {
+        if self.nodes.get(&id).expect("cached node").stale {
+            let (lo, hi) = self.node_range(id);
+            let sig = self.aggregate_leaves(leaves, lo, hi);
+            let node = self.nodes.get_mut(&id).expect("cached node");
+            node.stale = false;
+            node.pending.clear();
+            node.sig = sig.clone();
+            return sig;
+        }
         let node = self.nodes.get_mut(&id).expect("cached node");
         let pending = std::mem::take(&mut node.pending);
         let mut sig = node.sig.clone();
@@ -481,6 +496,11 @@ impl SigCache {
                 j: pos >> level,
             };
             if let Some(node) = self.nodes.get_mut(&id) {
+                if node.stale {
+                    // Recomputed from the (already updated) leaves on next
+                    // use; a delta now would be wasted work.
+                    continue;
+                }
                 match self.strategy {
                     RefreshStrategy::Eager => {
                         let mut sig = self.pp.subtract(&node.sig, old);
@@ -492,6 +512,24 @@ impl SigCache {
                         node.pending.push((old.clone(), new.clone()));
                     }
                 }
+            }
+        }
+    }
+
+    /// A structural change shifted the leaf at position `pos` and everything
+    /// above it by one slot (an insertion or deletion in index order);
+    /// `new_len` is the leaf count afterwards. Cached nodes whose ranges end
+    /// strictly below `pos` still aggregate the same leaves and are kept
+    /// verbatim; every other node is marked stale and lazily recomputed from
+    /// the current leaves on its next use — the cache itself never does O(N)
+    /// work inside the update.
+    pub fn on_shift(&mut self, pos: usize, new_len: usize) {
+        self.n = new_len.next_power_of_two().max(1);
+        for (id, node) in self.nodes.iter_mut() {
+            let hi = (id.j + 1) * (1usize << id.level) - 1;
+            if hi >= pos {
+                node.stale = true;
+                node.pending.clear();
             }
         }
     }
@@ -524,6 +562,7 @@ impl SigCache {
             CachedNode {
                 sig,
                 pending: Vec::new(),
+                stale: false,
                 accesses: 1,
             },
         );
@@ -764,6 +803,55 @@ mod tests {
         let (sig, ops) = cache.aggregate_range(&ls, 0, 40);
         assert_eq!(sig, reference_aggregate(&pp, &ls, 0, 40));
         assert!(ops >= 6, "deferred deltas applied at query time");
+    }
+
+    #[test]
+    fn shift_invalidation_keeps_aggregates_correct() {
+        let kp = keypair();
+        let pp = kp.public_params();
+        let mut ls = leaves(&kp, 64);
+        let selection = [
+            NodeId { level: 4, j: 0 }, // [0,15]  — entirely below the shift
+            NodeId { level: 4, j: 2 }, // [32,47] — crosses it
+            NodeId { level: 5, j: 1 }, // [32,63]
+        ];
+        let mut cache = SigCache::build(pp.clone(), &ls, &selection, RefreshStrategy::Lazy);
+        // Insert a new leaf at position 40: positions >= 40 shift right and
+        // the padded tree grows to 128 leaves.
+        ls.insert(40, kp.sign(b"inserted leaf"));
+        cache.on_shift(40, ls.len());
+        for (lo, hi) in [(0, 64), (30, 50), (0, 15), (33, 40)] {
+            let (sig, _) = cache.aggregate_range(&ls, lo, hi);
+            assert_eq!(
+                sig,
+                reference_aggregate(&pp, &ls, lo, hi),
+                "range {lo}..{hi}"
+            );
+        }
+        // Delete near the front: every cached node crosses the shift.
+        ls.remove(3);
+        cache.on_shift(3, ls.len());
+        let (sig, _) = cache.aggregate_range(&ls, 0, ls.len() - 1);
+        assert_eq!(sig, reference_aggregate(&pp, &ls, 0, ls.len() - 1));
+    }
+
+    #[test]
+    fn shift_keeps_prefix_nodes_hot() {
+        let kp = keypair();
+        let pp = kp.public_params();
+        let mut ls = leaves(&kp, 64);
+        let mut cache = SigCache::build(
+            pp,
+            &ls,
+            &[NodeId { level: 4, j: 0 }],
+            RefreshStrategy::Eager,
+        );
+        ls.insert(40, kp.sign(b"inserted"));
+        cache.on_shift(40, ls.len());
+        // [0,15] is untouched by a shift at 40: answered by one fold of the
+        // still-valid cached aggregate, no recomputation.
+        let (_, ops) = cache.aggregate_range(&ls, 0, 15);
+        assert_eq!(ops, 1, "prefix node must stay hot across the shift");
     }
 
     #[test]

@@ -404,9 +404,14 @@ impl Verifier {
         &self.pp
     }
 
-    /// Check every attached summary's own signature.
-    fn check_summaries(&self, summaries: &[UpdateSummary]) -> Result<(), VerifyError> {
+    /// Check every attached summary's own signature. Generic over how the
+    /// summaries are held (answers share them by `Arc`).
+    fn check_summaries<S: std::borrow::Borrow<UpdateSummary>>(
+        &self,
+        summaries: &[S],
+    ) -> Result<(), VerifyError> {
         for s in summaries {
+            let s = s.borrow();
             if !s.verify(&self.pp) {
                 return Err(VerifyError::BadSummarySignature { seq: s.seq });
             }
@@ -416,11 +421,11 @@ impl Verifier {
 
     /// One record's freshness decision against already-verified,
     /// once-decoded summaries, mapped into the error domain.
-    fn freshness_of(
+    fn freshness_of<S: std::borrow::Borrow<UpdateSummary>>(
         &self,
         rid: u64,
         ts: Tick,
-        decoded: &DecodedSummaries<'_>,
+        decoded: &DecodedSummaries<'_, S>,
         now: Tick,
     ) -> Result<Tick, VerifyError> {
         match decoded.check_freshness(rid, ts, self.rho, now) {
@@ -937,6 +942,7 @@ mod tests {
     use authdb_crypto::signer::SchemeKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn cfg(mode: SigningMode) -> DaConfig {
         DaConfig {
@@ -1115,7 +1121,7 @@ mod tests {
         // A malicious server replays the stale answer but must attach the
         // published summaries (the client fetches them independently).
         let mut replay = stale_ans.clone();
-        replay.summaries = vec![s1, s2];
+        replay.summaries = vec![Arc::new(s1), Arc::new(s2)];
         let r = v.verify_selection(200, 260, &replay, 25, true);
         assert_eq!(
             r,
@@ -1188,7 +1194,7 @@ mod tests {
         // Replaying the pre-update projection with the published summaries
         // exposes row 5.
         let mut replay = stale;
-        replay.summaries = vec![s1, s2];
+        replay.summaries = vec![Arc::new(s1), Arc::new(s2)];
         assert!(matches!(
             v.verify_projection(&replay, 25, true),
             Err(VerifyError::Stale { rid: 5, .. })
@@ -1281,7 +1287,10 @@ mod tests {
         let ans = qs.select_range(0, 100).unwrap();
         assert!(ans.vacancy.is_some());
         let mut gappy = ans.clone();
-        gappy.summaries = vec![published[0].clone(), published[2].clone()];
+        gappy.summaries = vec![
+            Arc::new(published[0].clone()),
+            Arc::new(published[2].clone()),
+        ];
         assert!(matches!(
             v.verify_selection(0, 100, &gappy, da.now(), true),
             Err(VerifyError::VacancyIndeterminate)
@@ -1338,7 +1347,7 @@ mod tests {
         qs.add_summary(s3);
         let mut ans = qs.select_range(200, 260).unwrap();
         // Withhold everything after s1: the stale-looking window.
-        ans.summaries = vec![s1];
+        ans.summaries = vec![Arc::new(s1)];
         assert!(matches!(
             v.verify_selection(200, 260, &ans, da.now(), true),
             Err(VerifyError::FreshnessIndeterminate { .. })
@@ -1511,7 +1520,7 @@ mod tests {
             Err(VerifyError::BadGapProof)
         );
         let mut with_summary = qs.select_range(300, 200).unwrap();
-        with_summary.summaries = vec![crate::freshness::UpdateSummary {
+        with_summary.summaries = vec![Arc::new(crate::freshness::UpdateSummary {
             epoch: 0,
             shard: 0,
             seq: 7,
@@ -1519,7 +1528,7 @@ mod tests {
             ts: 1,
             compressed: vec![0xde, 0xad],
             signature: qs.public_params().identity(),
-        }];
+        })];
         assert_eq!(
             v.verify_selection(300, 200, &with_summary, 0, true),
             Err(VerifyError::BadSummarySignature { seq: 7 })

@@ -36,9 +36,11 @@
 //! | [`ShardHandoff`] | `shard:u64, records:vec, sigs:vec, vacancy:opt, baseline:summary` |
 //! | [`ShardRebind`] | `shard:u64, summaries:vec, vacancy:opt` |
 //! | [`Rebalance`] | `plan, new_map, transition, handoffs:vec, rebound:vec` |
-//! | [`QsStats`] | five `u64` counters |
+//! | [`QsStats`] | eight `u64` counters |
 //! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
 //! | [`Request::Tagged`] / [`Response::Tagged`] | wrapper tag byte, `id:u64`, then exactly one *unwrapped* message (nesting is a typed `BadTag`, never recursion) |
+
+use std::sync::Arc;
 
 use authdb_wire::{put_bytes, put_count, Reader, WireDecode, WireEncode, WireError};
 
@@ -165,7 +167,7 @@ impl WireDecode for SelectionAnswer {
             right_key: r.i64()?,
             gap: Option::<GapProof>::decode_from(r)?,
             vacancy: Option::<EmptyTableProof>::decode_from(r)?,
-            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+            summaries: Vec::<Arc<UpdateSummary>>::decode_from(r)?,
         })
     }
 }
@@ -214,7 +216,7 @@ impl WireDecode for ProjectionAnswer {
         Ok(ProjectionAnswer {
             rows: Vec::<ProjectedRow>::decode_from(r)?,
             agg: Signature::decode_from(r)?,
-            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+            summaries: Vec::<Arc<UpdateSummary>>::decode_from(r)?,
         })
     }
 }
@@ -479,11 +481,14 @@ impl WireEncode for QsStats {
         self.updates.encode_into(out);
         self.cache_hits.encode_into(out);
         self.cache_misses.encode_into(out);
+        self.node_cache_hits.encode_into(out);
+        self.node_cache_misses.encode_into(out);
+        self.node_cache_evictions.encode_into(out);
     }
 }
 
 impl WireDecode for QsStats {
-    const MIN_WIRE_LEN: usize = 40;
+    const MIN_WIRE_LEN: usize = 64;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(QsStats {
             agg_ops: r.u64()?,
@@ -491,6 +496,9 @@ impl WireDecode for QsStats {
             updates: r.u64()?,
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
+            node_cache_hits: r.u64()?,
+            node_cache_misses: r.u64()?,
+            node_cache_evictions: r.u64()?,
         })
     }
 }
@@ -998,6 +1006,9 @@ mod tests {
             updates: 3,
             cache_hits: 4,
             cache_misses: 5,
+            node_cache_hits: 6,
+            node_cache_misses: 7,
+            node_cache_evictions: 8,
         }));
         assert_canonical(&Response::Refused(QueryError::WrongSigningMode {
             required: SigningMode::Chained,
@@ -1020,6 +1031,9 @@ mod tests {
                 updates: 7,
                 cache_hits: 6,
                 cache_misses: 5,
+                node_cache_hits: 4,
+                node_cache_misses: 3,
+                node_cache_evictions: 2,
             },
         ]));
         assert_canonical(&Response::Busy);

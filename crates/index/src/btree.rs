@@ -16,8 +16,42 @@
 //! neither deletions nor splits ever rewrite separators upward. Deletion
 //! unlinks empty nodes but performs no rebalancing (the classic
 //! lazy-deletion trade-off, cf. PostgreSQL nbtree).
+//!
+//! # Caching architecture
+//!
+//! Raw page bytes live in the shared [`BufferPool`]; decoding a page into a
+//! [`Node`] (one `Vec` per entry payload) dominates query cost, so every
+//! tree additionally keeps a **decoded-node cache**: an LRU map from
+//! [`PageId`] to immutable `Arc<Node>`. Reads (`descend`, range scans, VO
+//! construction) hit the cache first and share the same decoded node across
+//! queries; only a miss touches the buffer pool and pays the decode.
+//!
+//! **Coherence.** Every mutation funnels through `write_node`, which
+//! re-encodes the page *and* evicts its cache entry, so the next read
+//! re-decodes fresh bytes. There is no other write path. Concurrent use is
+//! safe because callers follow the workspace-wide discipline: writers take
+//! a tree exclusively (`&mut self` methods; the sharded server orders them
+//! via 2PL on the shard's `RwLock`), while concurrent readers only ever run
+//! against a tree no writer holds — a reader can observe the cache, but
+//! never mid-mutation state, and invalidation happens-before any subsequent
+//! reader lock acquisition. Snapshot readers therefore cannot see a stale
+//! node: the `Arc` they hold is immutable, and the page-id slot is
+//! invalidated before the writer releases the tree. Hit/miss/eviction
+//! counters are exposed via [`BTree::cache_stats`] and surfaced per shard
+//! through `QsStats`.
 
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use authdb_storage::lru::{LruList, Slot};
 use authdb_storage::{BufferPool, PageId, PAGE_SIZE};
+
+/// Default decoded-node cache capacity (nodes, not bytes). At the paper's
+/// 4-KB pages a decoded node is a few KB, so this bounds the cache at a few
+/// MB per tree while comfortably holding the whole hot path of a
+/// 100k-entry index.
+pub const DEFAULT_NODE_CACHE: usize = 1024;
 
 /// Sentinel for "no page".
 pub const NO_PAGE: PageId = PageId::MAX;
@@ -110,6 +144,17 @@ pub enum NodeView {
     },
 }
 
+/// One borrowed entry surfaced by [`BTree::for_each_in_range`].
+#[derive(Clone, Copy, Debug)]
+pub enum RangeEvent<'a> {
+    /// Greatest entry with `key < lo` (emitted first, at most once).
+    LeftBoundary(&'a LeafEntry),
+    /// An entry with `lo <= key <= hi`, in key order.
+    Match(&'a LeafEntry),
+    /// Smallest entry with `key > hi` (emitted last, at most once).
+    RightBoundary(&'a LeafEntry),
+}
+
 /// Result of a range scan.
 #[derive(Clone, Debug, Default)]
 pub struct RangeScan {
@@ -126,6 +171,7 @@ pub struct BTree<A: Annotator> {
     pool: BufferPool,
     config: TreeConfig,
     annotator: A,
+    cache: NodeCache,
     root: PageId,
     height: usize, // 1 = root is a leaf
     len: u64,
@@ -135,15 +181,21 @@ pub struct BTree<A: Annotator> {
 // In-memory node codec
 // ---------------------------------------------------------------------------
 
-struct Node {
-    tag: u8,
-    prev: PageId,
-    next: PageId,
-    leaf: Vec<LeafEntry>,
-    internal: Vec<InternalEntry>,
+#[derive(Clone)]
+pub(crate) struct Node {
+    pub(crate) tag: u8,
+    pub(crate) prev: PageId,
+    pub(crate) next: PageId,
+    pub(crate) leaf: Vec<LeafEntry>,
+    pub(crate) internal: Vec<InternalEntry>,
 }
 
 impl Node {
+    /// True iff this is a leaf node.
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.tag == TAG_LEAF
+    }
+
     fn new_leaf() -> Self {
         Node {
             tag: TAG_LEAF,
@@ -241,15 +293,124 @@ impl Node {
 }
 
 // ---------------------------------------------------------------------------
+// Decoded-node cache
+// ---------------------------------------------------------------------------
+
+/// Decoded-node cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCacheStats {
+    /// Reads served from a decoded `Arc<Node>` (no page access, no decode).
+    pub hits: u64,
+    /// Reads that had to decode page bytes.
+    pub misses: u64,
+    /// Decoded nodes dropped to stay within capacity.
+    pub evictions: u64,
+}
+
+struct CacheInner {
+    map: HashMap<PageId, (Arc<Node>, Slot)>,
+    lru: LruList<PageId>,
+    stats: NodeCacheStats,
+}
+
+/// LRU cache of immutable decoded nodes, layered over the buffer pool.
+///
+/// Interior-mutable (`Mutex`) because reads are `&self`; the lock is held
+/// only around map/list bookkeeping plus — on a miss — the decode itself,
+/// never across tree mutation.
+struct NodeCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl NodeCache {
+    fn new(capacity: usize) -> Self {
+        NodeCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::with_capacity(capacity.min(4096)),
+                lru: LruList::new(),
+                stats: NodeCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Cached read: returns the shared decoded node, calling `decode` only
+    /// on a miss. With capacity 0 the cache is disabled and every read
+    /// decodes (still counted as a miss, so the counters stay meaningful).
+    fn get_or_insert(&self, id: PageId, decode: impl FnOnce() -> Node) -> Arc<Node> {
+        if self.capacity == 0 {
+            self.inner.lock().stats.misses += 1;
+            return Arc::new(decode());
+        }
+        let mut inner = self.inner.lock();
+        if let Some((node, slot)) = inner.map.get(&id) {
+            let node = Arc::clone(node);
+            let slot = *slot;
+            inner.lru.touch(slot);
+            inner.stats.hits += 1;
+            return node;
+        }
+        inner.stats.misses += 1;
+        while inner.map.len() >= self.capacity {
+            let victim = inner.lru.pop_back().expect("list tracks every entry");
+            inner.map.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        let node = Arc::new(decode());
+        let slot = inner.lru.push_front(id);
+        inner.map.insert(id, (Arc::clone(&node), slot));
+        node
+    }
+
+    /// Non-admitting lookup for write paths: no stats, no LRU touch.
+    fn peek(&self, id: PageId) -> Option<Arc<Node>> {
+        let inner = self.inner.lock();
+        inner.map.get(&id).map(|(node, _)| Arc::clone(node))
+    }
+
+    /// Drop the cached copy of `id` (the page was just rewritten).
+    fn invalidate(&self, id: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some((_, slot)) = inner.map.remove(&id) {
+            inner.lru.remove(slot);
+        }
+    }
+
+    fn stats(&self) -> NodeCacheStats {
+        self.inner.lock().stats
+    }
+
+    fn reset_stats(&self) {
+        self.inner.lock().stats = NodeCacheStats::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tree implementation
 // ---------------------------------------------------------------------------
 
 impl<A: Annotator> BTree<A> {
-    /// Create an empty tree.
+    /// Create an empty tree with the default decoded-node cache
+    /// ([`DEFAULT_NODE_CACHE`] nodes).
     ///
     /// # Panics
     /// Panics if the configuration cannot fit at least two entries per node.
     pub fn new(pool: BufferPool, config: TreeConfig, annotator: A) -> Self {
+        Self::with_node_cache(pool, config, annotator, DEFAULT_NODE_CACHE)
+    }
+
+    /// Create an empty tree caching at most `cache_nodes` decoded nodes
+    /// (`0` disables the cache — every read decodes page bytes).
+    ///
+    /// # Panics
+    /// Panics if the configuration cannot fit at least two entries per node.
+    pub fn with_node_cache(
+        pool: BufferPool,
+        config: TreeConfig,
+        annotator: A,
+        cache_nodes: usize,
+    ) -> Self {
         assert!(config.leaf_cap() >= 2, "page too small for leaf entries");
         assert!(config.internal_cap() >= 2, "page too small for children");
         let root = pool.allocate();
@@ -257,6 +418,7 @@ impl<A: Annotator> BTree<A> {
             pool,
             config,
             annotator,
+            cache: NodeCache::new(cache_nodes),
             root,
             height: 1,
             len: 0,
@@ -295,6 +457,16 @@ impl<A: Annotator> BTree<A> {
         self.len == 0
     }
 
+    /// Decoded-node cache counters.
+    pub fn cache_stats(&self) -> NodeCacheStats {
+        self.cache.stats()
+    }
+
+    /// Reset the decoded-node cache counters (the cached nodes stay).
+    pub fn reset_cache_stats(&self) {
+        self.cache.reset_stats();
+    }
+
     /// The root annotation (the EMB− root digest); empty when `ann_len == 0`.
     pub fn root_ann(&self) -> Vec<u8> {
         if self.config.ann_len == 0 {
@@ -313,22 +485,39 @@ impl<A: Annotator> BTree<A> {
     }
 
     /// Decoded read-only view of a node (for VO construction).
+    ///
+    /// Clones the entries out of the shared cache; hot in-crate readers use
+    /// [`BTree::read`] and borrow instead.
     pub fn read_node(&self, id: PageId) -> NodeView {
         let node = self.read(id);
-        if node.tag == TAG_LEAF {
+        if node.is_leaf() {
             NodeView::Leaf {
                 prev: node.prev,
                 next: node.next,
-                entries: node.leaf,
+                entries: node.leaf.clone(),
             }
         } else {
             NodeView::Internal {
-                entries: node.internal,
+                entries: node.internal.clone(),
             }
         }
     }
 
-    fn read(&self, id: PageId) -> Node {
+    /// Cached read: shared immutable decoded node.
+    pub(crate) fn read(&self, id: PageId) -> Arc<Node> {
+        self.cache.get_or_insert(id, || {
+            self.pool
+                .with_page(id, |buf| Node::decode(buf, &self.config))
+        })
+    }
+
+    /// Write-path read: an owned node the caller will mutate. Reuses a
+    /// cached decode when present but never admits a new entry — the caller
+    /// is about to rewrite (and thereby invalidate) this page anyway.
+    fn read_owned(&self, id: PageId) -> Node {
+        if let Some(node) = self.cache.peek(id) {
+            return (*node).clone();
+        }
         self.pool
             .with_page(id, |buf| Node::decode(buf, &self.config))
     }
@@ -336,6 +525,7 @@ impl<A: Annotator> BTree<A> {
     fn write_node(&self, id: PageId, node: &Node) {
         self.pool
             .with_page_mut(id, |buf| node.encode(buf, &self.config));
+        self.cache.invalidate(id);
     }
 
     /// Route within an internal node: child whose `(key, rid)` space covers
@@ -385,7 +575,7 @@ impl<A: Annotator> BTree<A> {
             return;
         }
         for &(page, idx) in path.iter().rev() {
-            let mut node = self.read(page);
+            let mut node = self.read_owned(page);
             node.internal[idx].ann = child_ann;
             self.write_node(page, &node);
             child_ann = self.compute_internal_ann(&node);
@@ -401,7 +591,7 @@ impl<A: Annotator> BTree<A> {
     pub fn insert(&mut self, key: i64, rid: u64, payload: Vec<u8>) {
         assert_eq!(payload.len(), self.config.payload_len, "payload length");
         let (leaf_id, path) = self.descend(key, rid);
-        let mut leaf = self.read(leaf_id);
+        let mut leaf = self.read_owned(leaf_id);
         let pos = leaf.leaf.partition_point(|e| (e.key, e.rid) < (key, rid));
         leaf.leaf.insert(pos, LeafEntry { key, rid, payload });
         self.len += 1;
@@ -422,7 +612,7 @@ impl<A: Annotator> BTree<A> {
         right.prev = leaf_id;
         right.next = leaf.next;
         if leaf.next != NO_PAGE {
-            let mut after = self.read(leaf.next);
+            let mut after = self.read_owned(leaf.next);
             after.prev = right_id;
             self.write_node(leaf.next, &after);
         }
@@ -468,7 +658,7 @@ impl<A: Annotator> BTree<A> {
             return;
         };
 
-        let mut parent = self.read(parent_id);
+        let mut parent = self.read_owned(parent_id);
         debug_assert_eq!(parent.internal[child_idx].child, left_id);
         parent.internal[child_idx].ann = left_ann;
         parent.internal.insert(
@@ -516,7 +706,7 @@ impl<A: Annotator> BTree<A> {
     pub fn update_payload(&mut self, key: i64, rid: u64, payload: Vec<u8>) -> bool {
         assert_eq!(payload.len(), self.config.payload_len, "payload length");
         let (leaf_id, path) = self.descend(key, rid);
-        let mut node = self.read(leaf_id);
+        let mut node = self.read_owned(leaf_id);
         let Some(e) = node.leaf.iter_mut().find(|e| e.key == key && e.rid == rid) else {
             return false;
         };
@@ -531,7 +721,7 @@ impl<A: Annotator> BTree<A> {
     /// unlinked; no rebalancing is performed.
     pub fn delete(&mut self, key: i64, rid: u64) -> bool {
         let (leaf_id, path) = self.descend(key, rid);
-        let mut node = self.read(leaf_id);
+        let mut node = self.read_owned(leaf_id);
         let Some(pos) = node.leaf.iter().position(|e| e.key == key && e.rid == rid) else {
             return false;
         };
@@ -551,12 +741,12 @@ impl<A: Annotator> BTree<A> {
 
     fn unlink_leaf(&mut self, _id: PageId, node: &Node) {
         if node.prev != NO_PAGE {
-            let mut p = self.read(node.prev);
+            let mut p = self.read_owned(node.prev);
             p.next = node.next;
             self.write_node(node.prev, &p);
         }
         if node.next != NO_PAGE {
-            let mut n = self.read(node.next);
+            let mut n = self.read_owned(node.next);
             n.prev = node.prev;
             self.write_node(node.next, &n);
         }
@@ -569,7 +759,7 @@ impl<A: Annotator> BTree<A> {
         let Some((parent_id, idx)) = path.pop() else {
             return;
         };
-        let mut parent = self.read(parent_id);
+        let mut parent = self.read_owned(parent_id);
         parent.internal.remove(idx);
         if parent.internal.is_empty() {
             self.write_node(parent_id, &parent);
@@ -600,35 +790,61 @@ impl<A: Annotator> BTree<A> {
     }
 
     /// Range scan over `lo..=hi` with completeness boundaries.
+    ///
+    /// Convenience wrapper over [`BTree::for_each_in_range`] that clones
+    /// every entry; proof-construction hot paths use the visitor directly
+    /// and borrow.
     pub fn range(&self, lo: i64, hi: i64) -> RangeScan {
         let mut out = RangeScan::default();
+        self.for_each_in_range(lo, hi, |ev| match ev {
+            RangeEvent::LeftBoundary(e) => out.left_boundary = Some(e.clone()),
+            RangeEvent::Match(e) => out.matches.push(e.clone()),
+            RangeEvent::RightBoundary(e) => out.right_boundary = Some(e.clone()),
+        });
+        out
+    }
+
+    /// Zero-clone range scan over `lo..=hi`: the visitor is called with
+    /// borrowed entries straight out of the shared decoded nodes, in leaf
+    /// order — at most one [`RangeEvent::LeftBoundary`] (the greatest entry
+    /// with `key < lo`), every [`RangeEvent::Match`], then at most one
+    /// [`RangeEvent::RightBoundary`] (the smallest entry with `key > hi`).
+    pub fn for_each_in_range(&self, lo: i64, hi: i64, mut f: impl FnMut(RangeEvent<'_>)) {
         if lo > hi || self.is_empty() {
-            return out;
+            return;
         }
         let (leaf_id, _) = self.descend(lo, u64::MIN);
         let first = self.read(leaf_id);
-        // Seed the left boundary from the previous leaf: every entry there
-        // is strictly below (lo, 0).
-        if first.prev != NO_PAGE {
+        // Entries are (key, rid)-sorted, so everything below `lo` sits in
+        // one prefix of the first leaf; the left boundary is the last entry
+        // of that prefix, falling back to the previous leaf's last entry
+        // (every entry there is strictly below (lo, 0)).
+        let start = first.leaf.partition_point(|e| e.key < lo);
+        if start > 0 {
+            f(RangeEvent::LeftBoundary(&first.leaf[start - 1]));
+        } else if first.prev != NO_PAGE {
             let prev = self.read(first.prev);
-            out.left_boundary = prev.leaf.last().cloned();
+            if let Some(e) = prev.leaf.last() {
+                f(RangeEvent::LeftBoundary(e));
+            }
         }
         let mut node = first;
+        let mut from = start;
         loop {
-            for e in &node.leaf {
-                if e.key < lo {
-                    out.left_boundary = Some(e.clone());
-                } else if e.key <= hi {
-                    out.matches.push(e.clone());
+            for e in &node.leaf[from..] {
+                if e.key <= hi {
+                    f(RangeEvent::Match(e));
                 } else {
-                    out.right_boundary = Some(e.clone());
-                    return out;
+                    f(RangeEvent::RightBoundary(e));
+                    return;
                 }
             }
             if node.next == NO_PAGE {
-                return out;
+                return;
             }
-            node = self.read(node.next);
+            let next = node.next;
+            node = self.read(next);
+            from = 0;
         }
     }
 
@@ -691,7 +907,7 @@ impl<A: Annotator> BTree<A> {
             node.leaf = chunk.to_vec();
             node.prev = prev_leaf;
             if prev_leaf != NO_PAGE {
-                let mut p = self.read(prev_leaf);
+                let mut p = self.read_owned(prev_leaf);
                 p.next = id;
                 self.write_node(prev_leaf, &p);
             }

@@ -17,7 +17,7 @@ use authdb_crypto::sha1::Sha1;
 use authdb_crypto::sha256::Sha256;
 use authdb_storage::{BufferPool, PageId};
 
-use crate::btree::{Annotator, BTree, LeafEntry, NodeView, TreeConfig};
+use crate::btree::{Annotator, BTree, LeafEntry, TreeConfig};
 
 /// Which hash backs the tree's digests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +94,13 @@ pub fn embedded_root(kind: DigestKind, digests: &[&[u8]]) -> Vec<u8> {
 #[derive(Clone, Copy, Debug)]
 pub struct DigestAnnotator {
     kind: DigestKind,
+}
+
+impl DigestAnnotator {
+    /// An annotator producing `kind`-flavoured embedded-MHT digests.
+    pub fn new(kind: DigestKind) -> Self {
+        DigestAnnotator { kind }
+    }
 }
 
 impl Annotator for DigestAnnotator {
@@ -295,10 +302,13 @@ impl EmbTree {
     }
 
     fn build_vo(&self, page: PageId, lo: (i64, u64), hi: (i64, u64)) -> EmbVo {
-        match self.tree.read_node(page) {
-            NodeView::Leaf { entries, .. } => EmbVo::collapse(
+        // Borrow the shared decoded node from the tree's cache — VO
+        // construction only clones the digests that actually enter the VO.
+        let node = self.tree.read(page);
+        if node.is_leaf() {
+            EmbVo::collapse(
                 self.kind,
-                entries
+                node.leaf
                     .iter()
                     .map(|e| {
                         let k = (e.key, e.rid);
@@ -309,30 +319,30 @@ impl EmbTree {
                         }
                     })
                     .collect(),
-            ),
-            NodeView::Internal { entries } => {
-                let mut children = Vec::with_capacity(entries.len());
-                for (i, e) in entries.iter().enumerate() {
-                    // Child i covers [sep_i, sep_{i+1}); child 0's lower
-                    // bound is -inf.
-                    let child_lo = if i == 0 {
-                        (i64::MIN, u64::MIN)
-                    } else {
-                        (e.key, e.rid)
-                    };
-                    let child_hi = entries
-                        .get(i + 1)
-                        .map(|n| (n.key, n.rid))
-                        .unwrap_or((i64::MAX, u64::MAX));
-                    let overlaps = child_lo <= hi && child_hi > lo;
-                    if overlaps {
-                        children.push(self.build_vo(e.child, lo, hi));
-                    } else {
-                        children.push(EmbVo::Pruned(e.ann.clone()));
-                    }
+            )
+        } else {
+            let entries = &node.internal;
+            let mut children = Vec::with_capacity(entries.len());
+            for (i, e) in entries.iter().enumerate() {
+                // Child i covers [sep_i, sep_{i+1}); child 0's lower
+                // bound is -inf.
+                let child_lo = if i == 0 {
+                    (i64::MIN, u64::MIN)
+                } else {
+                    (e.key, e.rid)
+                };
+                let child_hi = entries
+                    .get(i + 1)
+                    .map(|n| (n.key, n.rid))
+                    .unwrap_or((i64::MAX, u64::MAX));
+                let overlaps = child_lo <= hi && child_hi > lo;
+                if overlaps {
+                    children.push(self.build_vo(e.child, lo, hi));
+                } else {
+                    children.push(EmbVo::Pruned(e.ann.clone()));
                 }
-                EmbVo::collapse(self.kind, children)
             }
+            EmbVo::collapse(self.kind, children)
         }
     }
 

@@ -15,6 +15,9 @@ pub mod asign;
 pub mod btree;
 pub mod emb;
 
-pub use asign::{asign_config, new_asign, ASignTree};
-pub use btree::{BTree, LeafEntry, NodeView, RangeScan, TreeConfig};
+pub use asign::{asign_config, new_asign, new_asign_with_cache, ASignTree};
+pub use btree::{
+    BTree, LeafEntry, NodeCacheStats, NodeView, RangeEvent, RangeScan, TreeConfig,
+    DEFAULT_NODE_CACHE,
+};
 pub use emb::{DigestKind, EmbRangeResult, EmbTree, EmbVo};

@@ -1,0 +1,293 @@
+//! Decoded-node cache equivalence & invalidation correctness.
+//!
+//! The node cache must be *invisible*: a tree with the cache enabled and a
+//! tree with it disabled, driven through the identical workload, must return
+//! identical `get` / `range` / `scan_all` results and identical root
+//! annotations at every step. The proptest suite drives random
+//! insert/update/delete workloads (sized past the split threshold so splits
+//! and unlinks occur); the deterministic tests below hit every write path
+//! explicitly with a warmed cache and re-read through it.
+
+use authdb_index::btree::{BTree, LeafEntry, NoAnnotation, RangeEvent, TreeConfig};
+use authdb_index::emb::{DigestAnnotator, DigestKind};
+use authdb_storage::{BufferPool, Disk};
+use proptest::prelude::*;
+
+// Payloads must be digest-length: the EMB annotator promotes a lone leaf
+// payload to the node digest unchanged. 32-byte payloads also shrink
+// leaf_cap to 85, so splits happen early.
+const PAYLOAD: usize = 32;
+
+fn tree(cache_nodes: usize) -> BTree<DigestAnnotator> {
+    BTree::with_node_cache(
+        BufferPool::new(Disk::new(), 64),
+        TreeConfig {
+            payload_len: PAYLOAD,
+            ann_len: 32,
+        },
+        DigestAnnotator::new(DigestKind::Sha256),
+        cache_nodes,
+    )
+}
+
+fn payload(tag: u8) -> Vec<u8> {
+    vec![tag; PAYLOAD]
+}
+
+/// One scripted workload operation, decoded from a proptest tuple.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(i64, u64, u8),
+    Update(i64, u64, u8),
+    Delete(i64, u64),
+}
+
+/// Raw tuple shape the strategy generates; keys/rids come from a small
+/// domain so deletes and updates hit live entries often, and duplicate keys
+/// with distinct rids occur.
+type RawOp = (u8, i64, u64, u8);
+
+fn op_strategy() -> (
+    std::ops::Range<u8>,
+    std::ops::Range<i64>,
+    std::ops::Range<u64>,
+    std::ops::Range<u8>,
+) {
+    (0u8..3, 0i64..400, 0u64..8, 0u8..255)
+}
+
+fn decode(raw: RawOp) -> Op {
+    let (kind, key, rid, tag) = raw;
+    match kind {
+        0 => Op::Insert(key, rid, tag),
+        1 => Op::Update(key, rid, tag),
+        _ => Op::Delete(key, rid),
+    }
+}
+
+fn apply(t: &mut BTree<DigestAnnotator>, op: &Op) {
+    match *op {
+        Op::Insert(k, r, tag) => {
+            // Keep (key, rid) unique so both trees agree with a model.
+            if t.get(k, r).is_none() {
+                t.insert(k, r, payload(tag));
+            }
+        }
+        Op::Update(k, r, tag) => {
+            t.update_payload(k, r, payload(tag));
+        }
+        Op::Delete(k, r) => {
+            t.delete(k, r);
+        }
+    }
+}
+
+fn assert_equivalent(cached: &BTree<DigestAnnotator>, uncached: &BTree<DigestAnnotator>) {
+    assert_eq!(cached.len(), uncached.len());
+    assert_eq!(cached.scan_all(), uncached.scan_all());
+    assert_eq!(cached.root_ann(), uncached.root_ann());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cached and cache-disabled trees stay bit-identical through random
+    /// mixed workloads, including splits and leaf unlinks.
+    #[test]
+    fn cached_tree_is_invisible(raw in prop::collection::vec(op_strategy(), 200..600)) {
+        let ops: Vec<Op> = raw.into_iter().map(decode).collect();
+        let mut cached = tree(256);
+        let mut uncached = tree(0);
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut cached, op);
+            apply(&mut uncached, op);
+            // Point probes every step; full sweeps periodically (they're
+            // O(N) each).
+            if let Op::Insert(k, r, _) | Op::Update(k, r, _) | Op::Delete(k, r) = *op {
+                prop_assert_eq!(cached.get(k, r), uncached.get(k, r));
+            }
+            if step % 64 == 0 {
+                let a = cached.range(50, 350);
+                let b = uncached.range(50, 350);
+                prop_assert_eq!(a.matches, b.matches);
+                prop_assert_eq!(a.left_boundary, b.left_boundary);
+                prop_assert_eq!(a.right_boundary, b.right_boundary);
+                prop_assert_eq!(cached.root_ann(), uncached.root_ann());
+            }
+        }
+        assert_equivalent(&cached, &uncached);
+        // The cached tree actually used its cache.
+        let cs = cached.cache_stats();
+        prop_assert!(cs.hits > 0, "cache never hit: {:?}", cs);
+    }
+
+    /// The visitor API agrees with the cloning `range` on both trees.
+    #[test]
+    fn visitor_matches_range(raw in prop::collection::vec(op_strategy(), 100..300),
+                             lo in 0i64..400, width in 0i64..200) {
+        let mut t = tree(256);
+        for op in raw.into_iter().map(decode) {
+            apply(&mut t, &op);
+        }
+        let hi = lo + width;
+        let scan = t.range(lo, hi);
+        let mut matches = Vec::new();
+        let mut left = None;
+        let mut right = None;
+        t.for_each_in_range(lo, hi, |ev| match ev {
+            RangeEvent::LeftBoundary(e) => left = Some(e.clone()),
+            RangeEvent::Match(e) => matches.push(e.clone()),
+            RangeEvent::RightBoundary(e) => right = Some(e.clone()),
+        });
+        prop_assert_eq!(scan.matches, matches);
+        prop_assert_eq!(scan.left_boundary, left);
+        prop_assert_eq!(scan.right_boundary, right);
+    }
+}
+
+/// Warm the cache over every page (full scan + root).
+fn warm(t: &BTree<DigestAnnotator>) {
+    let _ = t.scan_all();
+    let _ = t.root_ann();
+}
+
+/// Drive cached (warmed before mutation) and uncached trees through the
+/// same mutations; any stale cached node shows up as a divergence.
+#[test]
+fn invalidation_insert_split() {
+    let mut cached = tree(256);
+    let mut uncached = tree(0);
+    for i in 0..80i64 {
+        cached.insert(i, i as u64, payload(1));
+        uncached.insert(i, i as u64, payload(1));
+    }
+    warm(&cached);
+    let h0 = cached.height();
+    // Push both trees through many splits with the cache warm.
+    for i in 80..600i64 {
+        cached.insert(i, i as u64, payload(2));
+        uncached.insert(i, i as u64, payload(2));
+    }
+    assert!(cached.height() > h0, "workload must split");
+    assert_equivalent(&cached, &uncached);
+    for i in 0..600i64 {
+        assert_eq!(
+            cached.get(i, i as u64).expect("present").payload,
+            payload(if i < 80 { 1 } else { 2 })
+        );
+    }
+}
+
+#[test]
+fn invalidation_delete_unlink() {
+    let mut cached = tree(256);
+    let mut uncached = tree(0);
+    for i in 0..600i64 {
+        cached.insert(i, i as u64, payload(3));
+        uncached.insert(i, i as u64, payload(3));
+    }
+    warm(&cached);
+    // Empty out a whole middle span so leaves unlink and sibling links are
+    // rewritten, then re-read ranges crossing the seam through the cache.
+    for i in 150..450i64 {
+        assert!(cached.delete(i, i as u64));
+        assert!(uncached.delete(i, i as u64));
+    }
+    let scan = cached.range(100, 500);
+    let keys: Vec<i64> = scan.matches.iter().map(|e| e.key).collect();
+    let expect: Vec<i64> = (100..150).chain(450..=500).collect();
+    assert_eq!(keys, expect);
+    assert_equivalent(&cached, &uncached);
+}
+
+#[test]
+fn invalidation_update_payload() {
+    let mut cached = tree(256);
+    let mut uncached = tree(0);
+    for i in 0..300i64 {
+        cached.insert(i, i as u64, payload(4));
+        uncached.insert(i, i as u64, payload(4));
+    }
+    warm(&cached);
+    for i in 0..300i64 {
+        assert!(cached.update_payload(i, i as u64, payload(5)));
+        assert!(uncached.update_payload(i, i as u64, payload(5)));
+    }
+    assert!(cached.scan_all().iter().all(|e| e.payload == payload(5)));
+    assert_equivalent(&cached, &uncached);
+}
+
+#[test]
+fn invalidation_bulk_load() {
+    let entries: Vec<LeafEntry> = (0..2000i64)
+        .map(|i| LeafEntry {
+            key: i,
+            rid: i as u64,
+            payload: payload((i % 250) as u8),
+        })
+        .collect();
+    let mut cached = tree(256);
+    let mut uncached = tree(0);
+    // Warm the cache on the *empty* tree first (caches the empty root
+    // page), then bulk-load; reads must see the loaded tree.
+    warm(&cached);
+    cached.bulk_load(&entries, 2.0 / 3.0);
+    uncached.bulk_load(&entries, 2.0 / 3.0);
+    assert_eq!(cached.scan_all(), entries);
+    assert_equivalent(&cached, &uncached);
+    let scan = cached.range(500, 520);
+    assert_eq!(scan.matches.len(), 21);
+    assert_eq!(scan.left_boundary.unwrap().key, 499);
+    assert_eq!(scan.right_boundary.unwrap().key, 521);
+}
+
+/// Counters move the way the architecture promises: repeat reads hit, a
+/// write invalidates exactly the rewritten pages, and a bounded cache
+/// evicts.
+#[test]
+fn counters_reflect_cache_behaviour() {
+    let mut t = tree(256);
+    for i in 0..2000i64 {
+        t.insert(i, i as u64, payload(7));
+    }
+    t.reset_cache_stats();
+    let _ = t.get(1000, 1000);
+    let after_first = t.cache_stats();
+    let _ = t.get(1000, 1000);
+    let after_second = t.cache_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second identical probe must not decode"
+    );
+    assert!(after_second.hits > after_first.hits);
+
+    // An update rewrites the leaf: the next probe of that leaf re-decodes.
+    assert!(t.update_payload(1000, 1000, payload(8)));
+    let before = t.cache_stats();
+    assert_eq!(t.get(1000, 1000).unwrap().payload, payload(8));
+    let after = t.cache_stats();
+    assert!(
+        after.misses > before.misses,
+        "invalidated leaf must re-decode"
+    );
+
+    // A 2-node cache under a 2000-entry scan must evict.
+    let small = {
+        let mut s = BTree::with_node_cache(
+            BufferPool::new(Disk::new(), 64),
+            TreeConfig {
+                payload_len: PAYLOAD,
+                ann_len: 0,
+            },
+            NoAnnotation,
+            2,
+        );
+        for i in 0..2000i64 {
+            s.insert(i, i as u64, payload(1));
+        }
+        s
+    };
+    small.reset_cache_stats();
+    let _ = small.scan_all();
+    assert!(small.cache_stats().evictions > 0);
+}

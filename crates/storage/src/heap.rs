@@ -100,12 +100,19 @@ impl HeapFile {
 
     /// Read record `rid`; `None` if out of range or deleted.
     pub fn read(&self, rid: Rid) -> Option<Vec<u8>> {
+        self.read_with(rid, |bytes| bytes.to_vec())
+    }
+
+    /// Apply `f` to record `rid`'s bytes in place (no copy); `None` if out
+    /// of range or deleted. The buffer-pool lock is held for the duration
+    /// of `f`, so keep the closure short.
+    pub fn read_with<R>(&self, rid: Rid, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
         let inner = self.inner.read();
         if rid >= inner.count || inner.deleted[rid as usize] {
             return None;
         }
         let (page, off, len) = locate(&inner, rid);
-        Some(self.pool.with_page(page, |p| p[off..off + len].to_vec()))
+        Some(self.pool.with_page(page, |p| f(&p[off..off + len])))
     }
 
     /// Overwrite record `rid`; returns false if out of range or deleted.

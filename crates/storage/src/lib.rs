@@ -15,7 +15,9 @@
 pub mod buffer;
 pub mod disk;
 pub mod heap;
+pub mod lru;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use disk::{Disk, IoStats, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, Rid};
+pub use lru::LruList;

@@ -1,0 +1,217 @@
+//! Slab-backed intrusive LRU list: every operation is O(1).
+//!
+//! Shared by the [`buffer pool`](crate::buffer) (frame eviction) and the
+//! index crate's decoded-node cache. Entries live in a slab of doubly-linked
+//! nodes addressed by stable [`Slot`] handles; the owner stores each entry's
+//! slot alongside its map value, so *touch on hit*, *evict the coldest*, and
+//! *remove on invalidation* never scan.
+
+/// Stable handle into the list's slab.
+pub type Slot = u32;
+
+const NIL: Slot = Slot::MAX;
+
+struct LruNode<K> {
+    key: K,
+    prev: Slot,
+    next: Slot,
+    live: bool,
+}
+
+/// Doubly-linked recency list over caller-owned keys.
+///
+/// Front = most recently used, back = least recently used. The list only
+/// tracks ordering; the caller keeps the key → slot association (typically
+/// inside the cache map entry itself).
+pub struct LruList<K> {
+    nodes: Vec<LruNode<K>>,
+    free: Vec<Slot>,
+    head: Slot,
+    tail: Slot,
+    len: usize,
+}
+
+impl<K: Copy> LruList<K> {
+    /// An empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no entry is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key` at the front (most recently used); returns its slot.
+    pub fn push_front(&mut self, key: K) -> Slot {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let node = &mut self.nodes[s as usize];
+                node.key = key;
+                node.live = true;
+                node.prev = NIL;
+                node.next = NIL;
+                s
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "LRU slab full");
+                self.nodes.push(LruNode {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                    live: true,
+                });
+                (self.nodes.len() - 1) as Slot
+            }
+        };
+        self.link_front(slot);
+        self.len += 1;
+        slot
+    }
+
+    /// Move `slot` to the front (it just got used).
+    pub fn touch(&mut self, slot: Slot) {
+        debug_assert!(self.nodes[slot as usize].live, "touch of a freed slot");
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.link_front(slot);
+    }
+
+    /// Remove `slot` from the list, returning its key.
+    pub fn remove(&mut self, slot: Slot) -> K {
+        debug_assert!(self.nodes[slot as usize].live, "remove of a freed slot");
+        self.unlink(slot);
+        let node = &mut self.nodes[slot as usize];
+        node.live = false;
+        self.free.push(slot);
+        self.len -= 1;
+        node.key
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn pop_back(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        Some(self.remove(self.tail))
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
+    fn link_front(&mut self, slot: Slot) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[slot as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: Slot) {
+        let (prev, next) = {
+            let node = &self.nodes[slot as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+}
+
+impl<K: Copy> Default for LruList<K> {
+    fn default() -> Self {
+        LruList::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<K: Copy>(list: &mut LruList<K>) -> Vec<K> {
+        let mut out = Vec::new();
+        while let Some(k) = list.pop_back() {
+            out.push(k);
+        }
+        out
+    }
+
+    #[test]
+    fn eviction_order_is_recency_order() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        let _b = l.push_front(2);
+        let _c = l.push_front(3);
+        l.touch(a); // order (MRU..LRU): 1, 3, 2
+        assert_eq!(drain(&mut l), vec![2, 3, 1]);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_mid_list_keeps_links() {
+        let mut l = LruList::new();
+        let _a = l.push_front('a');
+        let b = l.push_front('b');
+        let _c = l.push_front('c');
+        assert_eq!(l.remove(b), 'b');
+        assert_eq!(l.len(), 2);
+        assert_eq!(drain(&mut l), vec!['a', 'c']);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LruList::new();
+        for round in 0..100 {
+            let s = l.push_front(round);
+            assert!(s < 2, "slab must not grow past the live count");
+            assert_eq!(l.pop_back(), Some(round));
+        }
+    }
+
+    #[test]
+    fn touch_head_and_singleton_edge_cases() {
+        let mut l = LruList::new();
+        let a = l.push_front(10);
+        l.touch(a); // head touch is a no-op
+        assert_eq!(l.pop_back(), Some(10));
+        assert_eq!(l.pop_back(), None);
+        // Reuse after emptying.
+        l.push_front(11);
+        l.push_front(12);
+        assert_eq!(drain(&mut l), vec![11, 12]);
+    }
+}

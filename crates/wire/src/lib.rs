@@ -378,6 +378,23 @@ impl<T: WireDecode> WireDecode for Vec<T> {
     }
 }
 
+/// `Arc<T>` encodes exactly as `T`: sharing is a process-local detail the
+/// wire never sees. Lets in-memory structures hold shared values (e.g. a
+/// server's summary log attached to many answers) without a copy at the
+/// encode boundary.
+impl<T: WireEncode> WireEncode for std::sync::Arc<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (**self).encode_into(out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for std::sync::Arc<T> {
+    const MIN_WIRE_LEN: usize = T::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode_from(r)?))
+    }
+}
+
 impl<T: WireEncode> WireEncode for Option<T> {
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {

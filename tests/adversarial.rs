@@ -143,7 +143,7 @@ fn stale_version_with_valid_signature_rejected() {
         // The replayed answer is cryptographically intact but stale; the
         // client cross-checks against the summaries it fetched itself.
         let mut replay = stale.clone();
-        replay.summaries = vec![summary];
+        replay.summaries = vec![std::sync::Arc::new(summary)];
         assert!(
             matches!(
                 v.verify_selection(100, 200, &replay, da.now(), true),
@@ -170,7 +170,10 @@ fn withheld_summary_detected_as_gap() {
         qs.apply(&m);
     }
     let mut ans = qs.select_range(0, 495).unwrap();
-    ans.summaries = vec![sums[0].clone(), sums[2].clone()]; // gap at seq 1
+    ans.summaries = vec![
+        std::sync::Arc::new(sums[0].clone()),
+        std::sync::Arc::new(sums[2].clone()),
+    ]; // gap at seq 1
     assert!(matches!(
         v.verify_selection(0, 495, &ans, da.now(), true),
         Err(VerifyError::FreshnessIndeterminate { .. })
