@@ -1,0 +1,261 @@
+//! fig_checkpoint: certified checkpoints bound the two unbounded histories.
+//!
+//! Before this PR both verification-relevant histories grew without bound:
+//! a client joining at epoch N had to verify the whole `EpochTransition`
+//! chain from genesis (O(N) signatures), and the per-shard `UpdateSummary`
+//! log — which the 2ρ-recency gate forces into answers for old records —
+//! grew with total history. This bench measures what DA-certified
+//! checkpoints bought at history lengths 10²–10⁵.
+//!
+//! Part 1 (epoch chain): a deployment rebalances N times. The chain-walking
+//! client (`EpochView::observe`) pays one signature per transition; the
+//! checkpoint client (`EpochView::from_bootstrap`) consumes a three-artifact
+//! bundle — map, latest transition, epoch checkpoint — whose wire size is
+//! asserted byte-identical at every N, and whose pinned view is asserted
+//! equal to the walked one. O(1) signatures regardless of N.
+//!
+//! Part 2 (summary log): a DA publishes H summary periods with a live
+//! update stream, checkpointing every 64 periods (keep 32). Resident
+//! summaries are asserted ≤ 96 (interval + keep) at every point of the
+//! whole run — flat, bounded by the checkpoint interval instead of H —
+//! while a never-compacted twin's answers attach Θ(H) summaries for
+//! never-updated records. Verify cost per answer is reported for both;
+//! the checkpointed answers are asserted to stay ≤ 96 attached summaries
+//! and to keep verifying at every H.
+//!
+//! Acceptance bar: constant bootstrap-bundle bytes across N = 10²..10⁵,
+//! pinned view == walked view, retained summaries ≤ 96 across H = 10²..10⁵,
+//! and every checkpoint-anchored answer verifies.
+
+use std::time::Instant;
+
+use authdb_bench::{banner, csv_begin, csv_end, fmt_time};
+use authdb_core::da::{DaConfig, DataAggregator, SigningMode};
+use authdb_core::qs::QueryServer;
+use authdb_core::record::Schema;
+use authdb_core::shard::{EpochBootstrap, EpochTransition, RebalancePlan, ShardedAggregator};
+use authdb_core::verify::{EpochView, Verifier};
+use authdb_crypto::signer::SchemeKind;
+use authdb_wire::WireEncode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// History lengths (epochs for part 1, summary periods for part 2).
+const POINTS: [usize; 4] = [100, 1_000, 10_000, 100_000];
+/// Checkpoint every this many summary periods...
+const CKPT_EVERY: usize = 64;
+/// ...keeping this many trailing summaries as the anchored run.
+const KEEP: usize = 32;
+/// Resident-summary ceiling implied by the schedule.
+const FLAT_BOUND: usize = CKPT_EVERY + KEEP;
+/// Timed repetitions per measurement.
+const REPS: usize = 32;
+
+fn cfg() -> DaConfig {
+    DaConfig {
+        schema: Schema::new(2, 64),
+        scheme: SchemeKind::Mock,
+        mode: SigningMode::Chained,
+        rho: 10,
+        // Recertification out of frame: the subject is history length.
+        rho_prime: u64::MAX / 4,
+        buffer_pages: 256,
+        fill: 2.0 / 3.0,
+    }
+}
+
+/// Part 1: epoch-chain bootstrap — O(N) walk vs O(1) certified bundle.
+fn epoch_chain() {
+    println!("\n== epoch chain: client bootstrap at epoch N ==");
+    println!(
+        "{:>7} | {:>11} | {:>11} | {:>7} | {:>8}",
+        "epochs", "walk", "bootstrap", "ratio", "bundle"
+    );
+    println!(
+        "{:->7}-+-{:->11}-+-{:->11}-+-{:->7}-+-{:->8}",
+        "", "", "", "", ""
+    );
+    csv_begin("epochs,walk_us,bootstrap_us,ratio,bundle_bytes");
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut sa = ShardedAggregator::new(cfg(), vec![], &mut rng);
+    sa.bootstrap((0..4i64).map(|i| vec![i * 10, i]).collect(), 2);
+    let pp = sa.public_params();
+    let genesis = sa.map().clone();
+    let mut transitions: Vec<EpochTransition> = Vec::new();
+    let mut bundle_bytes: Option<usize> = None;
+    for &n in &POINTS {
+        while transitions.len() < n {
+            let plan = if transitions.len().is_multiple_of(2) {
+                RebalancePlan::Split { shard: 0, at: 20 }
+            } else {
+                RebalancePlan::Merge { left: 0 }
+            };
+            transitions.push(sa.rebalance(plan, 2).transition);
+        }
+        // The legacy client: genesis + one signature per transition.
+        let t = Instant::now();
+        let mut walked = EpochView::genesis(&genesis, &pp).expect("genesis view");
+        walked
+            .observe(&transitions, sa.map(), &pp)
+            .expect("chain walk");
+        let walk_us = t.elapsed().as_secs_f64() * 1e6;
+        // The checkpoint client: three artifacts, whatever N is.
+        let boot = EpochBootstrap {
+            map: sa.map().clone(),
+            transition: transitions.last().cloned(),
+            checkpoint: sa.epoch_checkpoint().cloned(),
+        };
+        let bytes = boot.encode().len();
+        match bundle_bytes {
+            None => bundle_bytes = Some(bytes),
+            Some(b) => assert_eq!(
+                b, bytes,
+                "acceptance: bootstrap bundle must be constant-size, grew at N={n}"
+            ),
+        }
+        let t = Instant::now();
+        let mut pinned = EpochView::from_bootstrap(&boot, &pp).expect("O(1) pin");
+        for _ in 1..REPS {
+            pinned = EpochView::from_bootstrap(&boot, &pp).expect("O(1) pin");
+        }
+        let boot_us = t.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+        assert_eq!(
+            pinned, walked,
+            "acceptance: checkpoint-pinned view must equal the chain-walked view at N={n}"
+        );
+        let ratio = walk_us / boot_us;
+        println!(
+            "{n:>7} | {:>11} | {:>11} | {ratio:>6.0}x | {bytes:>7}B",
+            fmt_time(walk_us * 1e-6),
+            fmt_time(boot_us * 1e-6)
+        );
+        println!("{n},{walk_us:.1},{boot_us:.3},{ratio:.1},{bytes}");
+    }
+    csv_end();
+}
+
+/// Part 2: summary-log compaction — resident memory and verify cost.
+fn summary_log() {
+    println!("\n== summary log: verify cost and resident summaries at history H ==");
+    println!(
+        "{:>7} | {:>9} | {:>11} | {:>9} | {:>11}",
+        "periods", "retained", "ckpt-verify", "full-run", "full-verify"
+    );
+    println!(
+        "{:->7}-+-{:->9}-+-{:->11}-+-{:->9}-+-{:->11}",
+        "", "", "", "", ""
+    );
+    csv_begin("periods,retained,ckpt_verify_us,full_run,full_verify_us");
+    let mk = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut da = DataAggregator::new(cfg(), &mut rng);
+        let boot = da.bootstrap((0..256i64).map(|i| vec![i, i]).collect(), 2);
+        let qs = QueryServer::from_bootstrap(
+            da.public_params(),
+            da.config().schema,
+            SigningMode::Chained,
+            &boot,
+            256,
+            2.0 / 3.0,
+        );
+        (da, qs)
+    };
+    let (mut da, mut qs) = mk(); // checkpointed
+    let (mut fda, mut fqs) = mk(); // never-compacted twin
+    let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+    let fv = Verifier::new(fda.public_params(), fda.config().schema, fda.config().rho);
+    let mut period = 0usize;
+    let mut max_retained = 0usize;
+    for &h in &POINTS {
+        while period < h {
+            // Rids 128.. take the update stream; rids 0..128 stay pristine
+            // so their freshness run reaches all the way back to the cut.
+            let rid = 128 + (period as u64 % 128);
+            let key = rid as i64;
+            for side in [(&mut da, &mut qs), (&mut fda, &mut fqs)] {
+                side.0.advance_clock(2);
+                for m in side.0.update_record(rid, vec![key, period as i64]) {
+                    side.1.apply(&m);
+                }
+                side.0.advance_clock(8);
+                if let Some((s, recerts)) = side.0.maybe_publish_summary() {
+                    side.1.add_summary(s);
+                    for m in recerts {
+                        side.1.apply(&m);
+                    }
+                }
+            }
+            period += 1;
+            if period.is_multiple_of(CKPT_EVERY) {
+                if let Some(c) = da.checkpoint_summaries(KEEP) {
+                    qs.apply_checkpoint(c);
+                }
+            }
+            max_retained = max_retained.max(da.summary_log().len());
+            assert!(
+                da.summary_log().len() <= FLAT_BOUND,
+                "acceptance: resident summaries must stay <= {FLAT_BOUND}, \
+                 got {} at period {period}",
+                da.summary_log().len()
+            );
+        }
+        // Query the pristine prefix: the oldest versions in the system,
+        // exactly the records whose freshness run is longest.
+        let now = da.now();
+        let ans = qs.select_range(0, 31).expect("chained mode");
+        assert!(
+            ans.summaries.len() <= FLAT_BOUND,
+            "checkpoint-anchored answer attached {} summaries at H={h}",
+            ans.summaries.len()
+        );
+        let t = Instant::now();
+        for _ in 0..REPS {
+            v.verify_selection(0, 31, &ans, now, true)
+                .expect("checkpoint-anchored answer verifies");
+        }
+        let ckpt_us = t.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+        let fans = fqs.select_range(0, 31).expect("chained mode");
+        let full_run = fans.summaries.len();
+        let t = Instant::now();
+        for _ in 0..REPS.min(8) {
+            fv.verify_selection(0, 31, &fans, now, true)
+                .expect("full-history answer verifies");
+        }
+        let full_us = t.elapsed().as_secs_f64() * 1e6 / REPS.min(8) as f64;
+        println!(
+            "{h:>7} | {:>9} | {:>11} | {full_run:>9} | {:>11}",
+            da.summary_log().len(),
+            fmt_time(ckpt_us * 1e-6),
+            fmt_time(full_us * 1e-6)
+        );
+        println!(
+            "{h},{},{ckpt_us:.2},{full_run},{full_us:.2}",
+            da.summary_log().len()
+        );
+    }
+    csv_end();
+    println!(
+        "\nmax resident summaries over the whole {}-period run: {max_retained} \
+         (bound {FLAT_BOUND})",
+        POINTS[POINTS.len() - 1]
+    );
+}
+
+fn main() {
+    banner(
+        "fig_checkpoint",
+        "certified checkpoints: O(1) client bootstrap, flat summary-log memory",
+    );
+    println!(
+        "Mock scheme. Part 1 rebalances a deployment N times and compares the \
+         chain-walking client against the three-artifact certified bundle; part 2 \
+         publishes H summary periods checkpointing every {CKPT_EVERY} (keep {KEEP})."
+    );
+    epoch_chain();
+    summary_log();
+    println!(
+        "\nAcceptance holds: constant bundle bytes and pinned==walked across \
+         N=10^2..10^5; resident summaries <= {FLAT_BOUND} across H=10^2..10^5; \
+         every checkpoint-anchored answer verified."
+    );
+}

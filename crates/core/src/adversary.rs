@@ -23,6 +23,13 @@
 //! answer, and [`run_shard_catalog`] checks each is rejected with its
 //! pinned error while the honest fan-out verifies. The `fig_shard` bench
 //! replays this catalog under Mock and real BAS.
+//!
+//! Certified checkpoints open a third surface: history the verifier can no
+//! longer replay and must trust to a signed cut. The [`CheckpointTamper`]
+//! catalog — forged covered-window digest, wrong-epoch map replay,
+//! gap-straddling cut, chain-break bootstrap — is driven by
+//! [`run_checkpoint_catalog`] against both checkpoint-anchored answers and
+//! client-bootstrap bundles.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -925,6 +932,216 @@ pub fn run_rebalance_catalog(scheme: SchemeKind) -> Vec<RebalanceConformance> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint (compacted-history) strategies
+// ---------------------------------------------------------------------------
+
+/// One way a malicious server can exploit certified checkpoints. These
+/// target exactly the surface compaction opens up: history the verifier
+/// can no longer replay summary-by-summary (or epoch-by-epoch) and must
+/// instead trust to a signed cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointTamper {
+    /// Doctor the summary checkpoint's covered window — claim the cut
+    /// reaches one summary further than the DA certified, stretching it
+    /// over history the attacker would rather not account for.
+    ForgedDigest,
+    /// Vouch for a *different* genuinely-signed map with the live epoch
+    /// checkpoint: a stale-map replay dressed with current certification.
+    WrongEpochReplay,
+    /// Withhold the retained summary that bridges the cut, leaving seqs
+    /// between the checkpoint's covered window and the served run that
+    /// nobody accounts for.
+    GapStraddlingCut,
+    /// Bootstrap a fresh client over a spliced chain: the transition in
+    /// the bundle is a different (still genuinely signed) link than the
+    /// one the checkpoint hash-chains to.
+    ChainBreakBootstrap,
+}
+
+impl CheckpointTamper {
+    /// Every checkpoint strategy, in catalog order.
+    pub const CATALOG: [CheckpointTamper; 4] = [
+        CheckpointTamper::ForgedDigest,
+        CheckpointTamper::WrongEpochReplay,
+        CheckpointTamper::GapStraddlingCut,
+        CheckpointTamper::ChainBreakBootstrap,
+    ];
+
+    /// Short printable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointTamper::ForgedDigest => "forged-digest",
+            CheckpointTamper::WrongEpochReplay => "wrong-epoch-replay",
+            CheckpointTamper::GapStraddlingCut => "gap-straddling-cut",
+            CheckpointTamper::ChainBreakBootstrap => "chain-break-bootstrap",
+        }
+    }
+
+    /// Whether `err` is the rejection this strategy must produce.
+    pub fn expects(self, err: &VerifyError) -> bool {
+        use VerifyError::*;
+        match self {
+            CheckpointTamper::ForgedDigest
+            | CheckpointTamper::WrongEpochReplay
+            | CheckpointTamper::ChainBreakBootstrap => matches!(err, BadCheckpoint),
+            CheckpointTamper::GapStraddlingCut => matches!(err, CheckpointGap { .. }),
+        }
+    }
+
+    /// Whether the strategy attacks the client-bootstrap bundle (the rest
+    /// doctor checkpoint-anchored answers).
+    pub fn targets_bootstrap(self) -> bool {
+        matches!(
+            self,
+            CheckpointTamper::WrongEpochReplay | CheckpointTamper::ChainBreakBootstrap
+        )
+    }
+}
+
+/// Outcome of one checkpoint catalog entry.
+pub struct CheckpointConformance {
+    /// The strategy exercised.
+    pub tamper: CheckpointTamper,
+    /// Whether the honest answer (or honest bootstrap bundle) was accepted.
+    pub honest_ok: bool,
+    /// What the verifier said about the tampered artifact.
+    pub outcome: Result<VerifyReport, VerifyError>,
+}
+
+impl CheckpointConformance {
+    /// Tampered artifact rejected with the expected error AND the honest
+    /// counterpart accepted.
+    pub fn ok(&self) -> bool {
+        self.honest_ok
+            && match &self.outcome {
+                Ok(_) => false,
+                Err(e) => self.tamper.expects(e),
+            }
+    }
+}
+
+/// Run one checkpoint-anchored-answer scenario: the shared three-period
+/// timeline, then the DA compacts everything but the last two summaries
+/// (the cut covers seq 0; seqs 1 and 2 stay retained as the run the
+/// checkpoint anchors).
+fn checkpoint_answer_scenario(
+    scheme: SchemeKind,
+    tamper: CheckpointTamper,
+) -> CheckpointConformance {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut da = DataAggregator::new(cfg(scheme, SigningMode::Chained), &mut rng);
+    let boot = da.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+    let mut qs = QueryServer::from_bootstrap(
+        da.public_params(),
+        da.config().schema,
+        SigningMode::Chained,
+        &boot,
+        256,
+        2.0 / 3.0,
+    );
+    let v = Verifier::new(da.public_params(), da.config().schema, da.config().rho);
+    // Timeline: summary at t=12, an update to rid 23 (key 230) at t=14,
+    // summaries at t=24 and t=34.
+    da.advance_clock(12);
+    let (s1, _) = da.maybe_publish_summary().expect("period 0 closes");
+    qs.add_summary(s1);
+    da.advance_clock(2);
+    for m in da.update_record(23, vec![230, 777]) {
+        qs.apply(&m);
+    }
+    da.advance_clock(10);
+    let (s2, _) = da.maybe_publish_summary().expect("period 1 closes");
+    qs.add_summary(s2);
+    da.advance_clock(10);
+    let (s3, _) = da.maybe_publish_summary().expect("period 2 closes");
+    qs.add_summary(s3);
+    let ckpt = da.checkpoint_summaries(2).expect("compactable");
+    qs.apply_checkpoint(ckpt);
+    let now = da.now();
+    let honest = qs.select_range(100, 300).expect("chained mode");
+    let honest_ok = v.verify_selection(100, 300, &honest, now, true).is_ok();
+    let mut tampered = honest;
+    match tamper {
+        CheckpointTamper::ForgedDigest => {
+            // Stretch the claimed cut one summary past what the DA signed.
+            let c = tampered.checkpoint.as_mut().expect("checkpoint attached");
+            c.through_seq += 1;
+        }
+        CheckpointTamper::GapStraddlingCut => {
+            // The cut covers through seq 0; withholding retained seq 1
+            // leaves it covered by nobody.
+            tampered.summaries.remove(0);
+        }
+        _ => unreachable!("bootstrap tampers do not doctor answers"),
+    }
+    let outcome = v.verify_selection(100, 300, &tampered, now, true);
+    CheckpointConformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run one bootstrap-bundle scenario: a 2-shard deployment (split at 200)
+/// rebalances twice (split at 300, then merge — epoch 1 → 3), and a fresh
+/// client pins the live epoch from the server's certified bundle. The
+/// strategy doctors the bundle.
+fn checkpoint_bootstrap_scenario(
+    scheme: SchemeKind,
+    tamper: CheckpointTamper,
+) -> CheckpointConformance {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let mut sa = ShardedAggregator::new(cfg(scheme, SigningMode::Chained), vec![200], &mut rng);
+    let boots = sa.bootstrap((0..40).map(|i| vec![i * 10, i]).collect(), 2);
+    let sqs = ShardedQueryServer::from_bootstraps(
+        sa.public_params(),
+        sa.config(),
+        sa.map().clone(),
+        &boots,
+        &QsOptions::default(),
+    );
+    let pp = sa.public_params();
+    let genesis_map = sa.map().clone();
+    let rb1 = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+    sqs.apply_rebalance(&rb1).expect("honest rebalance applies");
+    let rb2 = sa.rebalance(RebalancePlan::Merge { left: 1 }, 2);
+    sqs.apply_rebalance(&rb2).expect("honest rebalance applies");
+    let boot = sqs.epoch_bootstrap();
+    let honest_ok = EpochView::from_bootstrap(&boot, &pp).is_ok();
+    let mut tampered = boot;
+    match tamper {
+        CheckpointTamper::WrongEpochReplay => tampered.map = genesis_map,
+        CheckpointTamper::ChainBreakBootstrap => tampered.transition = Some(rb1.transition.clone()),
+        _ => unreachable!("answer tampers do not doctor bootstrap bundles"),
+    }
+    let outcome = EpochView::from_bootstrap(&tampered, &pp).map(|_| VerifyReport {
+        max_staleness: 0,
+        records: 0,
+    });
+    CheckpointConformance {
+        tamper,
+        honest_ok,
+        outcome,
+    }
+}
+
+/// Run every checkpoint strategy under `scheme`, one outcome per strategy.
+/// Used by the unit-test conformance suite and the `fig_checkpoint` bench
+/// scenario.
+pub fn run_checkpoint_catalog(scheme: SchemeKind) -> Vec<CheckpointConformance> {
+    CheckpointTamper::CATALOG
+        .iter()
+        .map(|&t| {
+            if t.targets_bootstrap() {
+                checkpoint_bootstrap_scenario(scheme, t)
+            } else {
+                checkpoint_answer_scenario(scheme, t)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1037,6 +1254,52 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), RebalanceTamper::CATALOG.len());
+    }
+
+    #[test]
+    fn checkpoint_catalog_rejects_every_tamper_mock() {
+        for c in run_checkpoint_catalog(SchemeKind::Mock) {
+            assert!(
+                c.honest_ok,
+                "{}: honest answer/bundle must be accepted",
+                c.tamper.name()
+            );
+            match &c.outcome {
+                Ok(_) => panic!("{}: tampered artifact accepted", c.tamper.name()),
+                Err(e) => assert!(
+                    c.tamper.expects(e),
+                    "{}: rejected with unexpected error {:?}",
+                    c.tamper.name(),
+                    e
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_catalog_names_are_unique() {
+        let mut names: Vec<&str> = CheckpointTamper::CATALOG.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CheckpointTamper::CATALOG.len());
+    }
+
+    #[test]
+    fn checkpoint_spot_check_with_bas_scheme() {
+        // Full crypto for the two strategies whose rejection depends on a
+        // checkpoint signature actually covering its content; the replay
+        // and gap strategies are structural and scheme-independent.
+        for t in [
+            CheckpointTamper::ForgedDigest,
+            CheckpointTamper::ChainBreakBootstrap,
+        ] {
+            let c = if t.targets_bootstrap() {
+                checkpoint_bootstrap_scenario(SchemeKind::Bas, t)
+            } else {
+                checkpoint_answer_scenario(SchemeKind::Bas, t)
+            };
+            assert!(c.ok(), "{} under BAS: {:?}", t.name(), c.outcome.err());
+        }
     }
 
     #[test]

@@ -12,8 +12,28 @@
 //! summaries every ρ ticks, the multiple-update re-certification rule, and
 //! active signature renewal (piggybacked on page fetches and via a
 //! background cursor, Section 3.1).
+//!
+//! # Checkpointing the summary log
+//!
+//! The log of published summaries grows without bound, and the verifier's
+//! anchored-run rule forces servers to retain (and epoch transitions to
+//! re-sign) all of it. [`DataAggregator::checkpoint_summaries`] collapses a
+//! log prefix into one signed
+//! [`SummaryCheckpoint`](crate::freshness::SummaryCheckpoint) and drops the
+//! covered entries. The checkpoint is sound because it commits to the
+//! prefix's cumulative exposure map — per rid, the latest covered period
+//! start whose summary marked it — which is *exactly* what pass-1 staleness
+//! extracts from the prefix: a compacted prefix cannot hide a staleness
+//! marking, because the marking survives inside the signed map. The DA
+//! keeps the map cumulative across successive checkpoints, so each new
+//! checkpoint again covers the complete prefix from seq 0 and a retained
+//! run starting at `through_seq + 1` stays anchored. After a checkpoint,
+//! [`DataAggregator::retag`] re-signs only the retained suffix plus the
+//! checkpoint — epoch-transition cost is bounded by the checkpoint
+//! interval, not total history.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use authdb_crypto::signer::{Keypair, PublicParams, SchemeKind, Signature};
 use authdb_filters::bitmap::Bitmap;
@@ -21,7 +41,7 @@ use authdb_index::btree::LeafEntry;
 use authdb_index::{new_asign, ASignTree};
 use authdb_storage::{BufferPool, Disk, HeapFile};
 
-use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::freshness::{EmptyTableProof, SummaryCheckpoint, UpdateSummary};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
 use crate::shard::ShardScope;
 
@@ -135,10 +155,19 @@ pub struct DataAggregator {
     current_updates: HashMap<u64, u32>,
     /// rids to re-certify right after the next summary (multi-update rule).
     recert_next: Vec<u64>,
-    /// Every summary this aggregator has published, oldest first. Kept so
-    /// an epoch transition can re-bind the stream to a new (epoch, shard)
-    /// tag ([`DataAggregator::retag`]) without the query server's copy.
-    summary_log: Vec<UpdateSummary>,
+    /// Every retained (post-checkpoint) summary, oldest first. Kept so an
+    /// epoch transition can re-bind the stream to a new (epoch, shard) tag
+    /// ([`DataAggregator::retag`]) without the query server's copy. `Arc`d
+    /// so retag re-signs in place and hand-off is pointer work, never a
+    /// per-entry deep copy.
+    summary_log: Vec<Arc<UpdateSummary>>,
+    /// The checkpoint covering the compacted prefix, if any.
+    checkpoint: Option<SummaryCheckpoint>,
+    /// Cumulative exposure map over every *compacted* summary: entry `rid`
+    /// is `period_start + 1` of the latest compacted summary marking it
+    /// (0 = never). Carried across checkpoints so each new checkpoint
+    /// covers the complete prefix from seq 0.
+    ckpt_exposure: Vec<u64>,
     /// Background renewal scan position.
     renewal_cursor: u64,
     /// Standing empty-table proof (present only while the table is empty).
@@ -184,6 +213,8 @@ impl DataAggregator {
             current_updates: HashMap::new(),
             recert_next: Vec::new(),
             summary_log: Vec::new(),
+            checkpoint: None,
+            ckpt_exposure: Vec::new(),
             renewal_cursor: 0,
             empty_proof: None,
             scope,
@@ -336,7 +367,7 @@ impl DataAggregator {
             self.clock,
             &bitmap,
         );
-        self.summary_log.push(baseline.clone());
+        self.summary_log.push(Arc::new(baseline.clone()));
         self.next_seq += 1;
         self.period_start = self.clock;
         self.current_updates.clear();
@@ -344,22 +375,33 @@ impl DataAggregator {
     }
 
     /// Re-bind this shard's freshness artifacts to a new `(epoch, shard)`
-    /// tag at an epoch transition: every logged summary and the standing
-    /// vacancy proof (if any) are re-signed under the new tag. The chains
-    /// and records are untouched — the fences must not move — so the cost
-    /// is one signature per summary, not per record. Returns the re-bound
-    /// artifacts for the query server to adopt.
+    /// tag at an epoch transition: every retained summary, the summary
+    /// checkpoint (if any), and the standing vacancy proof (if any) are
+    /// re-signed under the new tag. The chains and records are untouched —
+    /// the fences must not move — so the cost is one signature per
+    /// *retained* summary plus one for the checkpoint: bounded by the
+    /// checkpoint interval, not total history. Summaries are re-signed in
+    /// place through their `Arc`s and handed off as pointer clones — no
+    /// per-entry reallocation when the DA is the sole owner.
     ///
     /// # Panics
     /// Panics if the new scope's fences differ from the current ones.
-    pub fn retag(&mut self, scope: ShardScope) -> (Vec<UpdateSummary>, Option<EmptyTableProof>) {
+    pub fn retag(
+        &mut self,
+        scope: ShardScope,
+    ) -> (
+        Vec<Arc<UpdateSummary>>,
+        Option<SummaryCheckpoint>,
+        Option<EmptyTableProof>,
+    ) {
         assert_eq!(
             (self.scope.left_fence, self.scope.right_fence),
             (scope.left_fence, scope.right_fence),
             "retag must not move fences"
         );
         self.scope = scope;
-        for s in &mut self.summary_log {
+        for arc in &mut self.summary_log {
+            let s = Arc::make_mut(arc);
             s.epoch = scope.epoch;
             s.shard = scope.shard;
             s.signature = self.keypair.sign(&UpdateSummary::message(
@@ -371,10 +413,70 @@ impl DataAggregator {
                 &s.compressed,
             ));
         }
+        if let Some(c) = &mut self.checkpoint {
+            *c = SummaryCheckpoint::create(
+                &self.keypair,
+                scope.epoch,
+                scope.shard,
+                c.through_seq,
+                c.through_ts,
+                self.ckpt_exposure.clone(),
+            );
+        }
         if let Some(p) = &mut self.empty_proof {
             *p = EmptyTableProof::create(&self.keypair, scope.epoch, scope.shard, p.ts);
         }
-        (self.summary_log.clone(), self.empty_proof.clone())
+        (
+            self.summary_log.clone(),
+            self.checkpoint.clone(),
+            self.empty_proof.clone(),
+        )
+    }
+
+    /// Collapse all but the newest `keep` retained summaries into a signed
+    /// [`SummaryCheckpoint`] and drop them from the log. The exposure map
+    /// stays cumulative across successive checkpoints, so the returned
+    /// checkpoint always covers the complete prefix `0..=through_seq`.
+    /// Returns `None` when fewer than `keep + 1` summaries are retained
+    /// (nothing to compact). Keeping at least one summary preserves the
+    /// `summaries_since` latest-summary fallback for recency checks.
+    pub fn checkpoint_summaries(&mut self, keep: usize) -> Option<SummaryCheckpoint> {
+        if self.summary_log.len() <= keep {
+            return None;
+        }
+        let cut = self.summary_log.len() - keep;
+        let mut through = (0, 0);
+        for s in self.summary_log.drain(..cut) {
+            if let Some(bm) = s.bitmap() {
+                if bm.len() > self.ckpt_exposure.len() {
+                    self.ckpt_exposure.resize(bm.len(), 0);
+                }
+                for rid in bm.iter_ones() {
+                    self.ckpt_exposure[rid] = self.ckpt_exposure[rid].max(s.period_start + 1);
+                }
+            }
+            through = (s.seq, s.ts);
+        }
+        let ckpt = SummaryCheckpoint::create(
+            &self.keypair,
+            self.scope.epoch,
+            self.scope.shard,
+            through.0,
+            through.1,
+            self.ckpt_exposure.clone(),
+        );
+        self.checkpoint = Some(ckpt.clone());
+        Some(ckpt)
+    }
+
+    /// The checkpoint covering the compacted summary-log prefix, if any.
+    pub fn summary_checkpoint(&self) -> Option<&SummaryCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The retained (post-checkpoint) summary log, oldest first.
+    pub fn summary_log(&self) -> &[Arc<UpdateSummary>] {
+        &self.summary_log
     }
 
     // -- signing ----------------------------------------------------------
@@ -821,7 +923,7 @@ impl DataAggregator {
             self.clock,
             &bitmap,
         );
-        self.summary_log.push(summary.clone());
+        self.summary_log.push(Arc::new(summary.clone()));
         self.next_seq += 1;
         self.period_start = self.clock;
         self.current_updates.clear();
@@ -1053,6 +1155,79 @@ mod tests {
         da.update_record(0, vec![0, 1]);
         let (avg2, _) = da.signature_age_stats();
         assert!(avg2 < 50.0);
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_accumulates_exposure() {
+        let mut da = da_with(20);
+        // Period 1: update rid 3; period 2: update rids 3 and 7.
+        da.advance_clock(10);
+        da.update_record(3, vec![30, 1]);
+        da.force_publish_summary();
+        da.advance_clock(10);
+        da.update_record(3, vec![30, 2]);
+        da.update_record(7, vec![70, 2]);
+        da.force_publish_summary();
+        da.advance_clock(10);
+        da.force_publish_summary();
+        assert_eq!(da.summary_log().len(), 3);
+
+        // First checkpoint covers seqs 0..=1, keeps the newest summary.
+        let c1 = da.checkpoint_summaries(1).expect("two summaries covered");
+        assert!(c1.verify(&da.public_params()));
+        assert_eq!(c1.through_seq, 1);
+        assert_eq!(da.summary_log().len(), 1);
+        assert_eq!(da.summary_log()[0].seq, 2);
+        // rid 3 marked last in the period starting at 10; rid 7 likewise;
+        // rid 4 never marked.
+        assert_eq!(c1.exposed_after(3), Some(10));
+        assert_eq!(c1.exposed_after(7), Some(10));
+        assert_eq!(c1.exposed_after(4), None);
+
+        // Nothing left to compact below the keep floor.
+        assert!(da.checkpoint_summaries(1).is_none());
+
+        // Another period, then a second checkpoint: exposure accumulates
+        // (still covers the complete prefix from seq 0).
+        da.advance_clock(10);
+        da.update_record(4, vec![40, 9]);
+        da.force_publish_summary();
+        let c2 = da.checkpoint_summaries(1).expect("seq 2 covered");
+        assert_eq!(c2.through_seq, 2);
+        assert_eq!(c2.exposed_after(3), Some(10), "carried across checkpoints");
+        assert_eq!(c2.exposed_after(4), None, "rid 4 marked only in seq 3");
+        assert_eq!(da.summary_log()[0].seq, 3);
+    }
+
+    #[test]
+    fn retag_reuses_log_allocations_and_resigns_checkpoint() {
+        use crate::shard::ShardScope;
+        let mut da = da_with(10);
+        for _ in 0..4 {
+            da.advance_clock(10);
+            da.update_record(1, vec![10, 1]);
+            da.force_publish_summary();
+        }
+        da.checkpoint_summaries(2).expect("compacted");
+        let before: Vec<*const UpdateSummary> = da.summary_log().iter().map(Arc::as_ptr).collect();
+        let scope = ShardScope {
+            epoch: 1,
+            shard: 0,
+            ..da.scope()
+        };
+        let (summaries, ckpt, _) = da.retag(scope);
+        // Regression: retag must re-sign in place — the handed-off Arcs are
+        // the same allocations the log held before, not per-entry copies.
+        let after: Vec<*const UpdateSummary> = summaries.iter().map(Arc::as_ptr).collect();
+        assert_eq!(before, after, "retag reallocated log entries");
+        let pp = da.public_params();
+        for s in &summaries {
+            assert_eq!((s.epoch, s.shard), (1, 0));
+            assert!(s.verify(&pp));
+        }
+        let ckpt = ckpt.expect("checkpoint retagged");
+        assert_eq!((ckpt.epoch, ckpt.shard), (1, 0));
+        assert!(ckpt.verify(&pp));
     }
 
     #[test]

@@ -28,6 +28,31 @@
 //! [`EmptyTableProof`] whenever the table becomes (or bootstraps) empty, and
 //! [`check_vacancy`] treats *any* post-proof marking as evidence the claim
 //! is out of date — an empty table can only change by insertion.
+//!
+//! # Checkpoints and log compaction
+//!
+//! The anchored-run rule makes the summary log *unbounded*: a fresh verdict
+//! for an old version needs a run reaching back to that version's period
+//! (or to seq 0), so the server must retain — and ship — history forever.
+//! A [`SummaryCheckpoint`] bounds it. The DA collapses a log prefix
+//! `0..=through_seq` into one signed artifact committing to the prefix's
+//! **cumulative exposure map**: for every rid, the latest covered
+//! `period_start` whose summary marked it. That map is exactly the
+//! information the two freshness passes extract from the prefix:
+//!
+//! * **Staleness stays decidable.** Pass 1 declares a version stale iff
+//!   some summary with `version_ts <= period_start` marks its rid — i.e.
+//!   iff `version_ts <= max marked period_start`, which is precisely the
+//!   exposure entry. A compacted prefix therefore cannot hide a staleness
+//!   marking: the marking survives the cut inside the signed exposure map,
+//!   and the verifier rejects with `StaleCheckpoint` exactly where the
+//!   uncompacted deployment would have answered `Stale`.
+//! * **Anchoring stays sound.** A checkpoint certifies the *complete*
+//!   prefix `0..=through_seq`, so a retained run starting at
+//!   `through_seq + 1` is anchored exactly as a run from seq 0 is — the
+//!   2ρ-recency gate and contiguity rules are unchanged on the retained
+//!   suffix. A run starting later than `through_seq + 1` is a gap the
+//!   verifier refuses (`CheckpointGap`), same as any withheld prefix.
 
 use std::borrow::Borrow;
 
@@ -200,6 +225,131 @@ impl EmptyTableProof {
     }
 }
 
+/// A DA-certified collapse of the summary-log prefix `0..=through_seq`
+/// into one signed artifact, bounding both the server's resident log and
+/// the run a client must walk.
+///
+/// The checkpoint binds the `(epoch, shard)` tag (same argument as
+/// [`UpdateSummary`]: one shard's compacted history must never vouch for
+/// another's, across re-partitionings), the covered seq/tick window, and
+/// the prefix's **cumulative exposure map** — per rid, the latest covered
+/// `period_start` whose summary marked it (stored as `period_start + 1`,
+/// `0` = never marked). The exposure map is what keeps pass-1 staleness
+/// decidable across the cut; see the module docs for the soundness
+/// argument.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryCheckpoint {
+    /// Which map epoch the compacted stream belongs to (0 for unsharded).
+    pub epoch: u64,
+    /// Which shard's stream this checkpoint collapses (0 for unsharded).
+    pub shard: u64,
+    /// Last covered summary seq — coverage is the full prefix
+    /// `0..=through_seq`, so a retained run starting at `through_seq + 1`
+    /// is anchored.
+    pub through_seq: u64,
+    /// Signing time of the last covered summary (the cut tick).
+    pub through_ts: Tick,
+    /// Per-rid cumulative exposure: entry `rid` holds `period_start + 1`
+    /// of the latest covered summary marking `rid`, or `0` if no covered
+    /// summary marks it.
+    pub exposure: Vec<u64>,
+    /// DA signature over [`SummaryCheckpoint::message`].
+    pub signature: Signature,
+}
+
+impl SummaryCheckpoint {
+    /// The canonical signing message.
+    pub fn message(
+        epoch: u64,
+        shard: u64,
+        through_seq: u64,
+        through_ts: Tick,
+        exposure: &[u64],
+    ) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(53 + 8 * exposure.len());
+        msg.extend_from_slice(b"ckpt-summary:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        msg.extend_from_slice(&shard.to_be_bytes());
+        msg.extend_from_slice(&through_seq.to_be_bytes());
+        msg.extend_from_slice(&through_ts.to_be_bytes());
+        msg.extend_from_slice(&(exposure.len() as u64).to_be_bytes());
+        for e in exposure {
+            msg.extend_from_slice(&e.to_be_bytes());
+        }
+        msg
+    }
+
+    /// Build and sign a checkpoint.
+    pub fn create(
+        keypair: &Keypair,
+        epoch: u64,
+        shard: u64,
+        through_seq: u64,
+        through_ts: Tick,
+        exposure: Vec<u64>,
+    ) -> Self {
+        let signature = keypair.sign(&Self::message(
+            epoch,
+            shard,
+            through_seq,
+            through_ts,
+            &exposure,
+        ));
+        SummaryCheckpoint {
+            epoch,
+            shard,
+            through_seq,
+            through_ts,
+            exposure,
+            signature,
+        }
+    }
+
+    /// Verify the DA's signature.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(
+            &Self::message(
+                self.epoch,
+                self.shard,
+                self.through_seq,
+                self.through_ts,
+                &self.exposure,
+            ),
+            &self.signature,
+        )
+    }
+
+    /// The latest covered `period_start` whose summary marked `rid`, or
+    /// `None` if no covered summary marks it. A version with
+    /// `version_ts <= exposed_after(rid)` is definitively stale: a covered
+    /// summary whose period began at or after the version's certification
+    /// marked the rid.
+    pub fn exposed_after(&self, rid: u64) -> Option<Tick> {
+        usize::try_from(rid)
+            .ok()
+            .and_then(|i| self.exposure.get(i))
+            .filter(|&&e| e > 0)
+            .map(|&e| e - 1)
+    }
+
+    /// The latest covered `period_start` whose summary marked *any* rid —
+    /// what invalidates a vacancy claim older than the cut (an empty table
+    /// can only change by insertion, and every insertion marks).
+    pub fn exposed_any(&self) -> Option<Tick> {
+        self.exposure
+            .iter()
+            .copied()
+            .max()
+            .filter(|&e| e > 0)
+            .map(|e| e - 1)
+    }
+
+    /// Wire size: exposure map + header + signature.
+    pub fn size_bytes(&self, pp: &PublicParams) -> usize {
+        8 * self.exposure.len() + 45 + pp.wire_len()
+    }
+}
+
 /// Outcome of a freshness check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Freshness {
@@ -236,7 +386,23 @@ pub fn check_freshness<S: Borrow<UpdateSummary>>(
     rho: Tick,
     now: Tick,
 ) -> Freshness {
-    check_marks(record_ts, summaries, rho, now, |i| {
+    check_freshness_anchored(rid, record_ts, summaries, rho, now, 0)
+}
+
+/// [`check_freshness`] with an explicit anchor seq: a run starting at
+/// `anchor_seq` counts as anchored even when its first period does not
+/// cover `record_ts`. Callers pass `checkpoint.through_seq + 1` after
+/// validating a [`SummaryCheckpoint`] (whose coverage of the full prefix
+/// `0..=through_seq` is what justifies the anchor), or `0` for none.
+pub fn check_freshness_anchored<S: Borrow<UpdateSummary>>(
+    rid: u64,
+    record_ts: Tick,
+    summaries: &[S],
+    rho: Tick,
+    now: Tick,
+    anchor_seq: u64,
+) -> Freshness {
+    check_marks(record_ts, summaries, rho, now, anchor_seq, |i| {
         summaries[i].borrow().bitmap().map(|b| b.get(rid as usize))
     })
 }
@@ -254,7 +420,19 @@ pub fn check_vacancy<S: Borrow<UpdateSummary>>(
     rho: Tick,
     now: Tick,
 ) -> Freshness {
-    check_marks(proof_ts, summaries, rho, now, |i| {
+    check_vacancy_anchored(proof_ts, summaries, rho, now, 0)
+}
+
+/// [`check_vacancy`] with an explicit anchor seq (see
+/// [`check_freshness_anchored`]).
+pub fn check_vacancy_anchored<S: Borrow<UpdateSummary>>(
+    proof_ts: Tick,
+    summaries: &[S],
+    rho: Tick,
+    now: Tick,
+    anchor_seq: u64,
+) -> Freshness {
+    check_marks(proof_ts, summaries, rho, now, anchor_seq, |i| {
         summaries[i].borrow().bitmap().map(|b| b.ones() > 0)
     })
 }
@@ -280,7 +458,19 @@ impl<'a, S: Borrow<UpdateSummary>> DecodedSummaries<'a, S> {
 
     /// [`check_freshness`] against the pre-decoded bitmaps.
     pub fn check_freshness(&self, rid: u64, record_ts: Tick, rho: Tick, now: Tick) -> Freshness {
-        check_marks(record_ts, self.summaries, rho, now, |i| {
+        self.check_freshness_anchored(rid, record_ts, rho, now, 0)
+    }
+
+    /// [`check_freshness_anchored`] against the pre-decoded bitmaps.
+    pub fn check_freshness_anchored(
+        &self,
+        rid: u64,
+        record_ts: Tick,
+        rho: Tick,
+        now: Tick,
+        anchor_seq: u64,
+    ) -> Freshness {
+        check_marks(record_ts, self.summaries, rho, now, anchor_seq, |i| {
             self.bitmaps
                 .get(i)
                 .and_then(Option::as_ref)
@@ -288,9 +478,32 @@ impl<'a, S: Borrow<UpdateSummary>> DecodedSummaries<'a, S> {
         })
     }
 
+    /// The run's first summary — what anchoring is judged against, exposed
+    /// so a caller holding a [`SummaryCheckpoint`] can tell a seam failure
+    /// (run resumes past the cut) apart from plain recency withholding.
+    pub fn first(&self) -> Option<&UpdateSummary> {
+        self.summaries.first().map(Borrow::borrow)
+    }
+
+    /// Whether the attached run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.summaries.is_empty()
+    }
+
     /// [`check_vacancy`] against the pre-decoded bitmaps.
     pub fn check_vacancy(&self, proof_ts: Tick, rho: Tick, now: Tick) -> Freshness {
-        check_marks(proof_ts, self.summaries, rho, now, |i| {
+        self.check_vacancy_anchored(proof_ts, rho, now, 0)
+    }
+
+    /// [`check_vacancy_anchored`] against the pre-decoded bitmaps.
+    pub fn check_vacancy_anchored(
+        &self,
+        proof_ts: Tick,
+        rho: Tick,
+        now: Tick,
+        anchor_seq: u64,
+    ) -> Freshness {
+        check_marks(proof_ts, self.summaries, rho, now, anchor_seq, |i| {
             self.bitmaps
                 .get(i)
                 .and_then(Option::as_ref)
@@ -303,12 +516,16 @@ impl<'a, S: Borrow<UpdateSummary>> DecodedSummaries<'a, S> {
 /// summaries, demand seq-contiguity, anchored coverage of `version_ts`'s
 /// period, and recency of the newest summary. `exposed_at(i)` reports
 /// whether summary `i`'s bitmap invalidates the version being checked
-/// (`None` = malformed bitmap).
+/// (`None` = malformed bitmap). `anchor_seq` is an extra seq at which a
+/// run counts as anchored — `checkpoint.through_seq + 1` when the caller
+/// validated a [`SummaryCheckpoint`], `0` otherwise (seq 0 always
+/// anchors).
 fn check_marks<S: Borrow<UpdateSummary>>(
     version_ts: Tick,
     summaries: &[S],
     rho: Tick,
     now: Tick,
+    anchor_seq: u64,
     exposed_at: impl Fn(usize) -> Option<bool>,
 ) -> Freshness {
     let window = rho.saturating_mul(2);
@@ -360,7 +577,7 @@ fn check_marks<S: Borrow<UpdateSummary>>(
     let Some(first) = summaries.first().map(Borrow::borrow) else {
         return Freshness::Indeterminate;
     };
-    if !(first.period_start < version_ts || first.seq == 0) {
+    if !(first.period_start < version_ts || first.seq == 0 || first.seq == anchor_seq) {
         return Freshness::Indeterminate;
     }
     // Contiguity: no withheld summary inside the run.
@@ -608,6 +825,89 @@ mod tests {
             check_vacancy(5, &benign, 10, 21),
             Freshness::FreshWithin(_)
         ));
+    }
+
+    #[test]
+    fn checkpoint_signature_binds_every_field() {
+        let kp = keypair();
+        let c = SummaryCheckpoint::create(&kp, 2, 1, 7, 80, vec![0, 31, 0, 56]);
+        assert!(c.verify(&kp.public_params()));
+        for tamper in [
+            |c: &mut SummaryCheckpoint| c.epoch += 1,
+            |c: &mut SummaryCheckpoint| c.shard += 1,
+            |c: &mut SummaryCheckpoint| c.through_seq += 1,
+            |c: &mut SummaryCheckpoint| c.through_ts += 1,
+            |c: &mut SummaryCheckpoint| c.exposure[1] = 0,
+            |c: &mut SummaryCheckpoint| c.exposure.push(9),
+        ] {
+            let mut forged = c.clone();
+            tamper(&mut forged);
+            assert!(!forged.verify(&kp.public_params()));
+        }
+    }
+
+    #[test]
+    fn checkpoint_exposure_matches_pass_one_semantics() {
+        let kp = keypair();
+        // Covered summaries: seq 0 period (0,10] marks rid 1; seq 1 period
+        // (10,20] marks rids 1 and 3. Cumulative exposure stores the latest
+        // marking period_start + 1.
+        let c = SummaryCheckpoint::create(&kp, 0, 0, 1, 20, vec![0, 11, 0, 11]);
+        // rid 0 never marked: no covered summary can prove it stale.
+        assert_eq!(c.exposed_after(0), None);
+        // rid 1 marked last in the period starting at 10: any version with
+        // ts <= 10 is stale, a version from ts 11 is not provably so.
+        assert_eq!(c.exposed_after(1), Some(10));
+        assert!(5 <= c.exposed_after(1).unwrap());
+        assert!(11 > c.exposed_after(1).unwrap());
+        // Out-of-range rids read as never marked.
+        assert_eq!(c.exposed_after(99), None);
+        // Vacancy invalidation: any marking at all, latest period wins.
+        assert_eq!(c.exposed_any(), Some(10));
+        let clean = SummaryCheckpoint::create(&kp, 0, 0, 1, 20, vec![0, 0]);
+        assert_eq!(clean.exposed_any(), None);
+    }
+
+    #[test]
+    fn checkpoint_anchor_seq_anchors_a_retained_suffix() {
+        let kp = keypair();
+        // Full log: seqs 0..=3. Compaction cut after seq 1; retained run is
+        // seqs 2..=3, whose first period does not cover version_ts = 5.
+        let retained = vec![summary(&kp, 2, 20, 30, &[]), summary(&kp, 3, 30, 40, &[])];
+        // Without an anchor the suffix reads as prefix withholding.
+        assert_eq!(
+            check_freshness(7, 5, &retained, 10, 42),
+            Freshness::Indeterminate
+        );
+        // With the checkpoint anchor (through_seq 1 → anchor 2) it decides.
+        assert!(matches!(
+            check_freshness_anchored(7, 5, &retained, 10, 42, 2),
+            Freshness::FreshWithin(_)
+        ));
+        // A run starting past the anchor is still a gap.
+        assert_eq!(
+            check_freshness_anchored(7, 5, &retained[1..], 10, 42, 2),
+            Freshness::Indeterminate
+        );
+        // Vacancy gets the same anchoring.
+        assert!(matches!(
+            check_vacancy_anchored(5, &retained, 10, 42, 2),
+            Freshness::FreshWithin(_)
+        ));
+        assert_eq!(
+            check_vacancy(5, &retained, 10, 42),
+            Freshness::Indeterminate
+        );
+        // DecodedSummaries agrees with the direct checks.
+        let decoded = DecodedSummaries::new(&retained);
+        assert_eq!(
+            decoded.check_freshness_anchored(7, 5, 10, 42, 2),
+            check_freshness_anchored(7, 5, &retained, 10, 42, 2)
+        );
+        assert_eq!(
+            decoded.check_vacancy_anchored(5, 10, 42, 2),
+            check_vacancy_anchored(5, &retained, 10, 42, 2)
+        );
     }
 
     #[test]

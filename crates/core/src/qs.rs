@@ -39,7 +39,7 @@ use authdb_index::{new_asign_with_cache, ASignTree, RangeEvent, DEFAULT_NODE_CAC
 use authdb_storage::{BufferPool, Disk, HeapFile, IoStats, PoolStats};
 
 use crate::da::{Bootstrap, SigningMode, UpdateKind, UpdateMsg};
-use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::freshness::{EmptyTableProof, SummaryCheckpoint, UpdateSummary};
 use crate::record::{Record, Schema, Tick};
 use crate::shard::ShardScope;
 use crate::sigcache::{distributions, select_cache, RefreshStrategy, SigCache, SigTreeAnalysis};
@@ -176,6 +176,12 @@ pub struct SelectionAnswer {
     /// 2ρ-recency gate). Shared with the server's summary log by `Arc` —
     /// attaching a summary to an answer never deep-copies it.
     pub summaries: Vec<Arc<UpdateSummary>>,
+    /// The DA's latest summary checkpoint, when the log has been compacted.
+    /// It certifies the compacted prefix, so the attached summary run may
+    /// start at `through_seq + 1` instead of seq 0 — without it the
+    /// verifier would read the truncated run as prefix-withholding. Absent
+    /// on never-compacted deployments and on inverted-range answers.
+    pub checkpoint: Option<SummaryCheckpoint>,
 }
 
 impl SelectionAnswer {
@@ -460,8 +466,13 @@ pub struct QueryServer {
     /// Per-attribute signatures by rid (PerAttribute mode).
     attr_sigs: Vec<Vec<Signature>>,
     /// Certified summary log. Each entry is `Arc`-shared with every answer
-    /// it is attached to, so `summaries_since` never deep-copies.
+    /// it is attached to, so `summaries_since` never deep-copies. After a
+    /// checkpoint this holds only the retained suffix (`seq > through_seq`).
     summaries: Vec<Arc<UpdateSummary>>,
+    /// The DA's latest summary checkpoint: certifies the compacted log
+    /// prefix and anchors every answer whose summary run no longer reaches
+    /// back to seq 0.
+    checkpoint: Option<SummaryCheckpoint>,
     /// Current empty-table proof (present only while the relation is empty).
     vacancy: Option<EmptyTableProof>,
     scope: ShardScope,
@@ -538,6 +549,7 @@ impl QueryServer {
             sigs: boot.sigs.clone(),
             attr_sigs: boot.attr_sigs.clone(),
             summaries: Vec::new(),
+            checkpoint: None,
             vacancy: boot.vacancy.clone(),
             scope: opts.scope,
             agg_cache: Mutex::new(agg_cache),
@@ -681,6 +693,26 @@ impl QueryServer {
         &self.summaries
     }
 
+    /// The DA's latest summary checkpoint, if the log has been compacted.
+    pub fn summary_checkpoint(&self) -> Option<&SummaryCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Adopt a freshly minted DA checkpoint: store it and drop the covered
+    /// log prefix (every summary with `seq <= through_seq`). Server memory
+    /// for the log is thereafter bounded by the checkpoint interval, not
+    /// total history.
+    pub fn apply_checkpoint(&mut self, ckpt: SummaryCheckpoint) {
+        self.summaries.retain(|s| s.seq > ckpt.through_seq);
+        self.checkpoint = Some(ckpt);
+    }
+
+    /// Swap in the DA's re-bound checkpoint at an epoch transition (or
+    /// clear it when the re-bound stream was never compacted).
+    pub(crate) fn set_checkpoint(&mut self, ckpt: Option<SummaryCheckpoint>) {
+        self.checkpoint = ckpt;
+    }
+
     /// The key-range responsibility this replica currently answers for
     /// (epoch-tagged; snapshot readers use it to pin a single epoch).
     pub fn scope(&self) -> ShardScope {
@@ -695,13 +727,26 @@ impl QueryServer {
     }
 
     /// Swap in the DA's re-bound summary stream at an epoch transition.
-    pub(crate) fn replace_summaries(&mut self, summaries: Vec<UpdateSummary>) {
-        self.summaries = summaries.into_iter().map(Arc::new).collect();
+    /// Entries arrive already `Arc`'d straight from the DA's log — a
+    /// handoff moves pointers, never summary bytes.
+    pub(crate) fn replace_summaries(&mut self, summaries: Vec<Arc<UpdateSummary>>) {
+        self.summaries = summaries;
     }
 
     /// Swap in the DA's re-bound standing vacancy proof (or clear it).
     pub(crate) fn set_vacancy(&mut self, vacancy: Option<EmptyTableProof>) {
         self.vacancy = vacancy;
+    }
+
+    /// Pre-decode the whole index into the decoded-node cache (bounded by
+    /// its capacity), then zero the cache counters so the warming pass does
+    /// not distort hit-rate telemetry. A rebalance successor is built from
+    /// freshly written pages, so the donor's decoded-node cache cannot
+    /// transfer — without this its first query sweep pays a full decode
+    /// per node.
+    pub(crate) fn warm_node_cache(&self) {
+        self.tree.warm_node_cache();
+        self.tree.reset_cache_stats();
     }
 
     fn read_record(&self, rid: u64) -> Record {
@@ -756,6 +801,7 @@ impl QueryServer {
                 gap: None,
                 vacancy: None,
                 summaries: Vec::new(),
+                checkpoint: None,
             });
         }
         // Walk the range once through the visitor API: matching records are
@@ -800,7 +846,11 @@ impl QueryServer {
                 None
             };
             // Trim to the window the verifier needs: from the proof
-            // version's own period onward.
+            // version's own period onward. When the log has been compacted,
+            // a gap or vacancy older than the checkpoint would otherwise get
+            // a window starting mid-history that the verifier reads as
+            // prefix-withholding — the checkpoint rides along as the
+            // certified anchor for the missing prefix.
             let summaries = match (&gap, &vacancy) {
                 (Some(g), _) => self.summaries_since(g.record.ts),
                 (None, Some(v)) => self.summaries_since(v.ts),
@@ -814,6 +864,7 @@ impl QueryServer {
                 gap,
                 vacancy,
                 summaries,
+                checkpoint: self.checkpoint.clone(),
             });
         }
 
@@ -827,6 +878,7 @@ impl QueryServer {
             gap: None,
             vacancy: None,
             summaries: self.summaries_since(oldest),
+            checkpoint: self.checkpoint.clone(),
         })
     }
 
@@ -1277,6 +1329,59 @@ mod tests {
             s.node_cache_misses, after_first.node_cache_misses,
             "repeat scan must not decode: {s:?}"
         );
+    }
+
+    /// A gap record older than the checkpoint cut would get a summary
+    /// window starting mid-history — unreadable without the certified
+    /// anchor. The answer must ship the checkpoint alongside the retained
+    /// run (and the retained run must start exactly at the cut).
+    #[test]
+    fn gap_before_checkpoint_ships_the_checkpoint_anchor() {
+        let (mut da, mut qs) = system(100, SigningMode::Chained);
+        for _ in 0..3 {
+            da.advance_clock(10);
+            let (s, _) = da.maybe_publish_summary().unwrap();
+            qs.add_summary(s);
+        }
+        let ckpt = da.checkpoint_summaries(1).expect("prefix to compact");
+        qs.apply_checkpoint(ckpt.clone());
+        // Keys are multiples of 10, so this range is empty; the bracketing
+        // record was certified at bootstrap (ts 0), before the cut.
+        let ans = qs.select_range(201, 209).unwrap();
+        let gap = ans.gap.expect("gap proof");
+        assert!(gap.record.ts <= ckpt.through_ts);
+        assert_eq!(ans.checkpoint.as_ref(), Some(&ckpt));
+        assert!(ans.summaries.iter().all(|s| s.seq > ckpt.through_seq));
+        assert_eq!(
+            ans.summaries.first().map(|s| s.seq),
+            Some(ckpt.through_seq + 1),
+            "retained run must start exactly at the cut"
+        );
+        // The canonical inverted-range answer certifies nothing, so it
+        // never carries the checkpoint either.
+        assert!(qs.select_range(300, 200).unwrap().checkpoint.is_none());
+    }
+
+    /// Same for a standing vacancy proof minted before the cut.
+    #[test]
+    fn vacancy_before_checkpoint_ships_the_checkpoint_anchor() {
+        let (mut da, mut qs) = system(1, SigningMode::Chained);
+        da.advance_clock(3);
+        for m in da.delete_record(0) {
+            qs.apply(&m);
+        }
+        for _ in 0..3 {
+            da.advance_clock(10);
+            let (s, _) = da.maybe_publish_summary().unwrap();
+            qs.add_summary(s);
+        }
+        let ckpt = da.checkpoint_summaries(1).expect("prefix to compact");
+        qs.apply_checkpoint(ckpt.clone());
+        let ans = qs.select_range(0, 100).unwrap();
+        let vac = ans.vacancy.expect("vacancy proof");
+        assert!(vac.ts <= ckpt.through_ts);
+        assert_eq!(ans.checkpoint.as_ref(), Some(&ckpt));
+        assert!(ans.summaries.iter().all(|s| s.seq > ckpt.through_seq));
     }
 
     #[test]

@@ -111,7 +111,7 @@ use authdb_crypto::sha256::{sha256, Digest};
 use authdb_crypto::signer::{Keypair, PublicParams, Signature};
 
 use crate::da::{Bootstrap, DaConfig, DataAggregator, SigningMode, UpdateMsg};
-use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::freshness::{EmptyTableProof, SummaryCheckpoint, UpdateSummary};
 use crate::locks::{LockManager, LockMode, WHOLE_INDEX};
 use crate::qs::{QsOptions, QueryError, QueryServer, SelectionAnswer};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
@@ -423,6 +423,103 @@ impl EpochTransition {
     }
 }
 
+/// A DA-signed checkpoint of the epoch chain: binds an epoch, its map
+/// hash, and the hash of the [`EpochTransition`] that created it, so a
+/// fresh client can pin an `EpochView` at epoch N from the latest
+/// checkpoint in O(1) signature checks instead of replaying the whole
+/// transition chain from the genesis map.
+///
+/// Soundness is the same pinning argument as the chain walk: the DA signs
+/// exactly one checkpoint per epoch, the checkpoint names exactly one map
+/// (by hash) and chains to exactly one transition (by hash of its signed
+/// message), and the transition itself carries the DA's signature over
+/// `parent → map` — so a server can neither fabricate a partition for the
+/// claimed epoch nor splice the checkpoint onto a different transition
+/// (`BadCheckpoint` either way).
+///
+/// [`EpochView`]: crate::verify::EpochView
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochCheckpoint {
+    /// The checkpointed epoch.
+    pub epoch: u64,
+    /// Hash of the epoch's map signing message (what an `EpochView` pins).
+    pub map_hash: Digest,
+    /// Hash of the signing message of the [`EpochTransition`] that created
+    /// this epoch.
+    pub transition_hash: Digest,
+    /// When the DA minted the checkpoint (the transition's tick).
+    pub ts: Tick,
+    /// DA signature over [`EpochCheckpoint::message`].
+    pub signature: Signature,
+}
+
+impl EpochCheckpoint {
+    /// The canonical signing message.
+    pub fn message(epoch: u64, map_hash: &Digest, transition_hash: &Digest, ts: Tick) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(91);
+        msg.extend_from_slice(b"ckpt-epoch:");
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        msg.extend_from_slice(map_hash);
+        msg.extend_from_slice(transition_hash);
+        msg.extend_from_slice(&ts.to_be_bytes());
+        msg
+    }
+
+    /// The digest an epoch checkpoint chains to: the hash of the
+    /// transition's canonical signing message.
+    pub fn transition_digest(t: &EpochTransition) -> Digest {
+        sha256(&EpochTransition::message(
+            t.epoch,
+            &t.parent_hash,
+            &t.map_hash,
+            t.ts,
+        ))
+    }
+
+    /// Sign a checkpoint for the epoch `transition` created.
+    pub fn create(keypair: &Keypair, map: &ShardMap, transition: &EpochTransition) -> Self {
+        let map_hash = map.hash();
+        let transition_hash = Self::transition_digest(transition);
+        EpochCheckpoint {
+            epoch: map.epoch(),
+            map_hash,
+            transition_hash,
+            ts: transition.ts,
+            signature: keypair.sign(&Self::message(
+                map.epoch(),
+                &map_hash,
+                &transition_hash,
+                transition.ts,
+            )),
+        }
+    }
+
+    /// Verify the DA's signature.
+    pub fn verify(&self, pp: &PublicParams) -> bool {
+        pp.verify(
+            &Self::message(self.epoch, &self.map_hash, &self.transition_hash, self.ts),
+            &self.signature,
+        )
+    }
+}
+
+/// Everything a fresh client needs to pin the live epoch in O(1)
+/// signatures: the certified map, the transition that created the epoch,
+/// and the checkpoint binding the two. `transition`/`checkpoint` are
+/// `None` only at the genesis epoch (no rebalance has happened), where
+/// `EpochView::genesis` already pins from the map alone.
+///
+/// [`EpochView::genesis`]: crate::verify::EpochView::genesis
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochBootstrap {
+    /// The certified live partition.
+    pub map: ShardMap,
+    /// The transition that created the live epoch (`None` at genesis).
+    pub transition: Option<EpochTransition>,
+    /// The checkpoint chaining map and transition (`None` at genesis).
+    pub checkpoint: Option<EpochCheckpoint>,
+}
+
 /// What a rebalance does to the partition: split one shard at a new key,
 /// or merge two adjacent shards. Indices refer to the **old** (epoch-N)
 /// map.
@@ -525,14 +622,19 @@ pub struct ShardHandoff {
 
 /// A surviving shard's freshness artifacts re-signed under the new
 /// `(epoch, shard)` tag — its chains and records are untouched (the
-/// fences did not move), so re-binding costs one signature per stored
-/// summary instead of one per record.
+/// fences did not move), so re-binding costs one signature per *retained*
+/// summary (plus one for the checkpoint) instead of one per record or per
+/// historical summary.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardRebind {
     /// New-map index of the surviving shard.
     pub shard: usize,
-    /// Its full summary log, re-signed under the new tag.
-    pub summaries: Vec<UpdateSummary>,
+    /// Its retained summary log, re-signed under the new tag. `Arc`d:
+    /// hand-off from the DA is pointer work, not a per-entry copy.
+    pub summaries: Vec<Arc<UpdateSummary>>,
+    /// The checkpoint covering its compacted prefix (if it has one),
+    /// re-signed under the new tag.
+    pub checkpoint: Option<SummaryCheckpoint>,
     /// Its standing vacancy proof (if currently empty), re-signed.
     pub vacancy: Option<EmptyTableProof>,
 }
@@ -553,6 +655,9 @@ pub struct Rebalance {
     pub handoffs: Vec<ShardHandoff>,
     /// Re-tagged freshness artifacts for every surviving shard.
     pub rebound: Vec<ShardRebind>,
+    /// The epoch checkpoint for the new epoch, served to late-joining
+    /// clients so they bootstrap in O(1) signatures.
+    pub checkpoint: EpochCheckpoint,
 }
 
 /// The DA side of a sharded deployment: one trusted signer, one certified
@@ -564,6 +669,8 @@ pub struct ShardedAggregator {
     shards: Vec<DataAggregator>,
     keypair: Keypair,
     transitions: Vec<EpochTransition>,
+    /// Checkpoint of the latest transition (`None` until a rebalance).
+    epoch_checkpoint: Option<EpochCheckpoint>,
 }
 
 impl ShardedAggregator {
@@ -586,6 +693,7 @@ impl ShardedAggregator {
             shards,
             keypair,
             transitions: Vec::new(),
+            epoch_checkpoint: None,
         }
     }
 
@@ -598,6 +706,25 @@ impl ShardedAggregator {
     /// (the chain a late-joining client walks from the genesis map).
     pub fn transitions(&self) -> &[EpochTransition] {
         &self.transitions
+    }
+
+    /// The checkpoint of the latest epoch transition (`None` until the
+    /// first rebalance). With it, a late-joining client pins the live
+    /// epoch in O(1) signatures instead of walking [`Self::transitions`].
+    pub fn epoch_checkpoint(&self) -> Option<&EpochCheckpoint> {
+        self.epoch_checkpoint.as_ref()
+    }
+
+    /// Checkpoint-compact one shard's summary log (see
+    /// [`DataAggregator::checkpoint_summaries`]); the returned checkpoint
+    /// must be forwarded to the query servers
+    /// ([`ShardedQueryServer::apply_checkpoint`]) so they compact in step.
+    pub fn checkpoint_shard_summaries(
+        &mut self,
+        shard: usize,
+        keep: usize,
+    ) -> Option<SummaryCheckpoint> {
+        self.shards[shard].checkpoint_summaries(keep)
     }
 
     /// Verification parameters (shared by every shard).
@@ -740,6 +867,7 @@ impl ShardedAggregator {
         let old_map = self.map.clone();
         let new_map = ShardMap::create_at_epoch(&self.keypair, new_splits, old_map.epoch() + 1);
         let transition = EpochTransition::create(&self.keypair, &old_map, &new_map, now);
+        let checkpoint = EpochCheckpoint::create(&self.keypair, &new_map, &transition);
 
         let cfg = self.config().clone();
         let idx_attr = cfg.schema.indexed_attr;
@@ -780,22 +908,25 @@ impl ShardedAggregator {
             if created.contains(&idx) {
                 continue;
             }
-            let (summaries, vacancy) = shard_da.retag(new_map.scope(idx));
+            let (summaries, summary_ckpt, vacancy) = shard_da.retag(new_map.scope(idx));
             rebound.push(ShardRebind {
                 shard: idx,
                 summaries,
+                checkpoint: summary_ckpt,
                 vacancy,
             });
         }
 
         self.map = new_map.clone();
         self.transitions.push(transition.clone());
+        self.epoch_checkpoint = Some(checkpoint.clone());
         Rebalance {
             plan,
             new_map,
             transition,
             handoffs,
             rebound,
+            checkpoint,
         }
     }
 
@@ -882,6 +1013,8 @@ struct EpochSnapshot {
     map: ShardMap,
     shards: Vec<Arc<ShardSlot>>,
     transitions: Vec<EpochTransition>,
+    /// Checkpoint of the latest applied transition (`None` at genesis).
+    checkpoint: Option<EpochCheckpoint>,
 }
 
 /// The untrusted side of a sharded deployment: one scoped [`QueryServer`]
@@ -963,6 +1096,7 @@ impl ShardedQueryServer {
                 map,
                 shards,
                 transitions: Vec::new(),
+                checkpoint: None,
             })),
             locks: LockManager::new(),
             next_txn: AtomicU64::new(1),
@@ -992,6 +1126,33 @@ impl ShardedQueryServer {
     /// genesis map to the live epoch.
     pub fn transitions(&self) -> Vec<EpochTransition> {
         self.current().transitions.clone()
+    }
+
+    /// The O(1) client-bootstrap package: the live map plus (past genesis)
+    /// the latest transition and its epoch checkpoint, all from one pinned
+    /// snapshot so the three are epoch-consistent.
+    pub fn epoch_bootstrap(&self) -> EpochBootstrap {
+        let snap = self.current();
+        EpochBootstrap {
+            map: snap.map.clone(),
+            transition: snap.transitions.last().cloned(),
+            checkpoint: snap.checkpoint.clone(),
+        }
+    }
+
+    /// Adopt a shard's summary checkpoint: store it and drop the covered
+    /// summaries (same writer ordering as [`Self::add_summary`]). Answers
+    /// whose freshness window reaches past the cut ship the checkpoint as
+    /// their run anchor.
+    pub fn apply_checkpoint(&self, shard: usize, ckpt: SummaryCheckpoint) {
+        let txn = self.txn();
+        self.locks.acquire(txn, WHOLE_INDEX, LockMode::Shared);
+        self.locks.acquire(txn, shard as u64, LockMode::Exclusive);
+        self.current().shards[shard]
+            .qs
+            .write()
+            .apply_checkpoint(ckpt);
+        self.locks.release_all(txn);
     }
 
     /// Cross one epoch transition in place: validate the package's shape
@@ -1030,6 +1191,7 @@ impl ShardedQueryServer {
         };
         if rb.new_map.splits() != expected_splits
             || rb.new_map.epoch() != snap.map.epoch().wrapping_add(1)
+            || rb.checkpoint.epoch != rb.new_map.epoch()
         {
             return Err(QueryError::BadRebalance);
         }
@@ -1088,6 +1250,11 @@ impl ShardedQueryServer {
                 },
             );
             qs.add_summary(h.baseline.clone());
+            // The successor's pages are freshly written, so the donor's
+            // decoded-node cache cannot transfer — pre-warm it here so the
+            // first post-rebalance query sweep runs at steady-state hit
+            // rates instead of decoding every node cold.
+            qs.warm_node_cache();
             new_shards[h.shard] = Some(ShardSlot::new(qs));
         }
         for rebind in &rb.rebound {
@@ -1096,6 +1263,7 @@ impl ShardedQueryServer {
                 .expect("survivor slot populated");
             let mut qs = slot.qs.write();
             qs.replace_summaries(rebind.summaries.clone());
+            qs.set_checkpoint(rebind.checkpoint.clone());
             qs.set_vacancy(rebind.vacancy.clone());
         }
         let mut transitions = snap.transitions.clone();
@@ -1107,6 +1275,7 @@ impl ShardedQueryServer {
                 .map(|s| s.expect("every new shard populated"))
                 .collect(),
             transitions,
+            checkpoint: Some(rb.checkpoint.clone()),
         });
         *self.snapshot.lock() = next;
         Ok(())

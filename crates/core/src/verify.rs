@@ -58,6 +58,19 @@
 //! | [`VerifyError::Stale`] | handoff replay: serving a pre-transition record version under the new epoch's stream (the handoff baseline summary marks the entire donor rid space) |
 //! | [`VerifyError::RecordOutOfRange`] / [`VerifyError::SeamViolation`] | handoff forgery: records or boundary keys signed under the old fences served under the new, narrower ones |
 //!
+//! Checkpointing ([`crate::freshness::SummaryCheckpoint`] collapsing a
+//! summary-log prefix, [`crate::shard::EpochCheckpoint`] collapsing the
+//! transition chain — see [`crate::da`]'s *Checkpoints and log compaction*)
+//! lets the verifier accept a certified **cut** in place of history it
+//! never sees; the cut is attack surface of its own:
+//!
+//! | error | rejected attack |
+//! |---|---|
+//! | [`VerifyError::BadCheckpoint`] | forging or tampering a checkpoint (bad signature), splicing an epoch checkpoint onto a map or transition it does not name (hash/epoch mismatch — including wrong-epoch replay of a genuine checkpoint), or withholding the transition a non-genesis bootstrap must chain to |
+//! | [`VerifyError::CheckpointGap`] | cutting the summary log past the retained run's start: seqs between `through_seq` and the run are covered by neither the checkpoint's exposure map nor a retained bitmap — exactly where a marking could hide |
+//! | [`VerifyError::StaleCheckpoint`] | serving a version (or vacancy claim) that a *compacted* summary already exposed — compaction must not launder staleness the dropped summaries used to prove |
+//! | [`VerifyError::FreshnessIndeterminate`] / [`VerifyError::VacancyIndeterminate`] | an answer whose newest evidence — retained summary or the cut itself (`through_ts`) — is older than 2ρ proves nothing about the recent past: the recency gate survives compaction |
+//!
 //! Networked deployments that query each shard at its own endpoint can
 //! *degrade*: [`Verifier::verify_partial_selection`] accepts a fan-out with
 //! missing parts, but only for shards the **client's own transport
@@ -99,10 +112,15 @@
 use authdb_crypto::sha256::Digest;
 use authdb_crypto::signer::{PublicParams, Signature};
 
-use crate::freshness::{DecodedSummaries, EmptyTableProof, Freshness, UpdateSummary};
+use crate::freshness::{
+    DecodedSummaries, EmptyTableProof, Freshness, SummaryCheckpoint, UpdateSummary,
+};
 use crate::qs::{ProjectionAnswer, SelectionAnswer};
 use crate::record::{Record, Schema, Tick, KEY_NEG_INF, KEY_POS_INF};
-use crate::shard::{EpochTransition, ShardMap, ShardedSelectionAnswer};
+use crate::shard::{
+    EpochBootstrap, EpochCheckpoint, EpochTransition, ShardMap, ShardedSelectionAnswer,
+    GENESIS_EPOCH,
+};
 
 /// Why verification failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,6 +221,29 @@ pub enum VerifyError {
     /// signature, non-successor epoch, wrong parent hash, or a new map
     /// that does not match the signed hash.
     BrokenTransition,
+    /// A checkpoint failed its own certification: bad signature, a scope
+    /// (epoch, map hash, or transition hash) that does not match what it
+    /// is presented for, or a non-genesis bootstrap missing the transition
+    /// its checkpoint must chain to.
+    BadCheckpoint,
+    /// The retained summary run does not reach back to the checkpoint's
+    /// cut: sequence numbers between `through_seq` and the run's first
+    /// summary are covered by neither the checkpoint's exposure map nor a
+    /// retained bitmap, so a marking could hide in the seam.
+    CheckpointGap {
+        /// The seq the run was expected to resume at (`through_seq + 1`).
+        expected_seq: u64,
+        /// The seq the run actually starts at.
+        found_seq: u64,
+    },
+    /// A returned version (or vacancy claim) is provably stale against the
+    /// checkpoint's cumulative exposure map: a summary in the compacted
+    /// prefix already marked a newer event for this rid.
+    StaleCheckpoint {
+        /// The stale rid (for a vacancy claim, the rid whose recorded
+        /// insertion voided the claim).
+        rid: u64,
+    },
 }
 
 /// A failure localized inside a batch verification.
@@ -383,6 +424,76 @@ impl EpochView {
         }
         Ok(())
     }
+
+    /// Pin the live epoch directly from a certified checkpoint: the
+    /// O(1)-signature bootstrap path. Instead of replaying the transition
+    /// chain from genesis ([`EpochView::observe`], O(N) signatures after N
+    /// rebalances), the client checks at most **three** signatures — the
+    /// checkpoint's, the map's, and the creating transition's — and the
+    /// hash bindings do the rest: the checkpoint names exactly one map and
+    /// chains to exactly one transition, and that transition is the DA's
+    /// own signed claim that the map is the epoch's certified partition.
+    ///
+    /// `transition` is required for every epoch past genesis (a non-genesis
+    /// epoch exists only through a transition); at genesis the checkpoint
+    /// path is unused and callers go through [`EpochView::genesis`] — see
+    /// [`EpochView::from_bootstrap`].
+    pub fn from_checkpoint(
+        map: &ShardMap,
+        transition: Option<&EpochTransition>,
+        ckpt: &EpochCheckpoint,
+        pp: &PublicParams,
+    ) -> Result<Self, VerifyError> {
+        if !ckpt.verify(pp) {
+            return Err(VerifyError::BadCheckpoint);
+        }
+        if !map.verify(pp) {
+            return Err(VerifyError::BadShardMap);
+        }
+        // The checkpoint must name exactly this map: a genuine checkpoint
+        // presented with a different (even genuinely signed) map is a
+        // wrong-epoch replay.
+        if map.epoch() != ckpt.epoch || map.hash() != ckpt.map_hash {
+            return Err(VerifyError::BadCheckpoint);
+        }
+        if map.epoch() > GENESIS_EPOCH {
+            let Some(t) = transition else {
+                return Err(VerifyError::BadCheckpoint);
+            };
+            if !t.verify(pp) {
+                return Err(VerifyError::BrokenTransition);
+            }
+            // Chain binding: the checkpoint commits to the hash of the
+            // transition's signed message, and the transition in turn
+            // commits to the map — a checkpoint spliced onto any other
+            // transition breaks here.
+            if EpochCheckpoint::transition_digest(t) != ckpt.transition_hash
+                || t.epoch != ckpt.epoch
+                || t.map_hash != map.hash()
+            {
+                return Err(VerifyError::BadCheckpoint);
+            }
+        }
+        Ok(EpochView {
+            epoch: map.epoch(),
+            map_hash: map.hash(),
+        })
+    }
+
+    /// Pin from a server's [`EpochBootstrap`] bundle (what
+    /// `Request::Checkpoint` returns): checkpointed epochs go through
+    /// [`EpochView::from_checkpoint`]; a checkpoint-free bundle is accepted
+    /// only at (or before) the genesis epoch, where [`EpochView::genesis`]
+    /// already pins from the map alone. Past genesis a missing checkpoint
+    /// is withheld certification, not a degraded mode — honest servers
+    /// mint one at every rebalance.
+    pub fn from_bootstrap(boot: &EpochBootstrap, pp: &PublicParams) -> Result<Self, VerifyError> {
+        match &boot.checkpoint {
+            Some(ckpt) => Self::from_checkpoint(&boot.map, boot.transition.as_ref(), ckpt, pp),
+            None if boot.map.epoch() <= GENESIS_EPOCH => Self::genesis(&boot.map, pp),
+            None => Err(VerifyError::BadCheckpoint),
+        }
+    }
 }
 
 /// The client-side verifier.
@@ -420,18 +531,127 @@ impl Verifier {
     }
 
     /// One record's freshness decision against already-verified,
-    /// once-decoded summaries, mapped into the error domain.
+    /// once-decoded summaries — plus, when the answer shipped one, the
+    /// already-signature-checked [`SummaryCheckpoint`] standing in for the
+    /// compacted prefix — mapped into the error domain.
+    ///
+    /// With a checkpoint the decision runs in the same two passes as the
+    /// uncompacted algorithm, split across the cut: pass 1 against the
+    /// prefix is the exposure-map lookup (the per-rid maximum marked
+    /// `period_start`, so exactly the predicate the dropped summaries would
+    /// have evaluated — [`VerifyError::StaleCheckpoint`] on a hit), then
+    /// the retained run is checked with the cut as a valid anchor
+    /// (`through_seq + 1`). A run that fails to anchor at the cut is the
+    /// seam attack, [`VerifyError::CheckpointGap`]; an *empty* run rides on
+    /// the cut's own recency (`through_ts`), judged by the same 2ρ gate as
+    /// a real latest summary.
     fn freshness_of<S: std::borrow::Borrow<UpdateSummary>>(
         &self,
         rid: u64,
         ts: Tick,
         decoded: &DecodedSummaries<'_, S>,
+        ckpt: Option<&SummaryCheckpoint>,
         now: Tick,
     ) -> Result<Tick, VerifyError> {
-        match decoded.check_freshness(rid, ts, self.rho, now) {
+        let Some(ckpt) = ckpt else {
+            return match decoded.check_freshness(rid, ts, self.rho, now) {
+                Freshness::FreshWithin(b) => Ok(b),
+                Freshness::Stale { exposed_by } => Err(VerifyError::Stale { rid, exposed_by }),
+                Freshness::Indeterminate => Err(VerifyError::FreshnessIndeterminate { rid }),
+            };
+        };
+        if ckpt.exposed_after(rid).is_some_and(|p| ts <= p) {
+            return Err(VerifyError::StaleCheckpoint { rid });
+        }
+        if decoded.is_empty() {
+            if now.saturating_sub(ckpt.through_ts) >= self.rho.saturating_mul(2) {
+                return Err(VerifyError::FreshnessIndeterminate { rid });
+            }
+            return Ok(now.saturating_sub(ts.max(ckpt.through_ts)));
+        }
+        let anchor_seq = ckpt.through_seq + 1;
+        match decoded.check_freshness_anchored(rid, ts, self.rho, now, anchor_seq) {
             Freshness::FreshWithin(b) => Ok(b),
             Freshness::Stale { exposed_by } => Err(VerifyError::Stale { rid, exposed_by }),
-            Freshness::Indeterminate => Err(VerifyError::FreshnessIndeterminate { rid }),
+            Freshness::Indeterminate => Err(self.seam_or_indeterminate(
+                ts,
+                decoded.first(),
+                anchor_seq,
+                VerifyError::FreshnessIndeterminate { rid },
+            )),
+        }
+    }
+
+    /// A vacancy claim's currency decision, checkpoint-aware like
+    /// [`Verifier::freshness_of`]. While the table is empty any marking is
+    /// an insertion, so the prefix check is the exposure map's *global*
+    /// maximum ([`SummaryCheckpoint::exposed_any`]) against the proof's
+    /// `ts`.
+    fn vacancy_of<S: std::borrow::Borrow<UpdateSummary>>(
+        &self,
+        proof_ts: Tick,
+        decoded: &DecodedSummaries<'_, S>,
+        ckpt: Option<&SummaryCheckpoint>,
+        now: Tick,
+    ) -> Result<Tick, VerifyError> {
+        let Some(ckpt) = ckpt else {
+            return match decoded.check_vacancy(proof_ts, self.rho, now) {
+                Freshness::FreshWithin(b) => Ok(b),
+                Freshness::Stale { exposed_by } => Err(VerifyError::StaleVacancy { exposed_by }),
+                Freshness::Indeterminate => Err(VerifyError::VacancyIndeterminate),
+            };
+        };
+        if ckpt.exposed_any().is_some_and(|p| proof_ts <= p) {
+            // Name the rid whose (latest) recorded insertion voided the
+            // claim — the compacted analogue of StaleVacancy's exposing seq.
+            let rid = ckpt
+                .exposure
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &e)| e)
+                .map(|(i, _)| i as u64)
+                .unwrap_or(0);
+            return Err(VerifyError::StaleCheckpoint { rid });
+        }
+        if decoded.is_empty() {
+            if now.saturating_sub(ckpt.through_ts) >= self.rho.saturating_mul(2) {
+                return Err(VerifyError::VacancyIndeterminate);
+            }
+            return Ok(now.saturating_sub(proof_ts.max(ckpt.through_ts)));
+        }
+        let anchor_seq = ckpt.through_seq + 1;
+        match decoded.check_vacancy_anchored(proof_ts, self.rho, now, anchor_seq) {
+            Freshness::FreshWithin(b) => Ok(b),
+            Freshness::Stale { exposed_by } => Err(VerifyError::StaleVacancy { exposed_by }),
+            Freshness::Indeterminate => Err(self.seam_or_indeterminate(
+                proof_ts,
+                decoded.first(),
+                anchor_seq,
+                VerifyError::VacancyIndeterminate,
+            )),
+        }
+    }
+
+    /// Attribute a checkpoint-anchored Indeterminate verdict: if the run's
+    /// first summary fails every anchor clause (its period does not cover
+    /// `version_ts`, it is not seq 0, and it does not resume at the cut),
+    /// the seam between checkpoint and run is unproven — that is
+    /// [`VerifyError::CheckpointGap`], not plain recency withholding.
+    fn seam_or_indeterminate(
+        &self,
+        version_ts: Tick,
+        first: Option<&UpdateSummary>,
+        anchor_seq: u64,
+        fallback: VerifyError,
+    ) -> VerifyError {
+        match first {
+            Some(f) if !(f.period_start < version_ts || f.seq == 0 || f.seq == anchor_seq) => {
+                VerifyError::CheckpointGap {
+                    expected_seq: anchor_seq,
+                    found_seq: f.seq,
+                }
+            }
+            _ => fallback,
         }
     }
 
@@ -467,6 +687,9 @@ impl Verifier {
             if let Some(s) = ans.summaries.first() {
                 return Err(VerifyError::BadSummarySignature { seq: s.seq });
             }
+            if ans.checkpoint.is_some() {
+                return Err(VerifyError::BadCheckpoint);
+            }
             return Ok(AnswerClaim {
                 messages: Vec::new(),
                 agg: ans.agg.clone(),
@@ -483,6 +706,20 @@ impl Verifier {
         if !(ans.right_key > hi || ans.right_key == KEY_POS_INF) {
             return Err(VerifyError::BadBoundary);
         }
+
+        // A shipped summary checkpoint stands in for the compacted summary
+        // prefix on every freshness path below; like the summaries it is a
+        // freshness artifact, so its signature is checked once here and it
+        // is ignored entirely when the caller disabled freshness.
+        let ckpt = match (check_fresh, &ans.checkpoint) {
+            (true, Some(c)) => {
+                if !c.verify(&self.pp) {
+                    return Err(VerifyError::BadCheckpoint);
+                }
+                Some(c)
+            }
+            _ => None,
+        };
 
         if ans.records.is_empty() {
             if let Some(gap) = &ans.gap {
@@ -521,7 +758,7 @@ impl Verifier {
                     self.check_summaries(&ans.summaries)?;
                     let decoded = DecodedSummaries::new(&ans.summaries);
                     max_staleness =
-                        self.freshness_of(gap.record.rid, gap.record.ts, &decoded, now)?;
+                        self.freshness_of(gap.record.rid, gap.record.ts, &decoded, ckpt, now)?;
                 }
                 return Ok(AnswerClaim {
                     messages: vec![gap.chain_msg(&self.schema)],
@@ -537,13 +774,7 @@ impl Verifier {
                 if check_fresh {
                     self.check_summaries(&ans.summaries)?;
                     let decoded = DecodedSummaries::new(&ans.summaries);
-                    match decoded.check_vacancy(vac.ts, self.rho, now) {
-                        Freshness::FreshWithin(b) => max_staleness = b,
-                        Freshness::Stale { exposed_by } => {
-                            return Err(VerifyError::StaleVacancy { exposed_by })
-                        }
-                        Freshness::Indeterminate => return Err(VerifyError::VacancyIndeterminate),
-                    }
+                    max_staleness = self.vacancy_of(vac.ts, &decoded, ckpt, now)?;
                 }
                 return Ok(AnswerClaim {
                     messages: vec![EmptyTableProof::message(vac.epoch, vac.shard, vac.ts)],
@@ -590,7 +821,7 @@ impl Verifier {
             self.check_summaries(&ans.summaries)?;
             let decoded = DecodedSummaries::new(&ans.summaries);
             for r in &ans.records {
-                let b = self.freshness_of(r.rid, r.ts, &decoded, now)?;
+                let b = self.freshness_of(r.rid, r.ts, &decoded, ckpt, now)?;
                 max_staleness = max_staleness.max(b);
             }
         }
@@ -840,6 +1071,14 @@ impl Verifier {
                     return Err(VerifyError::ShardMismatch { shard });
                 }
             }
+            if let Some(c) = a.checkpoint.as_ref() {
+                if c.epoch != scope.epoch {
+                    return Err(VerifyError::EpochMismatch { shard });
+                }
+                if c.shard != scope.shard {
+                    return Err(VerifyError::ShardMismatch { shard });
+                }
+            }
             // Seam containment: the DA never signs a neighbour value
             // outside the fences, so a claimed boundary past them is a
             // forgery — caught here before any pairing work.
@@ -889,7 +1128,7 @@ impl Verifier {
             self.check_summaries(&ans.summaries)?;
             let decoded = DecodedSummaries::new(&ans.summaries);
             for row in &ans.rows {
-                let b = self.freshness_of(row.rid, row.ts, &decoded, now)?;
+                let b = self.freshness_of(row.rid, row.ts, &decoded, None, now)?;
                 max_staleness = max_staleness.max(b);
             }
         }
@@ -1133,6 +1372,176 @@ mod tests {
         // The honest fresh answer passes.
         let fresh = qs.select_range(200, 260).unwrap();
         assert!(v.verify_selection(200, 260, &fresh, 25, true).is_ok());
+    }
+
+    /// A deployment with three published summaries, an update to rid 23 in
+    /// the second period, and the prefix compacted into a checkpoint with
+    /// `keep` summaries retained.
+    fn checkpointed_system(keep: usize) -> (DataAggregator, QueryServer, Verifier) {
+        let (mut da, mut qs, v) = system(50, SigningMode::Chained);
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1);
+        da.advance_clock(2);
+        for m in da.update_record(23, vec![230, 777]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        da.advance_clock(10);
+        let (s3, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s3);
+        let ckpt = da.checkpoint_summaries(keep).expect("compactable");
+        qs.apply_checkpoint(ckpt);
+        (da, qs, v)
+    }
+
+    #[test]
+    fn checkpoint_anchored_answers_verify_and_exposure_keeps_stale_verdicts() {
+        let (mut da, mut qs, v) = system(50, SigningMode::Chained);
+        let stale_ans = qs.select_range(200, 260).unwrap();
+        da.advance_clock(12);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1);
+        da.advance_clock(2);
+        for m in da.update_record(23, vec![230, 777]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        da.advance_clock(10);
+        let (s3, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s3);
+        // Compact everything but the newest summary — including seq 1, the
+        // summary that used to prove the replay stale.
+        let ckpt = da.checkpoint_summaries(1).expect("compactable");
+        qs.apply_checkpoint(ckpt.clone());
+        // Honest answers now ride on checkpoint + retained suffix.
+        let honest = qs.select_range(200, 260).unwrap();
+        assert_eq!(honest.checkpoint.as_ref(), Some(&ckpt));
+        assert!(honest.summaries.iter().all(|s| s.seq > ckpt.through_seq));
+        assert!(v
+            .verify_selection(200, 260, &honest, da.now(), true)
+            .is_ok());
+        // A gap proof older than the cut anchors on the checkpoint too.
+        let gap_ans = qs.select_range(201, 209).unwrap();
+        assert!(gap_ans.gap.is_some() && gap_ans.checkpoint.is_some());
+        assert!(v
+            .verify_selection(201, 209, &gap_ans, da.now(), true)
+            .is_ok());
+        // The pre-update replay is exposed by the *checkpoint*: the marking
+        // summary was compacted away, and the exposure map keeps its
+        // verdict alive across the cut.
+        let mut replay = stale_ans;
+        replay.summaries = qs.summaries().to_vec();
+        replay.checkpoint = Some(ckpt);
+        assert_eq!(
+            v.verify_selection(200, 260, &replay, da.now(), true),
+            Err(VerifyError::StaleCheckpoint { rid: 23 })
+        );
+    }
+
+    #[test]
+    fn forged_checkpoint_and_seam_gap_rejected() {
+        let (da, qs, v) = checkpointed_system(2);
+        let honest = qs.select_range(200, 260).unwrap();
+        assert_eq!(honest.summaries.len(), 2);
+        assert!(v
+            .verify_selection(200, 260, &honest, da.now(), true)
+            .is_ok());
+        // Any field flip breaks the checkpoint's signature.
+        let mut forged = honest.clone();
+        forged.checkpoint.as_mut().unwrap().through_seq += 1;
+        assert_eq!(
+            v.verify_selection(200, 260, &forged, da.now(), true),
+            Err(VerifyError::BadCheckpoint)
+        );
+        // Dropping the retained summary that abuts the cut leaves seq 1
+        // covered by nobody: the run no longer anchors at the checkpoint
+        // and the seam failure is typed, not a generic indeterminate.
+        let mut gappy = honest.clone();
+        gappy.summaries.remove(0);
+        assert_eq!(
+            v.verify_selection(200, 260, &gappy, da.now(), true),
+            Err(VerifyError::CheckpointGap {
+                expected_seq: 1,
+                found_seq: 2
+            })
+        );
+    }
+
+    #[test]
+    fn empty_retained_run_rides_on_the_cut_within_two_rho() {
+        // keep = 1: through_ts is the second summary's publication tick
+        // (24), and the clock stands at 34.
+        let (da, qs, v) = checkpointed_system(1);
+        let mut bare = qs.select_range(200, 260).unwrap();
+        bare.summaries.clear();
+        // Within 2ρ of the cut the checkpoint itself is recency evidence —
+        // the complete-prefix guarantee plus the exposure pass make an
+        // empty retained run sound.
+        assert!(v.verify_selection(200, 260, &bare, da.now(), true).is_ok());
+        // Past 2ρ the server may be sitting on newer summaries that mark
+        // these versions: the recency gate survives compaction.
+        assert!(matches!(
+            v.verify_selection(200, 260, &bare, da.now() + 10, true),
+            Err(VerifyError::FreshnessIndeterminate { .. })
+        ));
+    }
+
+    #[test]
+    fn vacancy_older_than_checkpoint_is_stale_by_exposure() {
+        let (mut da, mut qs, v) = system(0, SigningMode::Chained);
+        let stale = qs.select_range(0, 100).unwrap();
+        assert!(stale.vacancy.is_some());
+        da.advance_clock(3);
+        for m in da.insert(vec![50, 1]) {
+            qs.apply(&m);
+        }
+        da.advance_clock(9);
+        let (s1, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s1);
+        da.advance_clock(10);
+        let (s2, _) = da.maybe_publish_summary().unwrap();
+        qs.add_summary(s2);
+        // Compact the summary that recorded the insertion.
+        let ckpt = da.checkpoint_summaries(1).expect("compactable");
+        qs.apply_checkpoint(ckpt.clone());
+        // The replayed pre-insert vacancy is voided by the exposure map's
+        // record of the insertion, naming the inserted rid.
+        let mut replay = stale;
+        replay.summaries = qs.summaries().to_vec();
+        replay.checkpoint = Some(ckpt);
+        assert_eq!(
+            v.verify_selection(0, 100, &replay, da.now(), true),
+            Err(VerifyError::StaleCheckpoint { rid: 0 })
+        );
+        // The honest answer (now containing the record) passes with the
+        // checkpoint attached.
+        let honest = qs.select_range(0, 100).unwrap();
+        assert_eq!(honest.records.len(), 1);
+        assert!(honest.checkpoint.is_some());
+        assert!(v.verify_selection(0, 100, &honest, da.now(), true).is_ok());
+    }
+
+    #[test]
+    fn inverted_range_rejects_attached_checkpoint() {
+        let (da, qs, v) = checkpointed_system(1);
+        // The honest inverted answer ships no artifacts at all.
+        let honest = qs.select_range(300, 200).unwrap();
+        assert!(honest.checkpoint.is_none());
+        assert!(v.verify_selection(300, 200, &honest, 0, true).is_ok());
+        // A smuggled (even genuine) checkpoint is rejected like every other
+        // never-signature-checked artifact on this path.
+        let mut with_ckpt = honest;
+        with_ckpt.checkpoint = da.summary_checkpoint().cloned();
+        assert!(with_ckpt.checkpoint.is_some());
+        assert_eq!(
+            v.verify_selection(300, 200, &with_ckpt, 0, true),
+            Err(VerifyError::BadCheckpoint)
+        );
     }
 
     #[test]
@@ -1944,6 +2353,129 @@ mod tests {
             assert!(v
                 .verify_sharded_selection(210, 290, &honest, &view, sa.now(), true, &mut rng)
                 .is_ok());
+        }
+
+        #[test]
+        fn bootstrap_from_checkpoint_pins_the_live_epoch_in_constant_signatures() {
+            let mut rng = StdRng::seed_from_u64(17);
+            let (mut sa, sqs, v, mut walked) = sharded_system(vec![200], 40);
+            // Genesis bundle: no checkpoint exists yet; the bundle pins via
+            // the map alone.
+            let boot = sqs.epoch_bootstrap();
+            assert!(boot.checkpoint.is_none() && boot.transition.is_none());
+            let view = EpochView::from_bootstrap(&boot, v.public_params()).expect("genesis pin");
+            assert_eq!(view.epoch(), 1);
+            // Two rebalances later the bundle carries the latest transition
+            // plus its checkpoint, and a fresh client pins epoch 3 without
+            // ever seeing the epoch-2 link.
+            let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            let rb = sa.rebalance(RebalancePlan::Merge { left: 1 }, 2);
+            sqs.apply_rebalance(&rb).unwrap();
+            let boot = sqs.epoch_bootstrap();
+            assert_eq!(boot.checkpoint.as_ref().map(|c| c.epoch), Some(3));
+            let view = EpochView::from_bootstrap(&boot, v.public_params()).expect("O(1) pin");
+            assert_eq!(view.epoch(), 3);
+            // The checkpoint-pinned view is exactly the chain-walked one...
+            walked
+                .observe(&sqs.transitions(), &sqs.map(), v.public_params())
+                .unwrap();
+            assert_eq!(view, walked);
+            // ...and certifies live answers like it.
+            let ans = sqs.select_range(150, 250).unwrap();
+            assert!(v
+                .verify_sharded_selection(150, 250, &ans, &view, sa.now(), true, &mut rng)
+                .is_ok());
+        }
+
+        #[test]
+        fn tampered_bootstrap_bundles_rejected() {
+            let (mut sa, sqs, v, _) = sharded_system(vec![200], 40);
+            let genesis_map = sa.map().clone();
+            let rb1 = sa.rebalance(RebalancePlan::Split { shard: 1, at: 300 }, 2);
+            sqs.apply_rebalance(&rb1).unwrap();
+            let rb2 = sa.rebalance(RebalancePlan::Merge { left: 1 }, 2);
+            sqs.apply_rebalance(&rb2).unwrap();
+            let boot = sqs.epoch_bootstrap();
+            let pp = v.public_params();
+            assert!(EpochView::from_bootstrap(&boot, pp).is_ok());
+            // Forged checkpoint content: the signature no longer covers it.
+            let mut forged = boot.clone();
+            forged.checkpoint.as_mut().unwrap().ts += 1;
+            assert_eq!(
+                EpochView::from_bootstrap(&forged, pp),
+                Err(VerifyError::BadCheckpoint)
+            );
+            // Wrong-epoch replay: a genuine checkpoint presented with a
+            // different genuinely-signed map.
+            let mut replayed = boot.clone();
+            replayed.map = genesis_map;
+            assert_eq!(
+                EpochView::from_bootstrap(&replayed, pp),
+                Err(VerifyError::BadCheckpoint)
+            );
+            // Chain break: the transition the checkpoint names is replaced
+            // by a different (still genuinely signed) link...
+            let mut spliced = boot.clone();
+            spliced.transition = Some(rb1.transition.clone());
+            assert_eq!(
+                EpochView::from_bootstrap(&spliced, pp),
+                Err(VerifyError::BadCheckpoint)
+            );
+            // ...or tampered outright (its own signature fails first).
+            let mut broken = boot.clone();
+            broken.transition.as_mut().unwrap().ts += 1;
+            assert_eq!(
+                EpochView::from_bootstrap(&broken, pp),
+                Err(VerifyError::BrokenTransition)
+            );
+            // Withheld transition: past genesis the chain link is owed.
+            let mut withheld = boot.clone();
+            withheld.transition = None;
+            assert_eq!(
+                EpochView::from_bootstrap(&withheld, pp),
+                Err(VerifyError::BadCheckpoint)
+            );
+        }
+
+        #[test]
+        fn alien_checkpoint_cannot_vouch_for_another_shard() {
+            let mut rng = StdRng::seed_from_u64(18);
+            let (mut sa, sqs, v, view) = sharded_system(vec![200], 40);
+            for _ in 0..2 {
+                sa.advance_clock(12);
+                for (s, summary, recerts) in sa.maybe_publish_summaries() {
+                    sqs.add_summary(s, summary);
+                    for m in recerts {
+                        sqs.apply(s, &m);
+                    }
+                }
+            }
+            for s in 0..2 {
+                let ckpt = sa.checkpoint_shard_summaries(s, 1).expect("compactable");
+                sqs.apply_checkpoint(s, ckpt);
+            }
+            let honest = sqs.select_range(150, 250).unwrap();
+            assert!(honest.parts.iter().all(|p| p.answer.checkpoint.is_some()));
+            assert!(v
+                .verify_sharded_selection(150, 250, &honest, &view, sa.now(), true, &mut rng)
+                .is_ok());
+            // Cross-shard vouching: shard 1's (genuine) checkpoint on shard
+            // 0's part is caught by the domain gate before any signature
+            // or freshness work.
+            let mut cross = honest.clone();
+            cross.parts[0].answer.checkpoint = honest.parts[1].answer.checkpoint.clone();
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &cross, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::ShardMismatch { shard: 0 })
+            );
+            // Cross-epoch: an epoch flip likewise fails the domain gate.
+            let mut alien = honest.clone();
+            alien.parts[0].answer.checkpoint.as_mut().unwrap().epoch = 9;
+            assert_eq!(
+                v.verify_sharded_selection(150, 250, &alien, &view, sa.now(), true, &mut rng),
+                Err(VerifyError::EpochMismatch { shard: 0 })
+            );
         }
     }
 }

@@ -25,17 +25,20 @@
 //! | [`GapProof`] | `record, left:i64, right:i64, signature` |
 //! | [`EmptyTableProof`] | `epoch:u64, shard:u64, ts:u64, signature` |
 //! | [`UpdateSummary`] | `epoch:u64, shard:u64, seq:u64, period_start:u64, ts:u64, compressed:bytes, signature` |
-//! | [`SelectionAnswer`] | `records:vec, agg, left:i64, right:i64, gap:opt, vacancy:opt, summaries:vec` |
+//! | [`SummaryCheckpoint`] | `epoch:u64, shard:u64, through_seq:u64, through_ts:u64, exposure:vec<u64>, signature` |
+//! | [`SelectionAnswer`] | `records:vec, agg, left:i64, right:i64, gap:opt, vacancy:opt, summaries:vec, checkpoint:opt` |
 //! | [`ProjectedRow`] | `rid:u64, ts:u64, values:vec<(idx:u32, value:i64)>` |
 //! | [`ProjectionAnswer`] | `rows:vec, agg, summaries:vec` |
 //! | [`UpdateMsg`] | `kind:u8, record, signature, attr_sigs:vec, old_key:opt<i64>, vacancy:opt` |
 //! | [`ShardMap`] | `epoch:u64, splits:vec<i64>, signature` (decode re-checks the split and epoch invariants) |
 //! | [`ShardedSelectionAnswer`] | `map, parts:vec<(shard:u64, answer)>` |
 //! | [`EpochTransition`] | `epoch:u64, parent_hash:[32]B, map_hash:[32]B, ts:u64, signature` |
+//! | [`EpochCheckpoint`] | `epoch:u64, map_hash:[32]B, transition_hash:[32]B, ts:u64, signature` |
+//! | [`EpochBootstrap`] | `map, transition:opt, checkpoint:opt` |
 //! | [`RebalancePlan`] | one tag byte (`0` split / `1` merge), then `shard:u64, at:i64` or `left:u64` |
 //! | [`ShardHandoff`] | `shard:u64, records:vec, sigs:vec, vacancy:opt, baseline:summary` |
-//! | [`ShardRebind`] | `shard:u64, summaries:vec, vacancy:opt` |
-//! | [`Rebalance`] | `plan, new_map, transition, handoffs:vec, rebound:vec` |
+//! | [`ShardRebind`] | `shard:u64, summaries:vec, vacancy:opt, checkpoint:opt` |
+//! | [`Rebalance`] | `plan, new_map, transition, handoffs:vec, rebound:vec, checkpoint` |
 //! | [`QsStats`] | eight `u64` counters |
 //! | [`Request`] / [`Response`] | one tag byte, then the variant's fields |
 //! | [`Request::Tagged`] / [`Response::Tagged`] | wrapper tag byte, `id:u64`, then exactly one *unwrapped* message (nesting is a typed `BadTag`, never recursion) |
@@ -47,12 +50,12 @@ use authdb_wire::{put_bytes, put_count, Reader, WireDecode, WireEncode, WireErro
 use authdb_crypto::signer::Signature;
 
 use crate::da::{UpdateKind, UpdateMsg};
-use crate::freshness::{EmptyTableProof, UpdateSummary};
+use crate::freshness::{EmptyTableProof, SummaryCheckpoint, UpdateSummary};
 use crate::qs::{GapProof, ProjectedRow, ProjectionAnswer, QsStats, QueryError, SelectionAnswer};
 use crate::record::Record;
 use crate::shard::{
-    EpochTransition, Rebalance, RebalancePlan, ShardAnswer, ShardHandoff, ShardMap, ShardRebind,
-    ShardedSelectionAnswer,
+    EpochBootstrap, EpochCheckpoint, EpochTransition, Rebalance, RebalancePlan, ShardAnswer,
+    ShardHandoff, ShardMap, ShardRebind, ShardedSelectionAnswer,
 };
 
 // -- records and proofs -----------------------------------------------------
@@ -145,6 +148,31 @@ impl WireDecode for UpdateSummary {
     }
 }
 
+impl WireEncode for SummaryCheckpoint {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
+        self.shard.encode_into(out);
+        self.through_seq.encode_into(out);
+        self.through_ts.encode_into(out);
+        self.exposure.encode_into(out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for SummaryCheckpoint {
+    const MIN_WIRE_LEN: usize = 36 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SummaryCheckpoint {
+            epoch: r.u64()?,
+            shard: r.u64()?,
+            through_seq: r.u64()?,
+            through_ts: r.u64()?,
+            exposure: Vec::<u64>::decode_from(r)?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
 impl WireEncode for SelectionAnswer {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.records.encode_into(out);
@@ -154,11 +182,12 @@ impl WireEncode for SelectionAnswer {
         self.gap.encode_into(out);
         self.vacancy.encode_into(out);
         self.summaries.encode_into(out);
+        self.checkpoint.encode_into(out);
     }
 }
 
 impl WireDecode for SelectionAnswer {
-    const MIN_WIRE_LEN: usize = 4 + Signature::MIN_WIRE_LEN + 16 + 1 + 1 + 4;
+    const MIN_WIRE_LEN: usize = 4 + Signature::MIN_WIRE_LEN + 16 + 1 + 1 + 4 + 1;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SelectionAnswer {
             records: Vec::<Record>::decode_from(r)?,
@@ -168,6 +197,7 @@ impl WireDecode for SelectionAnswer {
             gap: Option::<GapProof>::decode_from(r)?,
             vacancy: Option::<EmptyTableProof>::decode_from(r)?,
             summaries: Vec::<Arc<UpdateSummary>>::decode_from(r)?,
+            checkpoint: Option::<SummaryCheckpoint>::decode_from(r)?,
         })
     }
 }
@@ -327,6 +357,48 @@ impl WireDecode for EpochTransition {
     }
 }
 
+impl WireEncode for EpochCheckpoint {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
+        out.extend_from_slice(&self.map_hash);
+        out.extend_from_slice(&self.transition_hash);
+        self.ts.encode_into(out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for EpochCheckpoint {
+    const MIN_WIRE_LEN: usize = 80 + Signature::MIN_WIRE_LEN;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EpochCheckpoint {
+            epoch: r.u64()?,
+            map_hash: r.array::<32>()?,
+            transition_hash: r.array::<32>()?,
+            ts: r.u64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for EpochBootstrap {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.map.encode_into(out);
+        self.transition.encode_into(out);
+        self.checkpoint.encode_into(out);
+    }
+}
+
+impl WireDecode for EpochBootstrap {
+    const MIN_WIRE_LEN: usize = ShardMap::MIN_WIRE_LEN + 2;
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EpochBootstrap {
+            map: ShardMap::decode_from(r)?,
+            transition: Option::<EpochTransition>::decode_from(r)?,
+            checkpoint: Option::<EpochCheckpoint>::decode_from(r)?,
+        })
+    }
+}
+
 impl WireEncode for RebalancePlan {
     fn encode_into(&self, out: &mut Vec<u8>) {
         match *self {
@@ -390,16 +462,18 @@ impl WireEncode for ShardRebind {
         (self.shard as u64).encode_into(out);
         self.summaries.encode_into(out);
         self.vacancy.encode_into(out);
+        self.checkpoint.encode_into(out);
     }
 }
 
 impl WireDecode for ShardRebind {
-    const MIN_WIRE_LEN: usize = 13;
+    const MIN_WIRE_LEN: usize = 14;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(ShardRebind {
             shard: decode_shard_index(r)?,
-            summaries: Vec::<UpdateSummary>::decode_from(r)?,
+            summaries: Vec::<Arc<UpdateSummary>>::decode_from(r)?,
             vacancy: Option::<EmptyTableProof>::decode_from(r)?,
+            checkpoint: Option::<SummaryCheckpoint>::decode_from(r)?,
         })
     }
 }
@@ -411,12 +485,16 @@ impl WireEncode for Rebalance {
         self.transition.encode_into(out);
         self.handoffs.encode_into(out);
         self.rebound.encode_into(out);
+        self.checkpoint.encode_into(out);
     }
 }
 
 impl WireDecode for Rebalance {
-    const MIN_WIRE_LEN: usize =
-        RebalancePlan::MIN_WIRE_LEN + ShardMap::MIN_WIRE_LEN + EpochTransition::MIN_WIRE_LEN + 8;
+    const MIN_WIRE_LEN: usize = RebalancePlan::MIN_WIRE_LEN
+        + ShardMap::MIN_WIRE_LEN
+        + EpochTransition::MIN_WIRE_LEN
+        + 8
+        + EpochCheckpoint::MIN_WIRE_LEN;
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Rebalance {
             plan: RebalancePlan::decode_from(r)?,
@@ -424,6 +502,7 @@ impl WireDecode for Rebalance {
             transition: EpochTransition::decode_from(r)?,
             handoffs: Vec::<ShardHandoff>::decode_from(r)?,
             rebound: Vec::<ShardRebind>::decode_from(r)?,
+            checkpoint: EpochCheckpoint::decode_from(r)?,
         })
     }
 }
@@ -620,6 +699,11 @@ pub enum Request {
     /// signal an auto-rebalance driver polls (the aggregated
     /// [`Request::Stats`] cannot tell a hot shard from a warm fleet).
     ShardStats,
+    /// The latest certified epoch checkpoint bundle: the current map, its
+    /// transition, and the epoch checkpoint hash-chained to it — everything
+    /// a fresh client needs to bootstrap an `EpochView` in O(1) signatures
+    /// instead of replaying the [`Request::Epoch`] chain from genesis.
+    Checkpoint,
     /// A multiplexed request: the wrapped request plus a client-chosen
     /// correlation id echoed back on the response, so one connection can
     /// carry many requests in flight and match answers out of order.
@@ -661,6 +745,7 @@ impl WireEncode for Request {
                 hi.encode_into(out);
             }
             Request::ShardStats => out.push(7),
+            Request::Checkpoint => out.push(9),
             Request::Tagged { id, inner } => {
                 out.push(8);
                 id.encode_into(out);
@@ -696,6 +781,7 @@ impl Request {
                 hi: r.i64()?,
             }),
             7 => Ok(Request::ShardStats),
+            9 => Ok(Request::Checkpoint),
             tag => Err(WireError::BadTag {
                 what: "request",
                 tag,
@@ -759,6 +845,11 @@ pub enum Response {
     /// [`Response::Refused`] this says nothing about the request itself —
     /// the client maps it to a retryable `NetError::Overloaded`.
     Busy,
+    /// The latest certified bootstrap bundle (the reply to
+    /// [`Request::Checkpoint`]). Boxed for the same reason as
+    /// [`Response::ShardSelection`]: a map plus two certificates dwarfs the
+    /// tag-only variants.
+    Checkpoint(Box<EpochBootstrap>),
     /// A multiplexed response: the wrapped response plus the correlation
     /// id copied from the [`Request::Tagged`] it answers. Wrappers do not
     /// nest.
@@ -805,6 +896,10 @@ impl WireEncode for Response {
                 s.encode_into(out);
             }
             Response::Busy => out.push(9),
+            Response::Checkpoint(b) => {
+                out.push(11);
+                b.encode_into(out);
+            }
             Response::Tagged { id, inner } => {
                 out.push(10);
                 id.encode_into(out);
@@ -834,6 +929,9 @@ impl Response {
             ))),
             8 => Ok(Response::ShardStats(Vec::<QsStats>::decode_from(r)?)),
             9 => Ok(Response::Busy),
+            11 => Ok(Response::Checkpoint(Box::new(EpochBootstrap::decode_from(
+                r,
+            )?))),
             tag => Err(WireError::BadTag {
                 what: "response",
                 tag,
@@ -1037,6 +1135,7 @@ mod tests {
             },
         ]));
         assert_canonical(&Response::Busy);
+        assert_canonical(&Request::Checkpoint);
         assert_canonical(&Request::Tagged {
             id: u64::MAX,
             inner: Box::new(Request::Select { lo: -5, hi: 900 }),
@@ -1111,10 +1210,36 @@ mod tests {
             map: rb.new_map.clone(),
             transitions: vec![rb.transition.clone()],
         });
+        // The epoch checkpoint minted with the package, and the bootstrap
+        // bundle a fresh client fetches, round-trip too.
+        assert_canonical(&rb.checkpoint);
+        let boot = crate::shard::EpochBootstrap {
+            map: rb.new_map.clone(),
+            transition: Some(rb.transition.clone()),
+            checkpoint: Some(rb.checkpoint.clone()),
+        };
+        assert_canonical(&boot);
+        assert_canonical(&Response::Checkpoint(Box::new(boot)));
         // A merge package round-trips too (single handoff, two donors).
         let rb2 = sa.rebalance(crate::shard::RebalancePlan::Merge { left: 1 }, 2);
         assert_canonical(&rb2);
         assert_canonical(&crate::shard::RebalancePlan::Merge { left: 1 });
+    }
+
+    #[test]
+    fn summary_checkpoint_round_trips() {
+        for scheme in [SchemeKind::Mock, SchemeKind::Bas] {
+            let mut rng = StdRng::seed_from_u64(26);
+            let mut da = DataAggregator::new(cfg(scheme, SigningMode::Chained), &mut rng);
+            da.bootstrap((0..8).map(|i| vec![i * 10, i]).collect(), 2);
+            for _ in 0..3 {
+                da.advance_clock(10);
+                da.maybe_publish_summary().unwrap();
+            }
+            let ckpt = da.checkpoint_summaries(1).expect("prefix to compact");
+            assert!(!ckpt.exposure.is_empty(), "recertified rids are exposed");
+            assert_canonical(&ckpt);
+        }
     }
 
     #[test]

@@ -420,6 +420,44 @@ fn decode_splits(raw: &[i64], key_span: i64) -> Vec<i64> {
     splits
 }
 
+/// Satellite regression: the decoded-node cache must survive a rebalance
+/// handoff. Successor shards used to rebuild with an empty LRU, so the
+/// first post-rebalance queries re-decoded every page from scratch; the
+/// handoff now warms the successor's cache from the rebuilt tree, and one
+/// query sweep is enough to see hits again.
+#[test]
+fn node_cache_recovers_within_one_query_sweep_after_rebalance() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut sa = ShardedAggregator::new(cfg(), vec![0], &mut rng);
+    let rows: Vec<Vec<i64>> = (0..256i64).map(|i| vec![i - 128, i]).collect();
+    let boots = sa.bootstrap(rows, 2);
+    let sqs = ShardedQueryServer::from_bootstraps(
+        sa.public_params(),
+        sa.config(),
+        sa.map().clone(),
+        &boots,
+        &QsOptions::default(),
+    );
+    // Touch both shards so the donors' caches are live before the split.
+    sqs.select_range(-128, 127).unwrap();
+    // Split the right shard: both successors are rebuilt from handoff.
+    let rb = sa.rebalance(RebalancePlan::Split { shard: 1, at: 64 }, 2);
+    sqs.apply_rebalance(&rb).expect("honest rebalance applies");
+    let before = sqs.shard_stats();
+    // One sweep over the successors' key ranges...
+    sqs.select_range(0, 127).unwrap();
+    let after = sqs.shard_stats();
+    // ...already answers from a warm decoded-node cache on both halves of
+    // the split, instead of miss-filling the LRU all over again.
+    for s in [1usize, 2] {
+        assert!(
+            after[s].node_cache_hits > before[s].node_cache_hits,
+            "shard {s} answered its first post-rebalance sweep cold: {:?}",
+            after[s]
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -467,6 +467,26 @@ impl<A: Annotator> BTree<A> {
         self.cache.reset_stats();
     }
 
+    /// Pre-decode the whole tree into the decoded-node cache: a breadth-
+    /// first walk from the root, leaves last so that when the tree exceeds
+    /// the cache capacity it is interior levels — re-decoded cheapest —
+    /// that get evicted. Reads go through the normal cached path, so the
+    /// pass is idempotent and a no-op for already-cached nodes.
+    pub fn warm_node_cache(&self) {
+        let mut level = vec![self.root];
+        for _ in 1..self.height {
+            let mut next = Vec::new();
+            for &id in &level {
+                let node = self.read(id);
+                next.extend(node.internal.iter().map(|e| e.child));
+            }
+            level = next;
+        }
+        for &id in &level {
+            let _ = self.read(id);
+        }
+    }
+
     /// The root annotation (the EMB− root digest); empty when `ann_len == 0`.
     pub fn root_ann(&self) -> Vec<u8> {
         if self.config.ann_len == 0 {

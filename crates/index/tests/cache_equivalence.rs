@@ -103,9 +103,8 @@ proptest! {
             apply(&mut uncached, op);
             // Point probes every step; full sweeps periodically (they're
             // O(N) each).
-            if let Op::Insert(k, r, _) | Op::Update(k, r, _) | Op::Delete(k, r) = *op {
-                prop_assert_eq!(cached.get(k, r), uncached.get(k, r));
-            }
+            let (Op::Insert(k, r, _) | Op::Update(k, r, _) | Op::Delete(k, r)) = *op;
+            prop_assert_eq!(cached.get(k, r), uncached.get(k, r));
             if step % 64 == 0 {
                 let a = cached.range(50, 350);
                 let b = uncached.range(50, 350);

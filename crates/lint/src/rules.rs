@@ -889,6 +889,37 @@ fn outer_message() -> Vec<u8> { a_message() }
     }
 
     #[test]
+    fn checkpoint_surfaces_ride_the_existing_rules() {
+        // The checkpoint signed messages are ordinary sign-message
+        // builders: a second builder reusing their domain tag must be
+        // flagged, so `b"ckpt-summary:"` / `b"ckpt-epoch:"` stay unique.
+        let src = r#"
+fn checkpoint_message() -> Vec<u8> { b"ckpt-summary:".to_vec() }
+fn forged_message() -> Vec<u8> { b"ckpt-summary:".to_vec() }
+"#;
+        let a = analyze(&one("crates/core/src/x.rs", src));
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == RULE_DOMAIN && d.msg.contains("ckpt-summary:")));
+        // And the checkpoint error variants are catalog-coverage targets
+        // like any other VerifyError variant: unpinned means a diagnostic.
+        let src = r#"
+pub enum VerifyError { BadCheckpoint, CheckpointGap, StaleCheckpoint }
+"#;
+        let a = analyze(&one("crates/core/src/verify.rs", src));
+        assert_eq!(
+            a.diagnostics
+                .iter()
+                .filter(|d| d.rule == RULE_CATALOG)
+                .count(),
+            3,
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
     fn wall_clock_flagged_in_verify_files() {
         let src = "fn freshness_of(&self) -> bool { let now = Instant::now(); true }";
         let a = analyze(&one("crates/core/src/verify.rs", src));

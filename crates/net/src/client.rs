@@ -13,7 +13,9 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use authdb_core::qs::{ProjectionAnswer, QsStats, SelectionAnswer};
-use authdb_core::shard::{EpochTransition, Rebalance, ShardMap, ShardedSelectionAnswer};
+use authdb_core::shard::{
+    EpochBootstrap, EpochTransition, Rebalance, ShardMap, ShardedSelectionAnswer,
+};
 use authdb_core::wire::{Request, Response};
 use authdb_wire::{deframe, frame, DEFAULT_MAX_FRAME_LEN};
 
@@ -274,6 +276,19 @@ impl QsClient {
             Response::Epoch { map, transitions } => Ok((map, transitions)),
             Response::Refused(e) => Err(NetError::Refused(e)),
             _ => Err(NetError::Protocol("expected Epoch")),
+        }
+    }
+
+    /// The server's latest certified bootstrap bundle: the current map,
+    /// its transition, and the epoch checkpoint hash-chained to it. Feed
+    /// it to `EpochView::from_checkpoint` — a fresh client verifies O(1)
+    /// signatures regardless of how many epochs have passed, instead of
+    /// replaying [`QsClient::epoch`]'s chain from genesis.
+    pub fn checkpoint(&mut self) -> Result<EpochBootstrap, NetError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpoint(boot) => Ok(*boot),
+            Response::Refused(e) => Err(NetError::Refused(e)),
+            _ => Err(NetError::Protocol("expected Checkpoint")),
         }
     }
 

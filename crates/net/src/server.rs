@@ -531,6 +531,7 @@ fn dispatch(server: &ShardedQueryServer, request: Request) -> Response {
             map: server.map(),
             transitions: server.transitions(),
         },
+        Request::Checkpoint => Response::Checkpoint(Box::new(server.epoch_bootstrap())),
         Request::Rebalance(rb) => match server.apply_rebalance(&rb) {
             Ok(()) => Response::Rebalanced,
             Err(e) => Response::Refused(e),
